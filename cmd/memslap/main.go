@@ -1,0 +1,55 @@
+// Command memslap is the load generator of the paper's evaluation: a
+// fixed-operation-count, 9:1 get/set client matching
+//
+//	memslap --concurrency=x --execute-number=625000 --binary
+//
+// pointed at a running memcached (cmd/memcached or the real thing).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/memslap"
+)
+
+func main() {
+	var (
+		addr    = flag.String("servers", "127.0.0.1:11211", "server address")
+		conc    = flag.Int("concurrency", 1, "number of client connections")
+		execNum = flag.Int("execute-number", 10000, "operations per connection")
+		binary  = flag.Bool("binary", false, "use the binary protocol")
+		keys    = flag.Int("keyspace", 10000, "distinct keys")
+		vsize   = flag.Int("value-size", 1024, "value size in bytes")
+		setFrac = flag.Float64("set-fraction", 0.1, "fraction of sets")
+		zipf    = flag.Bool("zipf", false, "Zipf-skewed key popularity (hot keys)")
+	)
+	flag.Parse()
+
+	res, err := memslap.RunNetwork(*addr, memslap.Config{
+		Concurrency:   *conc,
+		ExecuteNumber: *execNum,
+		Binary:        *binary,
+		KeySpace:      *keys,
+		ValueSize:     *vsize,
+		SetFraction:   *setFrac,
+		Zipf:          *zipf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ops        %d\n", res.Ops)
+	fmt.Printf("gets       %d (hits %d, %.1f%%)\n", res.Gets, res.Hits, 100*float64(res.Hits)/float64(max(res.Gets, 1)))
+	fmt.Printf("sets       %d\n", res.Sets)
+	fmt.Printf("errors     %d\n", res.Errors)
+	fmt.Printf("time       %.3fs\n", res.Duration.Seconds())
+	fmt.Printf("throughput %.0f ops/s\n", res.OpsPerSec())
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,97 @@
+// Clientserver: a real TCP memcached server (transactionalized branch) driven
+// by the memslap workload generator over the text and binary protocols, plus
+// a hand-rolled protocol session — the end-to-end path of the paper's
+// experimental setup ("we ran the memcached server and memslap on the same
+// machine").
+//
+//	go run ./examples/clientserver
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/memslap"
+	"repro/internal/server"
+)
+
+func main() {
+	cache := engine.New(engine.Config{
+		Branch:   engine.ITOnCommit,
+		MemLimit: 32 << 20,
+		Automove: true,
+	})
+	cache.Start()
+	defer cache.Stop()
+
+	srv, err := server.Listen(cache, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("tm-memcached (branch %s) listening on %s\n\n", cache.Branch(), srv.Addr())
+
+	// A manual text-protocol session.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := bufio.NewReader(conn)
+	send := func(lines ...string) {
+		for _, l := range lines {
+			fmt.Fprintf(conn, "%s\r\n", l)
+		}
+	}
+	recv := func() string {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			log.Fatal(err)
+		}
+		return strings.TrimRight(line, "\r\n")
+	}
+	send("set greeting 0 0 13", "hello, world!")
+	fmt.Printf("  set greeting       -> %s\n", recv())
+	send("get greeting")
+	fmt.Printf("  get greeting       -> %s", recv())
+	fmt.Printf(" / %s", recv())
+	fmt.Printf(" / %s\n", recv())
+	send("incr missing 1")
+	fmt.Printf("  incr missing       -> %s\n", recv())
+	send("set counter 0 0 1", "5", "incr counter 37")
+	recv() // STORED
+	fmt.Printf("  incr counter 37    -> %s\n", recv())
+	conn.Close()
+
+	// memslap over the text protocol, then the binary protocol (--binary, as
+	// the paper runs it).
+	for _, binary := range []bool{false, true} {
+		res, err := memslap.RunNetwork(srv.Addr(), memslap.Config{
+			Concurrency:   4,
+			ExecuteNumber: 2000,
+			KeySpace:      1000,
+			ValueSize:     256,
+			Binary:        binary,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		proto := "text"
+		if binary {
+			proto = "binary"
+		}
+		fmt.Printf("\nmemslap --concurrency=4 --execute-number=2000 (%s protocol):\n", proto)
+		fmt.Printf("  %d ops in %.3fs (%.0f ops/s), %d gets (%d hits), %d sets, %d errors\n",
+			res.Ops, res.Duration.Seconds(), res.OpsPerSec(), res.Gets, res.Hits, res.Sets, res.Errors)
+	}
+
+	// Server-side statistics, as the stats command reports them.
+	w := cache.NewWorker()
+	s := w.Stats()
+	fmt.Printf("\nserver stats: curr_items=%d total_items=%d evictions=%d tm_transactions=%d tm_serialized=%d\n",
+		s.CurrItems, s.TotalItems, s.Evictions, s.STM.Commits,
+		s.STM.InFlightSwitch+s.STM.StartSerial+s.STM.AbortSerial)
+}

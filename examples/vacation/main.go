@@ -1,0 +1,199 @@
+// Vacation: a STAMP-style travel-reservation workload (the benchmark family
+// the paper cites as the standard TM evaluation suite) built from the
+// transactional data structures in internal/tmds.
+//
+// Three inventory tables (flights, rooms, cars) are transactional treaps;
+// customer itineraries are a transactional hash set of reservation records.
+// Each client transaction reserves one unit from up to three tables and
+// registers the itinerary atomically: either the whole trip books or none of
+// it does. An auditor runs read-only transactions asserting conservation
+// (booked units + remaining capacity is constant per table).
+//
+//	go run ./examples/vacation
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/stm"
+	"repro/internal/tmds"
+)
+
+const (
+	nResources = 256  // entries per table
+	capacity   = 20   // units per entry
+	nClients   = 4    // concurrent booking agents
+	perClient  = 3000 // booking attempts per agent
+)
+
+type table struct {
+	name string
+	inv  *tmds.Treap // resource id -> *stm.TWord (remaining units)
+}
+
+func newTable(th *stm.Thread, name string) *table {
+	t := &table{name: name, inv: tmds.NewTreap()}
+	_ = th.Run(stm.Props{Kind: stm.Atomic}, func(tx *stm.Tx) {
+		for id := uint64(0); id < nResources; id++ {
+			t.inv.Insert(tx, id, stm.NewTWord(capacity))
+		}
+	})
+	return t
+}
+
+// reserve takes one unit of resource id; reports whether stock remained.
+func (t *table) reserve(tx *stm.Tx, id uint64) bool {
+	v, ok := t.inv.Get(tx, id)
+	if !ok {
+		return false
+	}
+	w := v.(*stm.TWord)
+	left := w.Load(tx)
+	if left == 0 {
+		return false
+	}
+	w.Store(tx, left-1)
+	return true
+}
+
+// remaining sums the table's free units.
+func (t *table) remaining(tx *stm.Tx) uint64 {
+	var sum uint64
+	for _, id := range t.inv.Keys(tx) {
+		v, _ := t.inv.Get(tx, id)
+		sum += v.(*stm.TWord).Load(tx)
+	}
+	return sum
+}
+
+func main() {
+	rt := stm.New(stm.Config{Algorithm: stm.MLWT, CM: stm.CMSerialize})
+	setup := rt.NewThread()
+	flights := newTable(setup, "flights")
+	rooms := newTable(setup, "rooms")
+	cars := newTable(setup, "cars")
+	itineraries := tmds.NewHashSet(8)
+
+	booked := stm.NewTWord(0) // total units booked, per table kind
+	bookedF := stm.NewTWord(0)
+	bookedR := stm.NewTWord(0)
+	bookedC := stm.NewTWord(0)
+
+	var wg sync.WaitGroup
+	var succeeded, failed uint64
+	var mu sync.Mutex
+
+	for cl := 0; cl < nClients; cl++ {
+		cl := cl
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := rt.NewThread()
+			seed := uint64(cl)*2654435761 + 99
+			next := func() uint64 {
+				seed ^= seed >> 12
+				seed ^= seed << 25
+				seed ^= seed >> 27
+				return seed * 0x2545F4914F6CDD1D
+			}
+			var ok, fail uint64
+			for i := 0; i < perClient; i++ {
+				wantFlight := next()%4 != 0
+				wantRoom := next()%4 != 0
+				wantCar := next()%2 == 0
+				f, r, c := next()%nResources, next()%nResources, next()%nResources
+				tripID := uint64(cl)<<32 | uint64(i)
+				bookedTrip := false
+				_ = th.Run(stm.Props{Kind: stm.Atomic}, func(tx *stm.Tx) {
+					bookedTrip = false
+					// All-or-nothing: any unavailable leg aborts the whole
+					// trip by simply not modifying anything else (reads and
+					// tentative writes roll forward only on success paths).
+					n := uint64(0)
+					if wantFlight {
+						if !flights.reserve(tx, f) {
+							return
+						}
+						bookedF.Add(tx, 1)
+						n++
+					}
+					if wantRoom {
+						if !rooms.reserve(tx, r) {
+							tx.Cancel() // undo the flight leg; the trip fails
+						}
+						bookedR.Add(tx, 1)
+						n++
+					}
+					if wantCar {
+						if !cars.reserve(tx, c) {
+							tx.Cancel()
+						}
+						bookedC.Add(tx, 1)
+						n++
+					}
+					if n == 0 {
+						return
+					}
+					itineraries.Insert(tx, tripID)
+					booked.Add(tx, n)
+					bookedTrip = true
+				})
+				if bookedTrip {
+					ok++
+				} else {
+					fail++
+				}
+			}
+			mu.Lock()
+			succeeded += ok
+			failed += fail
+			mu.Unlock()
+		}()
+	}
+
+	// Auditor: read-only conservation checks while bookings run.
+	stop := make(chan struct{})
+	var auditWg sync.WaitGroup
+	auditWg.Add(1)
+	violations := 0
+	go func() {
+		defer auditWg.Done()
+		th := rt.NewThread()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = th.Run(stm.Props{Kind: stm.Atomic}, func(tx *stm.Tx) {
+				total := flights.remaining(tx) + bookedF.Load(tx)
+				if total != nResources*capacity {
+					violations++
+				}
+			})
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	auditWg.Wait()
+
+	th := rt.NewThread()
+	var free, sold, trips uint64
+	_ = th.Run(stm.Props{Kind: stm.Atomic}, func(tx *stm.Tx) {
+		free = flights.remaining(tx) + rooms.remaining(tx) + cars.remaining(tx)
+		sold = booked.Load(tx)
+		trips = itineraries.Len(tx)
+	})
+	s := rt.Stats()
+	fmt.Printf("trips booked: %d (failed/sold-out: %d), itineraries recorded: %d\n",
+		succeeded, failed, trips)
+	fmt.Printf("units: sold=%d free=%d total=%d (expected %d)\n",
+		sold, free, sold+free, 3*nResources*capacity)
+	fmt.Printf("conservation violations observed by auditor: %d\n", violations)
+	fmt.Printf("transactions: %d commits, %d aborts\n", s.Commits, s.Aborts)
+	if sold+free != 3*nResources*capacity || trips != succeeded || violations > 0 {
+		fmt.Println("INVARIANT VIOLATION — this should be impossible")
+	}
+}

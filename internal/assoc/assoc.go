@@ -1,0 +1,272 @@
+// Package assoc is memcached's hash table (assoc.c): power-of-two bucket
+// arrays with chained items, plus the incremental expansion protocol in which
+// a maintenance thread migrates buckets from the old table to a doubled new
+// one while lookups consult whichever table still owns their bucket.
+//
+// Chain membership (HNext and bucket heads) belongs to the item-lock domain;
+// the table structure (expansion state, bucket array swap) belongs to the
+// cache-lock domain, matching the lock order the paper documents. All shared
+// accesses go through an access.Ctx provided by a caller holding the
+// appropriate protection.
+package assoc
+
+import (
+	"repro/internal/access"
+	"repro/internal/item"
+	"repro/internal/stm"
+)
+
+// DefaultPowerBits is memcached's initial hash power (16 → 65536 buckets).
+// Tests and benchmarks use smaller tables to exercise expansion.
+const DefaultPowerBits = 16
+
+// BulkMove is how many buckets one maintenance step migrates
+// (DEFAULT_HASH_BULK_MOVE).
+const BulkMove = 1
+
+type buckets struct {
+	arr   []*stm.TAny
+	power uint
+}
+
+func newBuckets(power uint) *buckets {
+	b := &buckets{arr: make([]*stm.TAny, 1<<power), power: power}
+	for i := range b.arr {
+		b.arr[i] = stm.NewTAny(nil)
+	}
+	return b
+}
+
+func (b *buckets) mask() uint64 { return uint64(len(b.arr)) - 1 }
+
+// Table is the hash table.
+type Table struct {
+	primary *stm.TAny // *buckets
+	old     *stm.TAny // *buckets while expanding, else nil
+
+	// Expanding is the "volatile" expansion flag; ExpandBucket is the next
+	// old-table bucket to migrate.
+	Expanding    *stm.TWord
+	ExpandBucket *stm.TWord
+
+	// Count is hash_items.
+	Count *stm.TWord
+}
+
+// New creates a table with 2^power buckets.
+func New(power uint) *Table {
+	return &Table{
+		primary:      stm.NewTAny(newBuckets(power)),
+		old:          stm.NewTAny(nil),
+		Expanding:    stm.NewTWord(0),
+		ExpandBucket: stm.NewTWord(0),
+		Count:        stm.NewTWord(0),
+	}
+}
+
+// Hash is the hash function used for keys (FNV-1a 64, standing in for
+// memcached's Jenkins hash).
+func Hash(key []byte) uint64 {
+	h := uint64(1469598103934665603)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// bucketFor returns the TAny head of the chain owning hash hv.
+//
+// Lookups in the IP and lock branches read this structure while holding only
+// the key's item lock (memcached's post-1.4.10 scalability design), so the
+// routing must stay correct against a concurrent maintainer that holds the
+// cache-lock domain but not this key's stripe. The invariants that make that
+// safe: (1) an item's own bucket cannot migrate while its stripe is held
+// (ExpandStepLocked trylocks the stripe); (2) StartExpand publishes the new
+// primary table only after Expanding is visible, so a reader that still sees
+// Expanding==0 also still sees the pre-expansion primary.
+func (t *Table) bucketFor(c access.Ctx, hv uint64) *stm.TAny {
+	p := c.Any(t.primary).(*buckets)
+	if c.Word(t.Expanding) != 0 {
+		if o, ok := c.Any(t.old).(*buckets); ok {
+			ob := hv & o.mask()
+			if ob >= c.Word(t.ExpandBucket) {
+				return o.arr[ob]
+			}
+		}
+	}
+	return p.arr[hv&p.mask()]
+}
+
+// Find walks the chain for key, comparing via the context's memcmp (the libc
+// call that is unsafe inside transactions before stage Lib).
+func (t *Table) Find(c access.Ctx, hv uint64, key []byte) *item.Item {
+	it := item.AsItem(c.Any(t.bucketFor(c, hv)))
+	for it != nil {
+		if it.Hash == hv && it.KeyLen == len(key) && c.Memcmp(it.Key, 0, key) == 0 {
+			return it
+		}
+		it = item.AsItem(c.Any(it.HNext))
+	}
+	return nil
+}
+
+// Insert pushes it onto its chain. The caller ensures the key is absent.
+func (t *Table) Insert(c access.Ctx, it *item.Item) {
+	b := t.bucketFor(c, it.Hash)
+	c.SetAny(it.HNext, c.Any(b))
+	c.SetAny(b, it)
+	c.AddWord(t.Count, 1)
+}
+
+// Delete removes the item with the given key from its chain and returns it,
+// or nil if absent.
+func (t *Table) Delete(c access.Ctx, hv uint64, key []byte) *item.Item {
+	b := t.bucketFor(c, hv)
+	var prev *item.Item
+	it := item.AsItem(c.Any(b))
+	for it != nil {
+		if it.Hash == hv && it.KeyLen == len(key) && c.Memcmp(it.Key, 0, key) == 0 {
+			next := c.Any(it.HNext)
+			if prev == nil {
+				c.SetAny(b, next)
+			} else {
+				c.SetAny(prev.HNext, next)
+			}
+			c.SetAny(it.HNext, nil)
+			c.AddWord(t.Count, ^uint64(0))
+			return it
+		}
+		prev = it
+		it = item.AsItem(c.Any(it.HNext))
+	}
+	return nil
+}
+
+// RemoveItem unlinks exactly the given item from its chain (identity, not key,
+// comparison — eviction and expiry-reclaim already hold the item pointer) and
+// reports whether it was found.
+func (t *Table) RemoveItem(c access.Ctx, target *item.Item) bool {
+	b := t.bucketFor(c, target.Hash)
+	var prev *item.Item
+	it := item.AsItem(c.Any(b))
+	for it != nil {
+		if it == target {
+			next := c.Any(it.HNext)
+			if prev == nil {
+				c.SetAny(b, next)
+			} else {
+				c.SetAny(prev.HNext, next)
+			}
+			c.SetAny(it.HNext, nil)
+			c.AddWord(t.Count, ^uint64(0))
+			return true
+		}
+		prev = it
+		it = item.AsItem(c.Any(it.HNext))
+	}
+	return false
+}
+
+// Size returns the number of buckets in the primary table.
+func (t *Table) Size(c access.Ctx) uint64 {
+	return uint64(len(c.Any(t.primary).(*buckets).arr))
+}
+
+// Items returns hash_items.
+func (t *Table) Items(c access.Ctx) uint64 { return c.Word(t.Count) }
+
+// NeedExpand reports whether the item count has outgrown the table (the
+// 3/2-full trigger memcached uses before waking the maintenance thread).
+func (t *Table) NeedExpand(c access.Ctx) bool {
+	if c.Word(t.Expanding) != 0 {
+		return false
+	}
+	p := c.Any(t.primary).(*buckets)
+	return c.Word(t.Count) > uint64(len(p.arr))*3/2
+}
+
+// StartExpand swaps in a doubled primary table and begins migration
+// (assoc_expand). Caller holds the cache-lock domain.
+func (t *Table) StartExpand(c access.Ctx) {
+	if c.Word(t.Expanding) != 0 {
+		return
+	}
+	p := c.Any(t.primary).(*buckets)
+	// Publication order matters for item-lock-only readers: old and the
+	// cursor first, then the flag, and the new primary strictly last — a
+	// reader observing Expanding==0 must still find the pre-expansion table
+	// in primary, and one observing Expanding==1 routes through old.
+	c.SetAny(t.old, p)
+	c.SetWord(t.ExpandBucket, 0)
+	c.SetWord(t.Expanding, 1)
+	c.SetAny(t.primary, newBuckets(p.power+1))
+}
+
+// Expanding reports whether a migration is in flight.
+func (t *Table) IsExpanding(c access.Ctx) bool { return c.Word(t.Expanding) != 0 }
+
+// ExpandStep migrates up to n old-table buckets into the primary table and
+// reports whether expansion is still in progress afterwards. Caller holds the
+// cache-lock domain.
+func (t *Table) ExpandStep(c access.Ctx, n int) bool {
+	return t.ExpandStepLocked(c, n, nil)
+}
+
+// ExpandStepLocked is ExpandStep with the Figure 1a trylock protocol: the
+// maintenance thread holds the cache-lock domain and trylocks each item's
+// item lock (later in the lock order — the documented order violation).
+// tryLock returns an unlock function and whether the lock was obtained; items
+// whose lock is unavailable stay in the old bucket for a later pass (the
+// "save_for_later" path), and the bucket cursor only advances once a bucket
+// drains. A nil tryLock moves everything unconditionally (the IT branches,
+// where TM conflict detection replaces the locks).
+func (t *Table) ExpandStepLocked(c access.Ctx, n int, tryLock func(hv uint64) (func(), bool)) bool {
+	if c.Word(t.Expanding) == 0 {
+		return false
+	}
+	o := c.Any(t.old).(*buckets)
+	p := c.Any(t.primary).(*buckets)
+	eb := c.Word(t.ExpandBucket)
+	for i := 0; i < n && eb < uint64(len(o.arr)); i++ {
+		var keptHead *item.Item
+		it := item.AsItem(c.Any(o.arr[eb]))
+		for it != nil {
+			next := item.AsItem(c.Any(it.HNext))
+			moved := true
+			if tryLock != nil {
+				unlock, ok := tryLock(it.Hash)
+				if ok {
+					dst := p.arr[it.Hash&p.mask()]
+					c.SetAny(it.HNext, c.Any(dst))
+					c.SetAny(dst, it)
+					unlock()
+				} else {
+					moved = false // save for later
+				}
+			} else {
+				dst := p.arr[it.Hash&p.mask()]
+				c.SetAny(it.HNext, c.Any(dst))
+				c.SetAny(dst, it)
+			}
+			if !moved {
+				c.SetAny(it.HNext, keptHead)
+				keptHead = it
+			}
+			it = next
+		}
+		if keptHead != nil {
+			c.SetAny(o.arr[eb], keptHead)
+			break // retry this bucket on the next pass
+		}
+		c.SetAny(o.arr[eb], nil)
+		eb++
+	}
+	c.SetWord(t.ExpandBucket, eb)
+	if eb >= uint64(len(o.arr)) {
+		c.SetWord(t.Expanding, 0)
+		c.SetAny(t.old, nil)
+		return false
+	}
+	return true
+}

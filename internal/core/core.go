@@ -1,0 +1,205 @@
+// Package core models the programmer-facing surface of the Draft C++ TM
+// Specification (version 1.1) as evaluated by the paper, on top of the
+// internal/stm runtime:
+//
+//   - transaction declarations: __transaction_atomic and __transaction_relaxed
+//     (Atomic, Relaxed, and RelaxedStartSerial for relaxed transactions the
+//     compiler would prove unsafe on every path);
+//   - transaction expressions (the generic Expr, plus LoadWord/StoreWord
+//     sugar used when replacing volatile variables, §3.3);
+//   - function annotations: transaction_safe, transaction_callable, the GCC
+//     transaction_pure extension, and the treatment of un-annotated calls
+//     (Call / CallPure);
+//   - transaction_cancel (stm.Tx.Cancel) and may_cancel_outer (documented
+//     no-op here, since our checking is dynamic);
+//   - the GCC onCommit/onAbort handler extension (stm.Tx.OnCommit/OnAbort)
+//     and AfterCommit, the "register a handler or run it now" idiom the paper
+//     needed InTransaction visibility for (§3.5).
+//
+// GCC's checks are static; ours are dynamic: where GCC would reject a
+// program at compile time (an unsafe operation in an atomic transaction, a
+// callable function invoked from an atomic transaction), this package panics
+// with a descriptive error. The performance-model contract is preserved
+// exactly: atomic transactions never serialize except for contention-manager
+// progress, while relaxed transactions serialize whenever they reach an
+// unsafe operation.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/stm"
+)
+
+// TM is a transactional-memory domain bound to an stm.Runtime.
+type TM struct {
+	rt *stm.Runtime
+}
+
+// New wraps an stm runtime in the specification-level API.
+func New(rt *stm.Runtime) *TM { return &TM{rt: rt} }
+
+// Runtime exposes the underlying runtime (for statistics).
+func (tm *TM) Runtime() *stm.Runtime { return tm.rt }
+
+// NewContext creates a per-goroutine execution context.
+func (tm *TM) NewContext() *Ctx { return &Ctx{th: tm.rt.NewThread()} }
+
+// Ctx is a per-goroutine context; it owns a runtime thread descriptor.
+// Not safe for concurrent use.
+type Ctx struct {
+	th *stm.Thread
+}
+
+// Thread exposes the underlying stm thread descriptor.
+func (c *Ctx) Thread() *stm.Thread { return c.th }
+
+// InTransaction reports whether the context is currently executing inside a
+// transaction. GCC does not expose this query; the paper's authors patched
+// libitm to make it visible so code reachable both transactionally and
+// nontransactionally could decide whether to defer work to an onCommit
+// handler (§3.5).
+func (c *Ctx) InTransaction() bool { return c.th.InTx() }
+
+// Atomic executes fn as a __transaction_atomic block. An unsafe operation
+// inside fn panics (the analogue of GCC's compile-time rejection). Returns
+// stm.ErrCanceled if fn cancels.
+func (c *Ctx) Atomic(fn func(*stm.Tx)) error {
+	return c.th.Run(stm.Props{Kind: stm.Atomic}, fn)
+}
+
+// Relaxed executes fn as a __transaction_relaxed block: unsafe operations
+// trigger the in-flight switch to serial-irrevocable execution.
+func (c *Ctx) Relaxed(fn func(*stm.Tx)) error {
+	return c.th.Run(stm.Props{Kind: stm.Relaxed}, fn)
+}
+
+// RelaxedStartSerial executes fn as a relaxed transaction that the compiler
+// determined performs an unsafe operation on every code path, so it begins
+// serially instead of paying for instrumentation up to the switch point
+// (the "Start Serial" column of the paper's tables).
+func (c *Ctx) RelaxedStartSerial(fn func(*stm.Tx)) error {
+	return c.th.Run(stm.Props{Kind: stm.Relaxed, StartSerial: true}, fn)
+}
+
+// Expr evaluates fn as a transaction expression (the specification's
+// syntactic sugar for initializing a variable or evaluating a conditional
+// transactionally) and returns its result. Like GCC, no single-location
+// optimization is applied: the full transaction protocol runs (§3.3 notes
+// the performance consequence).
+func Expr[T any](c *Ctx, fn func(*stm.Tx) T) T {
+	var out T
+	// Transaction expressions cannot cancel; any error here is impossible.
+	_ = c.Atomic(func(tx *stm.Tx) { out = fn(tx) })
+	return out
+}
+
+// LoadWord reads a transactional word via a transaction expression — the
+// replacement for reading a volatile variable (§3.3). Its ordering guarantees
+// subsume a seq_cst atomic load, as the specification requires.
+func (c *Ctx) LoadWord(w *stm.TWord) uint64 {
+	return Expr(c, func(tx *stm.Tx) uint64 { return w.Load(tx) })
+}
+
+// StoreWord writes a transactional word via a mini-transaction — the
+// replacement for writing a volatile variable.
+func (c *Ctx) StoreWord(w *stm.TWord, v uint64) {
+	_ = c.Atomic(func(tx *stm.Tx) { w.Store(tx, v) })
+}
+
+// AddWord atomically adds delta to w and returns the new value — the
+// replacement for a lock incr reference-count update (§3.3).
+func (c *Ctx) AddWord(w *stm.TWord, delta uint64) uint64 {
+	return Expr(c, func(tx *stm.Tx) uint64 { return w.Add(tx, delta) })
+}
+
+// AfterCommit runs fn when the current transaction (if any) commits, or
+// immediately when called outside a transaction. This is the idiom the paper
+// used for sem_post and deferred logging from code reachable both ways.
+func (c *Ctx) AfterCommit(fn func()) {
+	if tx := c.th.Current(); tx != nil {
+		tx.OnCommit(fn)
+		return
+	}
+	fn()
+}
+
+// ---------------------------------------------------------------------------
+// Function annotations
+
+// Attr is a function annotation from the specification (plus the GCC pure
+// extension and the "no annotation" case).
+type Attr int
+
+const (
+	// AttrSafe marks a transaction_safe function: statically free of unsafe
+	// operations, callable from any transaction.
+	AttrSafe Attr = iota
+	// AttrCallable marks a transaction_callable function: instrumented, but
+	// possibly unsafe, so callable only from relaxed transactions. Purely a
+	// performance annotation — without it an un-annotated call serializes
+	// immediately.
+	AttrCallable
+	// AttrUnknown is an un-annotated, possibly-unsafe function. A relaxed
+	// transaction must become serial and irrevocable before calling it.
+	AttrUnknown
+	// AttrPure marks a GCC [[transaction_pure]] function: callable from any
+	// transaction without instrumentation and without checking. Unsound if
+	// the function touches shared state (§3.4's marshaling relies on this).
+	AttrPure
+)
+
+func (a Attr) String() string {
+	switch a {
+	case AttrSafe:
+		return "transaction_safe"
+	case AttrCallable:
+		return "transaction_callable"
+	case AttrUnknown:
+		return "unannotated"
+	case AttrPure:
+		return "transaction_pure"
+	}
+	return fmt.Sprintf("Attr(%d)", int(a))
+}
+
+// ErrCallableFromAtomic reports a transaction_callable (or un-annotated)
+// function invoked from an atomic transaction — a compile error under GCC.
+var ErrCallableFromAtomic = errors.New("core: non-safe function called from atomic transaction")
+
+// Call invokes fn from inside tx under the given annotation, enforcing the
+// specification's rules:
+//
+//   - safe: always allowed, instrumented;
+//   - callable: rejected in atomic transactions (panic — GCC compile error);
+//     in relaxed transactions the call proceeds instrumented, and serializes
+//     only if fn itself reaches an unsafe operation;
+//   - unknown: rejected in atomic transactions; a relaxed transaction becomes
+//     serial and irrevocable before the call (in-flight switch);
+//   - pure: always allowed, never checked.
+func Call(tx *stm.Tx, attr Attr, name string, fn func(*stm.Tx)) {
+	switch attr {
+	case AttrSafe, AttrPure:
+		fn(tx)
+	case AttrCallable:
+		if tx.Kind() == stm.Atomic {
+			panic(fmt.Errorf("%w: %s is transaction_callable", ErrCallableFromAtomic, name))
+		}
+		fn(tx)
+	case AttrUnknown:
+		if tx.Kind() == stm.Atomic {
+			panic(fmt.Errorf("%w: %s is not annotated", ErrCallableFromAtomic, name))
+		}
+		tx.Unsafe("call to un-annotated " + name)
+		fn(tx)
+	default:
+		panic(fmt.Sprintf("core: bad attribute %d", int(attr)))
+	}
+}
+
+// CallPure invokes a [[transaction_pure]] function that takes no transactional
+// arguments. The runtime performs no instrumentation and no checking; the
+// caller is responsible for ensuring fn touches only thread-local state (the
+// contract the marshaling pattern of §3.4 exploits, and its danger).
+func CallPure(tx *stm.Tx, fn func()) { fn() }

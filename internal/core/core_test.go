@@ -1,0 +1,248 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/stm"
+)
+
+func newTM() *TM { return New(stm.New(stm.Config{})) }
+
+func TestAtomicCommits(t *testing.T) {
+	tm := newTM()
+	c := tm.NewContext()
+	v := stm.NewTWord(0)
+	if err := c.Atomic(func(tx *stm.Tx) { v.Store(tx, 3) }); err != nil {
+		t.Fatal(err)
+	}
+	if v.LoadDirect() != 3 {
+		t.Errorf("v = %d, want 3", v.LoadDirect())
+	}
+}
+
+func TestExprAndVolatileSugar(t *testing.T) {
+	tm := newTM()
+	c := tm.NewContext()
+	v := stm.NewTWord(10)
+	if got := c.LoadWord(v); got != 10 {
+		t.Errorf("LoadWord = %d", got)
+	}
+	c.StoreWord(v, 11)
+	if got := Expr(c, func(tx *stm.Tx) uint64 { return v.Load(tx) * 2 }); got != 22 {
+		t.Errorf("Expr = %d", got)
+	}
+	if got := c.AddWord(v, ^uint64(0)); got != 10 { // -1 two's complement
+		t.Errorf("AddWord(-1) = %d", got)
+	}
+}
+
+func TestInTransaction(t *testing.T) {
+	tm := newTM()
+	c := tm.NewContext()
+	if c.InTransaction() {
+		t.Error("InTransaction outside = true")
+	}
+	_ = c.Atomic(func(tx *stm.Tx) {
+		if !c.InTransaction() {
+			t.Error("InTransaction inside = false")
+		}
+	})
+}
+
+func TestAfterCommit(t *testing.T) {
+	tm := newTM()
+	c := tm.NewContext()
+	var order []string
+	_ = c.Atomic(func(tx *stm.Tx) {
+		c.AfterCommit(func() { order = append(order, "deferred") })
+		order = append(order, "body")
+	})
+	c.AfterCommit(func() { order = append(order, "immediate") })
+	want := []string{"body", "deferred", "immediate"}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+func TestCallSafeFromAtomic(t *testing.T) {
+	tm := newTM()
+	c := tm.NewContext()
+	v := stm.NewTWord(0)
+	_ = c.Atomic(func(tx *stm.Tx) {
+		Call(tx, AttrSafe, "tm_memcpy", func(tx *stm.Tx) { v.Store(tx, 1) })
+	})
+	if v.LoadDirect() != 1 {
+		t.Error("safe call lost its store")
+	}
+}
+
+func TestCallCallableFromAtomicPanics(t *testing.T) {
+	tm := newTM()
+	c := tm.NewContext()
+	defer func() {
+		r := recover()
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrCallableFromAtomic) {
+			t.Fatalf("panic = %v, want ErrCallableFromAtomic", r)
+		}
+	}()
+	_ = c.Atomic(func(tx *stm.Tx) {
+		Call(tx, AttrCallable, "maybe_log", func(tx *stm.Tx) {})
+	})
+	t.Fatal("no panic")
+}
+
+func TestCallUnknownFromRelaxedSerializes(t *testing.T) {
+	tm := newTM()
+	c := tm.NewContext()
+	ran := false
+	_ = c.Relaxed(func(tx *stm.Tx) {
+		Call(tx, AttrUnknown, "vsnprintf", func(tx *stm.Tx) {
+			ran = true
+			if !tx.Serial() {
+				t.Error("unknown call proceeded without irrevocability")
+			}
+		})
+	})
+	if !ran {
+		t.Fatal("function never ran")
+	}
+	if got := tm.Runtime().Stats().InFlightSwitch; got != 1 {
+		t.Errorf("InFlightSwitch = %d, want 1", got)
+	}
+}
+
+func TestCallCallableFromRelaxedDoesNotSerializeWhenSafePathTaken(t *testing.T) {
+	tm := newTM()
+	c := tm.NewContext()
+	verbose := false
+	_ = c.Relaxed(func(tx *stm.Tx) {
+		Call(tx, AttrCallable, "maybe_fprintf", func(tx *stm.Tx) {
+			if verbose {
+				tx.Unsafe("fprintf(stderr, ...)")
+			}
+		})
+		if tx.Serial() {
+			t.Error("serialized although the unsafe branch was not taken")
+		}
+	})
+	if got := tm.Runtime().Stats().InFlightSwitch; got != 0 {
+		t.Errorf("InFlightSwitch = %d, want 0", got)
+	}
+
+	// And when the flag is on, the same code serializes in flight (the
+	// fprintf example from §2 of the paper).
+	verbose = true
+	_ = c.Relaxed(func(tx *stm.Tx) {
+		Call(tx, AttrCallable, "maybe_fprintf", func(tx *stm.Tx) {
+			if verbose {
+				tx.Unsafe("fprintf(stderr, ...)")
+			}
+		})
+	})
+	if got := tm.Runtime().Stats().InFlightSwitch; got != 1 {
+		t.Errorf("InFlightSwitch = %d, want 1", got)
+	}
+}
+
+func TestCallPure(t *testing.T) {
+	tm := newTM()
+	c := tm.NewContext()
+	ran := false
+	_ = c.Atomic(func(tx *stm.Tx) {
+		CallPure(tx, func() { ran = true })
+	})
+	if !ran {
+		t.Error("pure function did not run")
+	}
+}
+
+func TestRelaxedStartSerialCounts(t *testing.T) {
+	tm := newTM()
+	c := tm.NewContext()
+	_ = c.RelaxedStartSerial(func(tx *stm.Tx) {
+		if !tx.Serial() {
+			t.Error("not serial")
+		}
+	})
+	s := tm.Runtime().Stats()
+	if s.StartSerial != 1 {
+		t.Errorf("StartSerial = %d, want 1", s.StartSerial)
+	}
+}
+
+func TestCancelThroughSpecLayer(t *testing.T) {
+	tm := newTM()
+	c := tm.NewContext()
+	v := stm.NewTWord(5)
+	err := c.Atomic(func(tx *stm.Tx) {
+		v.Store(tx, 6)
+		tx.Cancel()
+	})
+	if !errors.Is(err, stm.ErrCanceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if v.LoadDirect() != 5 {
+		t.Error("cancel did not roll back")
+	}
+}
+
+func TestConcurrentContexts(t *testing.T) {
+	tm := newTM()
+	ctr := stm.NewTWord(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := tm.NewContext()
+			for i := 0; i < 1000; i++ {
+				_ = c.Atomic(func(tx *stm.Tx) { ctr.Add(tx, 1) })
+			}
+		}()
+	}
+	wg.Wait()
+	if ctr.LoadDirect() != 8000 {
+		t.Errorf("ctr = %d, want 8000", ctr.LoadDirect())
+	}
+}
+
+func TestAttrString(t *testing.T) {
+	for attr, want := range map[Attr]string{
+		AttrSafe:     "transaction_safe",
+		AttrCallable: "transaction_callable",
+		AttrUnknown:  "unannotated",
+		AttrPure:     "transaction_pure",
+	} {
+		if got := attr.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(attr), got, want)
+		}
+	}
+}
+
+// TestNestedCancelPropagates pins may_cancel_outer semantics: with flat
+// nesting, a transaction_safe function that cancels unwinds the OUTER
+// transaction (the case §2 says needs the annotation under separate
+// compilation).
+func TestNestedCancelPropagates(t *testing.T) {
+	tm := newTM()
+	c := tm.NewContext()
+	v := stm.NewTWord(1)
+	err := c.Atomic(func(tx *stm.Tx) {
+		v.Store(tx, 2)
+		// A nested atomic block (flattened) cancels: the whole outer
+		// transaction's effects must vanish.
+		_ = c.Atomic(func(inner *stm.Tx) {
+			inner.Cancel()
+		})
+		t.Error("statement after nested cancel executed")
+	})
+	if !errors.Is(err, stm.ErrCanceled) {
+		t.Fatalf("outer err = %v, want ErrCanceled", err)
+	}
+	if v.LoadDirect() != 1 {
+		t.Errorf("v = %d, want 1 (outer effects undone)", v.LoadDirect())
+	}
+}

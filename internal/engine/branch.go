@@ -1,0 +1,152 @@
+// Package engine implements the memcached cache engine once, against the
+// access.Ctx layer, and instantiates it under every synchronization branch of
+// the paper: the lock-based baseline, the semaphore variant (§3.2), the two
+// item-lock strategies (IP = privatizing transactional item locks, IT = item
+// critical sections as transactions, §3.1/Figure 1), and the staged
+// transactionalization ladder (Callable §3.3, Max §3.3, Lib §3.4,
+// onCommit §3.5, NoLock §4).
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/stm"
+)
+
+// Branch selects a synchronization strategy from the paper.
+type Branch int
+
+const (
+	// Baseline is stock memcached: pthread-style mutexes and condition
+	// variables.
+	Baseline Branch = iota
+	// Semaphore is Baseline with condition variables replaced by semaphores
+	// (Figure 2) — the precondition for transactionalization.
+	Semaphore
+	// IP replaces locks with transactions but keeps item locks as
+	// transactional booleans; item data is privatized (Figure 1a).
+	IP
+	// IT replaces item-lock critical sections with transactions (Figure 1b).
+	IT
+	// IPCallable / ITCallable add transaction_callable annotations. The paper
+	// found no measurable effect (§3.3, Figure 4); the branches exist so the
+	// figure has all its series.
+	IPCallable
+	ITCallable
+	// IPMax / ITMax replace volatiles and lock incr reference counts with
+	// transactional accesses ("maximal" transactionalization, §3.3).
+	IPMax
+	ITMax
+	// IPLib / ITLib add the transaction-safe standard library (§3.4).
+	IPLib
+	ITLib
+	// IPOnCommit / ITOnCommit move sem_post and logging into onCommit
+	// handlers; every transaction is atomic (§3.5).
+	IPOnCommit
+	ITOnCommit
+	// IPNoLock / ITNoLock additionally remove the global readers/writer lock
+	// from the TM runtime and run without contention management (§4).
+	IPNoLock
+	ITNoLock
+)
+
+var branchNames = map[Branch]string{
+	Baseline:   "baseline",
+	Semaphore:  "semaphore",
+	IP:         "ip",
+	IT:         "it",
+	IPCallable: "ip-callable",
+	ITCallable: "it-callable",
+	IPMax:      "ip-max",
+	ITMax:      "it-max",
+	IPLib:      "ip-lib",
+	ITLib:      "it-lib",
+	IPOnCommit: "ip-oncommit",
+	ITOnCommit: "it-oncommit",
+	IPNoLock:   "ip-nolock",
+	ITNoLock:   "it-nolock",
+}
+
+func (b Branch) String() string {
+	if s, ok := branchNames[b]; ok {
+		return s
+	}
+	return fmt.Sprintf("Branch(%d)", int(b))
+}
+
+// ParseBranch resolves a branch name.
+func ParseBranch(s string) (Branch, error) {
+	for b, name := range branchNames {
+		if name == s {
+			return b, nil
+		}
+	}
+	return 0, fmt.Errorf("engine: unknown branch %q", s)
+}
+
+// Branches lists every branch in ladder order.
+func Branches() []Branch {
+	return []Branch{
+		Baseline, Semaphore,
+		IP, IT, IPCallable, ITCallable,
+		IPMax, ITMax, IPLib, ITLib,
+		IPOnCommit, ITOnCommit, IPNoLock, ITNoLock,
+	}
+}
+
+// branchCfg is the derived static configuration of a branch.
+type branchCfg struct {
+	tm       bool // transactional branch
+	itemTx   bool // IT family: item sections are transactions
+	callable bool // annotations applied (no measurable semantic effect, §3.3)
+	profile  access.Profile
+	noLock   bool // remove the global serial lock; no contention management
+	condvars bool // Baseline only: condition variables instead of semaphores
+}
+
+func configFor(b Branch) branchCfg {
+	switch b {
+	case Baseline:
+		return branchCfg{condvars: true}
+	case Semaphore:
+		return branchCfg{}
+	case IP:
+		return branchCfg{tm: true}
+	case IT:
+		return branchCfg{tm: true, itemTx: true}
+	case IPCallable:
+		return branchCfg{tm: true, callable: true}
+	case ITCallable:
+		return branchCfg{tm: true, itemTx: true, callable: true}
+	case IPMax:
+		return branchCfg{tm: true, callable: true, profile: access.Profile{TxVolatiles: true}}
+	case ITMax:
+		return branchCfg{tm: true, itemTx: true, callable: true, profile: access.Profile{TxVolatiles: true}}
+	case IPLib:
+		return branchCfg{tm: true, callable: true, profile: access.Profile{TxVolatiles: true, SafeLibc: true}}
+	case ITLib:
+		return branchCfg{tm: true, itemTx: true, callable: true, profile: access.Profile{TxVolatiles: true, SafeLibc: true}}
+	case IPOnCommit:
+		return branchCfg{tm: true, callable: true, profile: access.Profile{TxVolatiles: true, SafeLibc: true, OnCommitIO: true}}
+	case ITOnCommit:
+		return branchCfg{tm: true, itemTx: true, callable: true, profile: access.Profile{TxVolatiles: true, SafeLibc: true, OnCommitIO: true}}
+	case IPNoLock:
+		return branchCfg{tm: true, callable: true, noLock: true, profile: access.Profile{TxVolatiles: true, SafeLibc: true, OnCommitIO: true}}
+	case ITNoLock:
+		return branchCfg{tm: true, itemTx: true, callable: true, noLock: true, profile: access.Profile{TxVolatiles: true, SafeLibc: true, OnCommitIO: true}}
+	}
+	panic(fmt.Sprintf("engine: bad branch %d", int(b)))
+}
+
+// stmConfigFor returns the default STM configuration for a branch, which the
+// caller may override (Figure 11 swaps algorithms and contention managers on
+// the NoLock code base).
+func stmConfigFor(cfg branchCfg) stm.Config {
+	sc := stm.Config{Algorithm: stm.MLWT, CM: stm.CMSerialize}
+	if cfg.noLock {
+		sc.NoSerialLock = true
+		sc.CM = stm.CMNone
+	}
+	return sc
+}

@@ -1,0 +1,107 @@
+package engine
+
+import "testing"
+
+// TestBranchLadderMonotonicity: each stage of the transactionalization
+// ladder only makes MORE operations safe — TxVolatiles at Max, plus SafeLibc
+// at Lib, plus OnCommitIO at onCommit. A regression here would silently
+// reorder the paper's stages.
+func TestBranchLadderMonotonicity(t *testing.T) {
+	type stage struct {
+		branches []Branch
+		p        [3]bool // TxVolatiles, SafeLibc, OnCommitIO
+	}
+	stages := []stage{
+		{[]Branch{IP, IT, IPCallable, ITCallable}, [3]bool{false, false, false}},
+		{[]Branch{IPMax, ITMax}, [3]bool{true, false, false}},
+		{[]Branch{IPLib, ITLib}, [3]bool{true, true, false}},
+		{[]Branch{IPOnCommit, ITOnCommit, IPNoLock, ITNoLock}, [3]bool{true, true, true}},
+	}
+	for _, s := range stages {
+		for _, b := range s.branches {
+			cfg := configFor(b)
+			if !cfg.tm {
+				t.Errorf("%v: not transactional", b)
+			}
+			got := [3]bool{cfg.profile.TxVolatiles, cfg.profile.SafeLibc, cfg.profile.OnCommitIO}
+			if got != s.p {
+				t.Errorf("%v: profile %v, want %v", b, got, s.p)
+			}
+		}
+	}
+	for _, b := range []Branch{Baseline, Semaphore} {
+		if configFor(b).tm {
+			t.Errorf("%v: lock branch marked transactional", b)
+		}
+	}
+	if !configFor(Baseline).condvars || configFor(Semaphore).condvars {
+		t.Error("condvar flag wrong on Baseline/Semaphore")
+	}
+}
+
+// TestBranchItemLockStrategy: IP branches keep item locks, IT branches
+// dissolve them.
+func TestBranchItemLockStrategy(t *testing.T) {
+	ip := []Branch{IP, IPCallable, IPMax, IPLib, IPOnCommit, IPNoLock}
+	it := []Branch{IT, ITCallable, ITMax, ITLib, ITOnCommit, ITNoLock}
+	for _, b := range ip {
+		if configFor(b).itemTx {
+			t.Errorf("%v: itemTx set on an IP branch", b)
+		}
+	}
+	for _, b := range it {
+		if !configFor(b).itemTx {
+			t.Errorf("%v: itemTx missing on an IT branch", b)
+		}
+	}
+}
+
+// TestBranchSTMDefaults: NoLock branches remove the serial lock and drop
+// contention management, as §4 configures.
+func TestBranchSTMDefaults(t *testing.T) {
+	for _, b := range []Branch{IPNoLock, ITNoLock} {
+		sc := stmConfigFor(configFor(b))
+		if !sc.NoSerialLock {
+			t.Errorf("%v: serial lock not removed", b)
+		}
+	}
+	sc := stmConfigFor(configFor(IPOnCommit))
+	if sc.NoSerialLock {
+		t.Error("onCommit branch lost its serial lock")
+	}
+}
+
+// TestBranchesListComplete: Branches() covers every branch exactly once, in
+// ladder order (Baseline first, NoLock last).
+func TestBranchesListComplete(t *testing.T) {
+	bs := Branches()
+	if len(bs) != 14 {
+		t.Fatalf("Branches() = %d entries", len(bs))
+	}
+	seen := map[Branch]bool{}
+	for _, b := range bs {
+		if seen[b] {
+			t.Errorf("duplicate branch %v", b)
+		}
+		seen[b] = true
+		if b.String() == "" {
+			t.Errorf("branch %d has no name", int(b))
+		}
+	}
+	if bs[0] != Baseline || bs[len(bs)-1] != ITNoLock {
+		t.Errorf("ladder order broken: %v ... %v", bs[0], bs[len(bs)-1])
+	}
+}
+
+// TestStripeClamping: stripes never exceed buckets (a chain must be covered
+// by one stripe).
+func TestStripeClamping(t *testing.T) {
+	c := Config{HashPower: 6, Stripes: 1024}.withDefaults()
+	if c.Stripes > 1<<c.HashPower {
+		t.Errorf("stripes %d > buckets %d", c.Stripes, 1<<c.HashPower)
+	}
+	c = Config{HashPower: 16}.withDefaults()
+	if c.Stripes != 1024 {
+		t.Errorf("default stripes = %d", c.Stripes)
+	}
+}

@@ -1,0 +1,544 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTestCache builds a small cache for branch b (unstarted maintenance by
+// default so single-op tests are deterministic; tests that need maintenance
+// call Start themselves).
+func newTestCache(t *testing.T, b Branch) *Cache {
+	t.Helper()
+	return New(Config{
+		Branch:    b,
+		MemLimit:  2 << 20,
+		HashPower: 8,
+		Stripes:   64,
+		Automove:  true,
+	})
+}
+
+func forEachBranch(t *testing.T, fn func(t *testing.T, c *Cache)) {
+	t.Helper()
+	for _, b := range Branches() {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			c := newTestCache(t, b)
+			c.Start()
+			defer c.Stop()
+			fn(t, c)
+		})
+	}
+}
+
+func TestSetGetRoundTrip(t *testing.T) {
+	forEachBranch(t, func(t *testing.T, c *Cache) {
+		w := c.NewWorker()
+		if res := w.Set([]byte("hello"), 7, 0, []byte("world")); res != Stored {
+			t.Fatalf("Set = %v", res)
+		}
+		val, flags, cas, ok := w.Get([]byte("hello"))
+		if !ok {
+			t.Fatal("Get missed")
+		}
+		if string(val) != "world" || flags != 7 || cas == 0 {
+			t.Errorf("Get = (%q, %d, %d)", val, flags, cas)
+		}
+		if _, _, _, ok := w.Get([]byte("absent")); ok {
+			t.Error("Get hit on absent key")
+		}
+	})
+}
+
+func TestOverwriteReplacesValue(t *testing.T) {
+	forEachBranch(t, func(t *testing.T, c *Cache) {
+		w := c.NewWorker()
+		w.Set([]byte("k"), 0, 0, []byte("v1"))
+		w.Set([]byte("k"), 0, 0, []byte("v2-longer"))
+		val, _, _, ok := w.Get([]byte("k"))
+		if !ok || string(val) != "v2-longer" {
+			t.Errorf("Get = %q, %v", val, ok)
+		}
+		s := w.Stats()
+		if s.CurrItems != 1 {
+			t.Errorf("CurrItems = %d, want 1", s.CurrItems)
+		}
+	})
+}
+
+func TestAddReplaceSemantics(t *testing.T) {
+	forEachBranch(t, func(t *testing.T, c *Cache) {
+		w := c.NewWorker()
+		if res := w.Replace([]byte("k"), 0, 0, []byte("x")); res != NotStored {
+			t.Errorf("Replace on absent = %v", res)
+		}
+		if res := w.Add([]byte("k"), 0, 0, []byte("a")); res != Stored {
+			t.Errorf("Add on absent = %v", res)
+		}
+		if res := w.Add([]byte("k"), 0, 0, []byte("b")); res != NotStored {
+			t.Errorf("Add on present = %v", res)
+		}
+		if res := w.Replace([]byte("k"), 0, 0, []byte("c")); res != Stored {
+			t.Errorf("Replace on present = %v", res)
+		}
+		val, _, _, _ := w.Get([]byte("k"))
+		if string(val) != "c" {
+			t.Errorf("value = %q", val)
+		}
+	})
+}
+
+func TestAppendPrepend(t *testing.T) {
+	forEachBranch(t, func(t *testing.T, c *Cache) {
+		w := c.NewWorker()
+		if res := w.Append([]byte("k"), []byte("x")); res != NotStored {
+			t.Errorf("Append on absent = %v", res)
+		}
+		w.Set([]byte("k"), 3, 0, []byte("mid"))
+		if res := w.Append([]byte("k"), []byte("-end")); res != Stored {
+			t.Errorf("Append = %v", res)
+		}
+		if res := w.Prepend([]byte("k"), []byte("start-")); res != Stored {
+			t.Errorf("Prepend = %v", res)
+		}
+		val, flags, _, _ := w.Get([]byte("k"))
+		if string(val) != "start-mid-end" {
+			t.Errorf("value = %q", val)
+		}
+		if flags != 3 {
+			t.Errorf("flags = %d, want preserved 3", flags)
+		}
+	})
+}
+
+func TestCASSemantics(t *testing.T) {
+	forEachBranch(t, func(t *testing.T, c *Cache) {
+		w := c.NewWorker()
+		if res := w.CAS([]byte("k"), 0, 0, []byte("x"), 1); res != NotFound {
+			t.Errorf("CAS on absent = %v", res)
+		}
+		w.Set([]byte("k"), 0, 0, []byte("v1"))
+		_, _, cas, _ := w.Get([]byte("k"))
+		if res := w.CAS([]byte("k"), 0, 0, []byte("v2"), cas); res != Stored {
+			t.Errorf("CAS with good unique = %v", res)
+		}
+		if res := w.CAS([]byte("k"), 0, 0, []byte("v3"), cas); res != Exists {
+			t.Errorf("CAS with stale unique = %v", res)
+		}
+		val, _, _, _ := w.Get([]byte("k"))
+		if string(val) != "v2" {
+			t.Errorf("value = %q", val)
+		}
+	})
+}
+
+func TestDelete(t *testing.T) {
+	forEachBranch(t, func(t *testing.T, c *Cache) {
+		w := c.NewWorker()
+		if w.Delete([]byte("k")) {
+			t.Error("Delete hit on absent key")
+		}
+		w.Set([]byte("k"), 0, 0, []byte("v"))
+		if !w.Delete([]byte("k")) {
+			t.Error("Delete missed")
+		}
+		if _, _, _, ok := w.Get([]byte("k")); ok {
+			t.Error("Get hit after delete")
+		}
+		s := w.Stats()
+		if s.CurrItems != 0 {
+			t.Errorf("CurrItems = %d, want 0", s.CurrItems)
+		}
+	})
+}
+
+func TestIncrDecr(t *testing.T) {
+	forEachBranch(t, func(t *testing.T, c *Cache) {
+		w := c.NewWorker()
+		if _, res := w.Incr([]byte("n"), 1); res != DeltaNotFound {
+			t.Errorf("Incr absent = %v", res)
+		}
+		w.Set([]byte("n"), 0, 0, []byte("10"))
+		if v, res := w.Incr([]byte("n"), 5); res != DeltaOK || v != 15 {
+			t.Errorf("Incr = (%d,%v)", v, res)
+		}
+		if v, res := w.Decr([]byte("n"), 20); res != DeltaOK || v != 0 {
+			t.Errorf("Decr below zero = (%d,%v), want saturate at 0", v, res)
+		}
+		val, _, _, _ := w.Get([]byte("n"))
+		if string(val) != "0" {
+			t.Errorf("value = %q", val)
+		}
+		w.Set([]byte("s"), 0, 0, []byte("abc"))
+		if _, res := w.Incr([]byte("s"), 1); res != DeltaNonNumeric {
+			t.Errorf("Incr non-numeric = %v", res)
+		}
+	})
+}
+
+func TestIncrGrowsValueText(t *testing.T) {
+	forEachBranch(t, func(t *testing.T, c *Cache) {
+		w := c.NewWorker()
+		w.Set([]byte("n"), 0, 0, []byte("9"))
+		// 9 + 18446744073709551000 forces a much longer decimal text than the
+		// original 1-byte value capacity.
+		v, res := w.Incr([]byte("n"), 18446744073709551000)
+		if res != DeltaOK {
+			t.Fatalf("Incr = %v", res)
+		}
+		val, _, _, ok := w.Get([]byte("n"))
+		if !ok || string(val) != fmt.Sprintf("%d", v) {
+			t.Errorf("value = %q, want %d", val, v)
+		}
+	})
+}
+
+func TestExpiryAndTouch(t *testing.T) {
+	forEachBranch(t, func(t *testing.T, c *Cache) {
+		w := c.NewWorker()
+		now := c.Now()
+		w.Set([]byte("k"), 0, now+5, []byte("v"))
+		if _, _, _, ok := w.Get([]byte("k")); !ok {
+			t.Fatal("Get missed before expiry")
+		}
+		c.SetTime(now + 10)
+		if _, _, _, ok := w.Get([]byte("k")); ok {
+			t.Error("Get hit after expiry")
+		}
+		// Touch extends a live item.
+		now = c.Now()
+		w.Set([]byte("t"), 0, now+5, []byte("v"))
+		if !w.Touch([]byte("t"), now+100) {
+			t.Error("Touch missed")
+		}
+		c.SetTime(now + 50)
+		if _, _, _, ok := w.Get([]byte("t")); !ok {
+			t.Error("Get missed after touch extension")
+		}
+	})
+}
+
+func TestFlushAll(t *testing.T) {
+	forEachBranch(t, func(t *testing.T, c *Cache) {
+		w := c.NewWorker()
+		w.Set([]byte("a"), 0, 0, []byte("1"))
+		w.Set([]byte("b"), 0, 0, []byte("2"))
+		w.FlushAll()
+		if _, _, _, ok := w.Get([]byte("a")); ok {
+			t.Error("a survived flush_all")
+		}
+		if _, _, _, ok := w.Get([]byte("b")); ok {
+			t.Error("b survived flush_all")
+		}
+		// Items stored after the flush are visible.
+		w.Set([]byte("c"), 0, 0, []byte("3"))
+		if _, _, _, ok := w.Get([]byte("c")); !ok {
+			t.Error("c stored after flush_all is invisible")
+		}
+	})
+}
+
+func TestEvictionUnderMemoryPressure(t *testing.T) {
+	forEachBranch(t, func(t *testing.T, c *Cache) {
+		w := c.NewWorker()
+		val := bytes.Repeat([]byte("x"), 4096)
+		// 2 MiB limit, ~4.3KiB per item incl. overhead: ~400 fit; store 1500.
+		stored := 0
+		for i := 0; i < 1500; i++ {
+			key := []byte(fmt.Sprintf("key-%04d", i))
+			switch res := w.Set(key, 0, 0, val); res {
+			case Stored:
+				stored++
+			case OutOfMemory:
+				// Acceptable under extreme pressure (all tails referenced).
+			default:
+				t.Fatalf("Set %d = %v", i, res)
+			}
+		}
+		s := w.Stats()
+		if s.Evictions == 0 {
+			t.Errorf("no evictions despite pressure (stored=%d currItems=%d)", stored, s.CurrItems)
+		}
+		if s.CurrItems == 0 || s.CurrItems > 600 {
+			t.Errorf("CurrItems = %d, implausible for a 2MiB cache", s.CurrItems)
+		}
+		// Recent keys should largely survive (LRU), the oldest be gone.
+		if _, _, _, ok := w.Get([]byte("key-1499")); !ok {
+			t.Error("most recent key evicted")
+		}
+		if _, _, _, ok := w.Get([]byte("key-0000")); ok {
+			t.Error("oldest key survived heavy eviction")
+		}
+	})
+}
+
+func TestHashExpansion(t *testing.T) {
+	forEachBranch(t, func(t *testing.T, c *Cache) {
+		w := c.NewWorker()
+		// 2^8 = 256 buckets; store 600 small items to trip the 3/2 threshold.
+		for i := 0; i < 600; i++ {
+			key := []byte(fmt.Sprintf("exp-%04d", i))
+			if res := w.Set(key, 0, 0, []byte("v")); res != Stored {
+				t.Fatalf("Set %d = %v", i, res)
+			}
+		}
+		// The maintenance thread expands asynchronously; poll briefly.
+		var buckets uint64
+		for deadline := 0; deadline < 2000; deadline++ {
+			s := w.Stats()
+			buckets = s.HashBuckets
+			if buckets > 256 && s.HashExpands > 0 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		s := w.Stats()
+		if s.HashExpands == 0 {
+			t.Fatal("hash expansion never ran")
+		}
+		// Every item must remain reachable during/after expansion.
+		for i := 0; i < 600; i++ {
+			key := []byte(fmt.Sprintf("exp-%04d", i))
+			if _, _, _, ok := w.Get(key); !ok {
+				t.Fatalf("key %s lost during expansion", key)
+			}
+		}
+	})
+}
+
+func TestStatsCounters(t *testing.T) {
+	forEachBranch(t, func(t *testing.T, c *Cache) {
+		w := c.NewWorker()
+		w.Set([]byte("k"), 0, 0, []byte("v"))
+		w.Get([]byte("k"))
+		w.Get([]byte("miss"))
+		w.Delete([]byte("k"))
+		w.Delete([]byte("miss"))
+		s := w.Stats()
+		if s.GetCmds != 2 || s.GetHits != 1 || s.GetMisses != 1 {
+			t.Errorf("get stats = %d/%d/%d", s.GetCmds, s.GetHits, s.GetMisses)
+		}
+		if s.SetCmds != 1 {
+			t.Errorf("SetCmds = %d", s.SetCmds)
+		}
+		if s.DeleteHits != 1 || s.DeleteMiss != 1 {
+			t.Errorf("delete stats = %d/%d", s.DeleteHits, s.DeleteMiss)
+		}
+		if s.TotalItems != 1 {
+			t.Errorf("TotalItems = %d", s.TotalItems)
+		}
+	})
+}
+
+func TestConcurrentMixedWorkload(t *testing.T) {
+	forEachBranch(t, func(t *testing.T, c *Cache) {
+		const nWorkers = 6
+		const nOps = 800
+		var wg sync.WaitGroup
+		for g := 0; g < nWorkers; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				w := c.NewWorker()
+				for i := 0; i < nOps; i++ {
+					key := []byte(fmt.Sprintf("k-%d", (g*31+i*7)%200))
+					switch i % 10 {
+					case 0:
+						w.Set(key, uint32(g), 0, []byte(fmt.Sprintf("val-%d-%d", g, i)))
+					case 1:
+						w.Delete(key)
+					case 2:
+						w.Add(key, 0, 0, []byte("init"))
+					default:
+						if val, _, _, ok := w.Get(key); ok && len(val) == 0 {
+							t.Errorf("hit returned empty value for %s", key)
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		// Consistency: curr_items must equal the number of distinct live keys.
+		w := c.NewWorker()
+		live := 0
+		for i := 0; i < 200; i++ {
+			if _, _, _, ok := w.Get([]byte(fmt.Sprintf("k-%d", i))); ok {
+				live++
+			}
+		}
+		s := w.Stats()
+		if int(s.CurrItems) != live {
+			t.Errorf("CurrItems = %d but %d keys answer Get", s.CurrItems, live)
+		}
+	})
+}
+
+// TestConcurrentSameKey hammers one key from all workers: increments must not
+// be lost under any branch.
+func TestConcurrentSameKey(t *testing.T) {
+	forEachBranch(t, func(t *testing.T, c *Cache) {
+		w0 := c.NewWorker()
+		w0.Set([]byte("ctr"), 0, 0, []byte("0"))
+		const nWorkers = 4
+		const perW = 300
+		var wg sync.WaitGroup
+		for g := 0; g < nWorkers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				w := c.NewWorker()
+				for i := 0; i < perW; i++ {
+					if _, res := w.Incr([]byte("ctr"), 1); res != DeltaOK {
+						t.Errorf("Incr = %v", res)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		val, _, _, ok := w0.Get([]byte("ctr"))
+		want := fmt.Sprintf("%d", nWorkers*perW)
+		if !ok || string(val) != want {
+			t.Errorf("ctr = %q, want %q", val, want)
+		}
+	})
+}
+
+// TestSerializationProfile checks the paper's per-stage serialization shape:
+// pre-Max transactional branches serialize (start-serial on the set path,
+// volatile switches elsewhere); the onCommit branches never serialize except
+// for contention-manager progress (Table 4).
+func TestSerializationProfile(t *testing.T) {
+	run := func(b Branch) Snapshot {
+		c := newTestCache(t, b)
+		c.Start()
+		defer c.Stop()
+		w := c.NewWorker()
+		for i := 0; i < 300; i++ {
+			key := []byte(fmt.Sprintf("k-%d", i%50))
+			if i%10 == 0 {
+				w.Set(key, 0, 0, []byte("value"))
+			} else {
+				w.Get(key)
+			}
+		}
+		return w.Stats()
+	}
+
+	pre := run(IPCallable)
+	if pre.STM.StartSerial == 0 {
+		t.Errorf("IP-Callable: StartSerial = 0, want >0 (set path starts serial pre-Max)")
+	}
+	if pre.STM.InFlightSwitch == 0 {
+		t.Errorf("IP-Callable: InFlightSwitch = 0, want >0 (libc on the link path)")
+	}
+
+	preIT := run(ITCallable)
+	if preIT.STM.StartSerial == 0 {
+		t.Errorf("IT-Callable: StartSerial = 0, want >0 (item transactions start serial pre-Max)")
+	}
+	if preIT.STM.StartSerial <= pre.STM.StartSerial {
+		t.Errorf("IT-Callable StartSerial (%d) should exceed IP-Callable (%d): gets serialize too",
+			preIT.STM.StartSerial, pre.STM.StartSerial)
+	}
+
+	maxIP := run(IPMax)
+	if maxIP.STM.StartSerial != 0 {
+		t.Errorf("IP-Max: StartSerial = %d, want 0 (volatiles transactional)", maxIP.STM.StartSerial)
+	}
+	if maxIP.STM.InFlightSwitch == 0 {
+		t.Errorf("IP-Max: InFlightSwitch = 0, want >0 (snprintf still unsafe)")
+	}
+
+	lib := run(IPLib)
+	if lib.STM.InFlightSwitch >= maxIP.STM.InFlightSwitch && maxIP.STM.InFlightSwitch > 0 {
+		t.Errorf("IP-Lib in-flight (%d) should drop below IP-Max (%d)",
+			lib.STM.InFlightSwitch, maxIP.STM.InFlightSwitch)
+	}
+
+	for _, b := range []Branch{IPOnCommit, ITOnCommit, IPNoLock, ITNoLock} {
+		s := run(b)
+		if s.STM.InFlightSwitch != 0 || s.STM.StartSerial != 0 {
+			t.Errorf("%v: in-flight=%d start-serial=%d, want 0/0 (Table 4)",
+				b, s.STM.InFlightSwitch, s.STM.StartSerial)
+		}
+	}
+
+	// IP runs more, smaller transactions than IT (Table 1's transaction
+	// counts): lock acquire/release are separate mini-transactions.
+	onIP, onIT := run(IPOnCommit), run(ITOnCommit)
+	if onIP.STM.Commits <= onIT.STM.Commits {
+		t.Errorf("IP commits (%d) should exceed IT commits (%d)", onIP.STM.Commits, onIT.STM.Commits)
+	}
+}
+
+func TestParseBranch(t *testing.T) {
+	for _, b := range Branches() {
+		got, err := ParseBranch(b.String())
+		if err != nil || got != b {
+			t.Errorf("ParseBranch(%q) = %v, %v", b.String(), got, err)
+		}
+	}
+	if _, err := ParseBranch("bogus"); err == nil {
+		t.Error("ParseBranch accepted garbage")
+	}
+}
+
+// TestValidateAfterConcurrentWorkload runs the deep structural validator
+// after a heavy mixed workload on every branch: the same state machine under
+// 14 synchronization regimes must end structurally consistent.
+func TestValidateAfterConcurrentWorkload(t *testing.T) {
+	forEachBranch(t, func(t *testing.T, c *Cache) {
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				w := c.NewWorker()
+				val := bytes.Repeat([]byte("y"), 700)
+				for i := 0; i < 700; i++ {
+					key := []byte(fmt.Sprintf("val-%d", (g*37+i*3)%400))
+					switch i % 11 {
+					case 0, 1, 2:
+						w.Set(key, 0, 0, val)
+					case 3:
+						w.Delete(key)
+					case 4:
+						w.Append(key, []byte("++"))
+					default:
+						w.Get(key)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestValidateEmptyAndSingleton covers the validator's trivial states.
+func TestValidateEmptyAndSingleton(t *testing.T) {
+	c := newTestCache(t, ITOnCommit)
+	c.Start()
+	defer c.Stop()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("empty cache: %v", err)
+	}
+	w := c.NewWorker()
+	w.Set([]byte("one"), 0, 0, []byte("item"))
+	if err := c.Validate(); err != nil {
+		t.Fatalf("singleton cache: %v", err)
+	}
+	w.Delete([]byte("one"))
+	if err := c.Validate(); err != nil {
+		t.Fatalf("emptied cache: %v", err)
+	}
+}

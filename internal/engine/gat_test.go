@@ -1,0 +1,216 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetAndTouchExtends(t *testing.T) {
+	forEachBranch(t, func(t *testing.T, c *Cache) {
+		w := c.NewWorker()
+		now := c.Now()
+		w.Set([]byte("g"), 9, now+5, []byte("val"))
+		val, flags, cas, ok := w.GetAndTouch([]byte("g"), now+100)
+		if !ok || string(val) != "val" || flags != 9 || cas == 0 {
+			t.Fatalf("GetAndTouch = (%q,%d,%d,%v)", val, flags, cas, ok)
+		}
+		c.SetTime(now + 50)
+		if _, _, _, ok := w.Get([]byte("g")); !ok {
+			t.Error("item expired despite gat extension")
+		}
+		if _, _, _, ok := w.GetAndTouch([]byte("missing"), now+100); ok {
+			t.Error("gat hit on absent key")
+		}
+	})
+}
+
+func TestGetAndTouchCanShorten(t *testing.T) {
+	c := newTestCache(t, ITOnCommit)
+	c.Start()
+	defer c.Stop()
+	w := c.NewWorker()
+	now := c.Now()
+	w.Set([]byte("s"), 0, 0, []byte("forever")) // no expiry
+	if _, _, _, ok := w.GetAndTouch([]byte("s"), now+1); !ok {
+		t.Fatal("gat missed")
+	}
+	c.SetTime(now + 5)
+	if _, _, _, ok := w.Get([]byte("s")); ok {
+		t.Error("gat-shortened expiry not applied")
+	}
+}
+
+// TestWorkersShareCASStream: CAS ids are globally unique and increasing per
+// key update across workers.
+func TestWorkersShareCASStream(t *testing.T) {
+	c := newTestCache(t, IPOnCommit)
+	c.Start()
+	defer c.Stop()
+	var mu sync.Mutex
+	seen := map[uint64]bool{}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := c.NewWorker()
+			for i := 0; i < 100; i++ {
+				key := []byte(fmt.Sprintf("cas-%d-%d", g, i))
+				w.Set(key, 0, 0, []byte("v"))
+				_, _, cas, ok := w.Get(key)
+				if !ok || cas == 0 {
+					t.Errorf("get after set failed for %s", key)
+					return
+				}
+				mu.Lock()
+				if seen[cas] {
+					t.Errorf("duplicate CAS id %d", cas)
+				}
+				seen[cas] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestTooLargeObject: an object bigger than the largest slab class must be
+// rejected with TooLarge and leave no residue.
+func TestTooLargeObject(t *testing.T) {
+	c := newTestCache(t, Semaphore)
+	c.Start()
+	defer c.Stop()
+	w := c.NewWorker()
+	huge := make([]byte, 1<<20) // larger than the max chunk (PageSize/2)
+	if res := w.Set([]byte("huge"), 0, 0, huge); res != TooLarge {
+		t.Fatalf("Set huge = %v", res)
+	}
+	if _, _, _, ok := w.Get([]byte("huge")); ok {
+		t.Error("huge object stored despite rejection")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("validation after rejection: %v", err)
+	}
+}
+
+// TestZeroLengthValue round-trips an empty value.
+func TestZeroLengthValue(t *testing.T) {
+	forEachBranch(t, func(t *testing.T, c *Cache) {
+		w := c.NewWorker()
+		if res := w.Set([]byte("empty"), 3, 0, nil); res != Stored {
+			t.Fatalf("Set empty = %v", res)
+		}
+		val, flags, _, ok := w.Get([]byte("empty"))
+		if !ok || len(val) != 0 || flags != 3 {
+			t.Errorf("Get empty = (%q,%d,%v)", val, flags, ok)
+		}
+	})
+}
+
+// TestLongKey: the engine handles long keys (the 250-byte protocol limit is
+// enforced at the protocol layer; the engine itself must not care).
+func TestLongKey(t *testing.T) {
+	c := newTestCache(t, ITLib)
+	c.Start()
+	defer c.Stop()
+	w := c.NewWorker()
+	key := make([]byte, 400)
+	for i := range key {
+		key[i] = byte('a' + i%26)
+	}
+	if res := w.Set(key, 0, 0, []byte("v")); res != Stored {
+		t.Fatalf("Set long key = %v", res)
+	}
+	if val, _, _, ok := w.Get(key); !ok || string(val) != "v" {
+		t.Errorf("Get long key = (%q,%v)", val, ok)
+	}
+}
+
+func TestWorkerMiscAccessors(t *testing.T) {
+	c := newTestCache(t, ITOnCommit)
+	c.Start()
+	defer c.Stop()
+	if c.Branch() != ITOnCommit {
+		t.Error("Branch accessor")
+	}
+	w := c.NewWorker()
+	if w.CacheNow() == 0 {
+		t.Error("CacheNow returned 0")
+	}
+	for r, want := range map[StoreResult]string{
+		Stored: "STORED", NotStored: "NOT_STORED", Exists: "EXISTS",
+		NotFound: "NOT_FOUND",
+	} {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q", int(r), r.String())
+		}
+	}
+	if StoreResult(99).String() == "STORED" {
+		t.Error("unknown result mapped")
+	}
+}
+
+func TestResetStatsAndSlabStats(t *testing.T) {
+	for _, b := range []Branch{Baseline, ITOnCommit} {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			c := newTestCache(t, b)
+			c.Start()
+			defer c.Stop()
+			w := c.NewWorker()
+			w.Set([]byte("k"), 0, 0, []byte("v"))
+			w.Get([]byte("k"))
+			ss := w.SlabStats()
+			if len(ss) == 0 || ss[0].UsedChunks != 1 || ss[0].ChunkSize <= 0 {
+				t.Errorf("SlabStats = %+v", ss)
+			}
+			w.ResetStats()
+			s := w.Stats()
+			if s.GetCmds != 0 || s.SetCmds != 0 {
+				t.Errorf("counters survived reset: %+v", s.Aggregated)
+			}
+			if s.CurrItems != 1 {
+				t.Errorf("gauge reset: curr_items = %d", s.CurrItems)
+			}
+		})
+	}
+}
+
+// TestEvictionSkipsPinnedTail: a referenced LRU tail must be skipped (the
+// save-for-later walk), with the next victim taken instead.
+func TestEvictionSkipsPinnedTail(t *testing.T) {
+	c := New(Config{Branch: Semaphore, MemLimit: 1 << 20, HashPower: 8})
+	c.Start()
+	defer c.Stop()
+	w := c.NewWorker()
+	big := make([]byte, 64*1024) // ~15 chunks per 1MiB page
+	var stored []string
+	for i := 0; ; i++ {
+		key := fmt.Sprintf("pin-%03d", i)
+		if w.Set([]byte(key), 0, 0, big) != Stored {
+			t.Fatalf("prefill set %d failed", i)
+		}
+		stored = append(stored, key)
+		if w.Stats().Evictions > 0 {
+			break // memory is now full and cycling
+		}
+		if i > 100 {
+			t.Fatal("never reached eviction")
+		}
+	}
+	// The LRU tail is stored[oldest surviving]; sets continue and must evict
+	// in LRU order while the engine remains structurally sound.
+	for i := 0; i < 5; i++ {
+		if w.Set([]byte(fmt.Sprintf("pin-x-%d", i)), 0, 0, big) != Stored {
+			t.Fatalf("pressure set %d failed", i)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, ok := w.Get([]byte(stored[len(stored)-1])); !ok {
+		t.Error("most recent prefill key evicted before older ones")
+	}
+}

@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/item"
+	"repro/internal/slab"
+)
+
+// Validate cross-checks the cache's internal structures while quiescent (no
+// concurrent workers): every LRU entry must be linked and findable in the
+// hash table under its own key, counts must agree across the hash table, the
+// LRU lists and the stats counters, and slab accounting must cover every
+// live item. It returns nil or a description of the first inconsistency.
+//
+// This is the deep invariant the branch matrix must preserve: the same
+// engine state machine run under 14 different synchronization regimes has to
+// end in structurally identical states.
+func (c *Cache) Validate() error {
+	a := c.newAgent()
+	var err error
+	check := func(ctx access.Ctx) {
+		err = nil
+
+		// Walk every LRU list: items must be linked, alive in the table, and
+		// doubly-linked consistently.
+		lruCount := uint64(0)
+		classCounts := make(map[int]uint64)
+		for cls := 0; cls < c.lru.Classes(); cls++ {
+			var prev *item.Item
+			for it := c.lru.Head(ctx, cls); it != nil; it = item.AsItem(ctx.Any(it.Next)) {
+				lruCount++
+				classCounts[cls]++
+				if it.Class != cls {
+					err = fmt.Errorf("engine: item in LRU class %d has Class=%d", cls, it.Class)
+					return
+				}
+				if !it.Linked(ctx) {
+					err = fmt.Errorf("engine: LRU contains unlinked item (class %d)", cls)
+					return
+				}
+				if got := item.AsItem(ctx.Any(it.Prev)); got != prev {
+					err = fmt.Errorf("engine: LRU back-link broken in class %d", cls)
+					return
+				}
+				key := make([]byte, it.KeyLen)
+				ctx.MemcpyOut(key, it.Key, 0, it.KeyLen)
+				if found := c.tab.Find(ctx, it.Hash, key); found != it {
+					err = fmt.Errorf("engine: LRU item %q not findable in hash table", key)
+					return
+				}
+				if rc := ctx.Volatile(it.Refcount); rc < 1 {
+					err = fmt.Errorf("engine: linked item %q has refcount %d", key, rc)
+					return
+				}
+				prev = it
+			}
+			if got := c.lru.Len(ctx, cls); got != classCounts[cls] {
+				err = fmt.Errorf("engine: LRU class %d size %d, walk found %d", cls, got, classCounts[cls])
+				return
+			}
+		}
+
+		// Hash table population must equal the LRU population and the stats
+		// counter.
+		if hashItems := c.tab.Items(ctx); hashItems != lruCount {
+			err = fmt.Errorf("engine: hash_items=%d but LRU holds %d", hashItems, lruCount)
+			return
+		}
+		if curr := ctx.Word(c.gstats.CurrItems); curr != lruCount {
+			err = fmt.Errorf("engine: curr_items=%d but LRU holds %d", curr, lruCount)
+			return
+		}
+
+		// Slab accounting: for each class, pages*perPage = free + live.
+		for cls := 0; cls < c.slabs.NumClasses(); cls++ {
+			pages := c.slabs.PagesOf(ctx, cls)
+			free := c.slabs.FreeChunks(ctx, cls)
+			perPage := uint64(slab.PageSize / c.slabs.ChunkSize(cls))
+			total := pages * perPage
+			if free+classCounts[cls] != total {
+				err = fmt.Errorf("engine: class %d accounting: pages=%d (chunks %d) free=%d live=%d",
+					cls, pages, total, free, classCounts[cls])
+				return
+			}
+		}
+	}
+
+	a.section(domains{cache: true, slabs: true, stats: true}, profile{volatiles: true, libc: true}, check)
+	return err
+}

@@ -1,0 +1,770 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/access"
+	"repro/internal/assoc"
+	"repro/internal/item"
+	"repro/internal/mcstats"
+	"repro/internal/slab"
+	"repro/internal/stm"
+)
+
+// StoreMode selects the storage-command semantics.
+type StoreMode int
+
+const (
+	ModeSet StoreMode = iota
+	ModeAdd
+	ModeReplace
+	ModeAppend
+	ModePrepend
+	ModeCAS
+)
+
+// StoreResult is the outcome of a storage command.
+type StoreResult int
+
+const (
+	Stored StoreResult = iota
+	NotStored
+	Exists   // CAS mismatch
+	NotFound // CAS/append on missing key
+	TooLarge
+	OutOfMemory
+)
+
+func (r StoreResult) String() string {
+	switch r {
+	case Stored:
+		return "STORED"
+	case NotStored:
+		return "NOT_STORED"
+	case Exists:
+		return "EXISTS"
+	case NotFound:
+		return "NOT_FOUND"
+	case TooLarge:
+		return "SERVER_ERROR object too large for cache"
+	case OutOfMemory:
+		return "SERVER_ERROR out of memory storing object"
+	}
+	return "SERVER_ERROR unknown store result"
+}
+
+// DeltaResult is the outcome of incr/decr.
+type DeltaResult int
+
+const (
+	DeltaOK DeltaResult = iota
+	DeltaNotFound
+	DeltaNonNumeric
+)
+
+// touchInterval is the LRU-bump threshold in seconds (memcached uses 60; we
+// use 1 so second-scale runs exercise the cache-lock path occasionally).
+const touchInterval = 1
+
+// Worker is one worker thread's handle on the cache: it owns a TM context, a
+// per-thread statistics block, and the per-thread stats lock.
+type Worker struct {
+	agent
+	stats *mcstats.Thread
+	// statsMu is the per-thread stats lock of lock branches. Transactional
+	// branches replaced these uncontended locks with transactions, because
+	// any mutex operation is unsafe inside a transaction (§3.1).
+	statsMu sync.Mutex
+}
+
+// NewWorker registers a new worker.
+func (c *Cache) NewWorker() *Worker {
+	w := &Worker{stats: mcstats.NewThread()}
+	w.agent = *c.newAgent()
+	c.mu.Lock()
+	c.tblocks = append(c.tblocks, w.stats)
+	c.mu.Unlock()
+	return w
+}
+
+// tstat updates this worker's statistics block: a per-thread-lock critical
+// section in lock branches, a small atomic transaction otherwise.
+func (w *Worker) tstat(fn func(access.Ctx)) {
+	if !w.c.cfg.tm {
+		w.statsMu.Lock()
+		fn(w.dctx)
+		w.statsMu.Unlock()
+		return
+	}
+	w.section(domains{}, profile{}, fn)
+}
+
+// CacheNow reads the volatile clock the way an operation would (a lock incr
+// style read, or a mini-transaction after stage Max).
+func (w *Worker) CacheNow() uint64 { return w.volatileLoad(w.c.CurrentTime) }
+
+// txRefOpt reports whether the §5 transactional-refcount optimization is
+// active: only meaningful when item sections are transactions and refcounts
+// are transactional.
+func (w *Worker) txRefOpt() bool {
+	return w.c.conf.TxRefOpt && w.c.cfg.itemTx && w.c.cfg.profile.TxVolatiles
+}
+
+// expired applies both the item's exptime and the flush_all watermark.
+func (w *Worker) expired(ctx access.Ctx, it *item.Item, now, flushAt uint64) bool {
+	if it.Expired(ctx, now) {
+		return true
+	}
+	return flushAt != 0 && ctx.Word(it.Time) < flushAt
+}
+
+// releaseRef drops a reference taken by this worker outside any critical
+// section (memcached's item_remove): a lock incr before stage Max, a
+// mini-transaction after. The final reference frees the chunk.
+func (w *Worker) releaseRef(it *item.Item) {
+	if w.volatileAdd(it.Refcount, ^uint64(0)) == 0 {
+		w.freeChunk(it)
+	}
+}
+
+// freeChunk returns the item's chunk to its slab class.
+func (w *Worker) freeChunk(it *item.Item) {
+	w.section(domains{slabs: true}, profile{}, func(ctx access.Ctx) {
+		w.c.slabs.Release(ctx, it.Class)
+	})
+}
+
+// unlinkLocked removes a linked item from the hash table, LRU and global
+// stats. Caller holds the item's stripe (lock/IP) or runs inside the item
+// transaction (IT), plus the cache-lock domain. It drops the hash table's
+// reference; if that was the last one, the chunk is freed (slabs domain,
+// nested — one of the lock-inside-lock patterns of §3.1).
+func (w *Worker) unlinkLocked(ctx access.Ctx, it *item.Item) {
+	if !it.Linked(ctx) {
+		return
+	}
+	w.c.tab.RemoveItem(ctx, it)
+	w.c.lru.Unlink(ctx, it)
+	it.SetLinked(ctx, false)
+	size := uint64(it.TotalBytes(ctx))
+	w.gstat(func(g access.Ctx) {
+		g.AddWord(w.c.gstats.CurrItems, ^uint64(0))
+		g.AddWord(w.c.gstats.CurrBytes, ^(size - 1))
+	})
+	if ctx.AddVolatile(it.Refcount, ^uint64(0)) == 0 {
+		w.section(domains{slabs: true}, profile{}, func(sctx access.Ctx) {
+			w.c.slabs.Release(sctx, it.Class)
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Get
+
+// Get looks up key and returns a copy of its value.
+func (w *Worker) Get(key []byte) (val []byte, flags uint32, cas uint64, found bool) {
+	return w.get(key, false, 0)
+}
+
+// GetAndTouch is the gat command: fetch and update the expiry in one item
+// critical section.
+func (w *Worker) GetAndTouch(key []byte, exptime uint64) (val []byte, flags uint32, cas uint64, found bool) {
+	return w.get(key, true, exptime)
+}
+
+func (w *Worker) get(key []byte, touch bool, exptime uint64) (val []byte, flags uint32, cas uint64, found bool) {
+	hv := assoc.Hash(key)
+	now := w.volatileLoad(w.c.CurrentTime)
+	flushAt := w.volatileLoad(w.c.flushBefore)
+
+	var hit *item.Item
+	var needTouch bool
+
+	body := func(ctx access.Ctx) {
+		// Reset outputs: a transactional context may retry this closure.
+		val, flags, cas, found = nil, 0, 0, false
+		hit, needTouch = nil, false
+
+		it := w.c.tab.Find(ctx, hv, key)
+		if it == nil {
+			return
+		}
+		if w.expired(ctx, it, now, flushAt) {
+			w.section(domains{cache: true}, profile{volatiles: true, libc: true, site: "do_item_unlink"}, func(cctx access.Ctx) {
+				w.unlinkLocked(cctx, it)
+			})
+			w.gstat(func(g access.Ctx) { g.AddWord(w.c.gstats.Expired, 1) })
+			return
+		}
+		if !w.txRefOpt() {
+			it.RefIncr(ctx)
+		}
+		if touch {
+			ctx.SetWord(it.Exptime, exptime)
+		}
+		n := int(ctx.Word(it.NBytes))
+		val = make([]byte, n)
+		ctx.MemcpyOut(val, it.Data, 0, n)
+		flags = it.Flags
+		cas = ctx.Word(it.CasID)
+		needTouch = now-ctx.Word(it.Time) >= touchInterval
+		hit = it
+		found = true
+	}
+
+	if w.c.cfg.itemTx {
+		// IT: the item critical section is one transaction (Figure 1b). Its
+		// first operation is a Find, which reads the volatile expansion flag,
+		// and it calls memcmp/memcpy — the unsafe profile pre-Max/pre-Lib.
+		w.section(domains{cache: true}, profile{volatiles: true, volatileFirst: true, libc: true, site: "item_get"}, body)
+	} else {
+		w.itemLock(hv)
+		body(w.dctx)
+		w.itemUnlock(hv)
+	}
+
+	if hit != nil {
+		if needTouch {
+			// item_update: an occasional cache-lock critical section.
+			w.section(domains{cache: true}, profile{site: "item_update"}, func(ctx access.Ctx) {
+				if hit.Linked(ctx) {
+					w.c.lru.Touch(ctx, hit, now)
+				}
+			})
+		}
+		if !w.txRefOpt() {
+			w.releaseRef(hit)
+		}
+	}
+
+	w.tstat(func(ctx access.Ctx) {
+		ctx.AddWord(w.stats.GetCmds, 1)
+		if found {
+			ctx.AddWord(w.stats.GetHits, 1)
+		} else {
+			ctx.AddWord(w.stats.GetMisses, 1)
+		}
+	})
+	return val, flags, cas, found
+}
+
+// ---------------------------------------------------------------------------
+// Storage commands
+
+// Set stores key=value unconditionally.
+func (w *Worker) Set(key []byte, flags uint32, exptime uint64, value []byte) StoreResult {
+	return w.store(ModeSet, key, flags, exptime, value, 0)
+}
+
+// Add stores only if the key is absent.
+func (w *Worker) Add(key []byte, flags uint32, exptime uint64, value []byte) StoreResult {
+	return w.store(ModeAdd, key, flags, exptime, value, 0)
+}
+
+// Replace stores only if the key is present.
+func (w *Worker) Replace(key []byte, flags uint32, exptime uint64, value []byte) StoreResult {
+	return w.store(ModeReplace, key, flags, exptime, value, 0)
+}
+
+// Append appends value to an existing item.
+func (w *Worker) Append(key []byte, value []byte) StoreResult {
+	return w.store(ModeAppend, key, 0, 0, value, 0)
+}
+
+// Prepend prepends value to an existing item.
+func (w *Worker) Prepend(key []byte, value []byte) StoreResult {
+	return w.store(ModePrepend, key, 0, 0, value, 0)
+}
+
+// CAS stores only if the item's CAS id still equals casUnique.
+func (w *Worker) CAS(key []byte, flags uint32, exptime uint64, value []byte, casUnique uint64) StoreResult {
+	return w.store(ModeCAS, key, flags, exptime, value, casUnique)
+}
+
+func (w *Worker) store(mode StoreMode, key []byte, flags uint32, exptime uint64, value []byte, casUnique uint64) StoreResult {
+	hv := assoc.Hash(key)
+	now := w.volatileLoad(w.c.CurrentTime)
+	flushAt := w.volatileLoad(w.c.flushBefore)
+	res := NotStored
+
+	body := func(ictx access.Ctx) {
+		res = NotStored
+		old := w.c.tab.Find(ictx, hv, key)
+		if old != nil && w.expired(ictx, old, now, flushAt) {
+			w.section(domains{cache: true}, profile{volatiles: true, libc: true, site: "do_item_unlink"}, func(cctx access.Ctx) {
+				w.unlinkLocked(cctx, old)
+			})
+			w.gstat(func(g access.Ctx) { g.AddWord(w.c.gstats.Expired, 1) })
+			old = nil
+		}
+
+		switch mode {
+		case ModeAdd:
+			if old != nil {
+				res = NotStored
+				return
+			}
+		case ModeReplace:
+			if old == nil {
+				res = NotStored
+				return
+			}
+		case ModeCAS:
+			if old == nil {
+				res = NotFound
+				return
+			}
+			if ictx.Word(old.CasID) != casUnique {
+				res = Exists
+				w.tstat(func(ctx access.Ctx) { ctx.AddWord(w.stats.CasBadval, 1) })
+				return
+			}
+		case ModeAppend, ModePrepend:
+			if old == nil {
+				res = NotStored
+				return
+			}
+		}
+
+		// Assemble the new value. Append/prepend read the old item's data —
+		// the memcpy from shared memory that needs tm_memcpy (§3.4).
+		newVal := value
+		if mode == ModeAppend || mode == ModePrepend {
+			oldN := int(ictx.Word(old.NBytes))
+			buf := make([]byte, oldN+len(value))
+			if mode == ModeAppend {
+				ictx.MemcpyOut(buf[:oldN], old.Data, 0, oldN)
+				copy(buf[oldN:], value)
+			} else {
+				copy(buf, value)
+				ictx.MemcpyOut(buf[len(value):], old.Data, 0, oldN)
+			}
+			newVal = buf
+			flags = old.Flags
+			exptime = ictx.Word(old.Exptime)
+		}
+
+		size := item.SizeFor(len(key), len(newVal))
+		cls, err := w.c.slabs.ClassFor(size)
+		if err != nil {
+			res = TooLarge
+			return
+		}
+
+		newIt, ok := w.allocItem(key, hv, flags, exptime, newVal, cls, flushAt)
+		if !ok {
+			res = OutOfMemory
+			return
+		}
+		w.linkItem(old, newIt)
+		res = Stored
+	}
+
+	if w.c.cfg.itemTx {
+		w.section(domains{cache: true, slabs: true}, profile{volatiles: true, volatileFirst: true, libc: true, io: true, site: "do_store_item"}, body)
+	} else {
+		w.itemLock(hv)
+		body(w.dctx)
+		w.itemUnlock(hv)
+	}
+
+	w.tstat(func(ctx access.Ctx) {
+		ctx.AddWord(w.stats.SetCmds, 1)
+		if mode == ModeCAS {
+			switch res {
+			case Stored:
+				ctx.AddWord(w.stats.CasHits, 1)
+			case NotFound:
+				ctx.AddWord(w.stats.CasMiss, 1)
+			}
+		}
+	})
+	return res
+}
+
+// allocItem is do_item_alloc: the cache+slabs critical section whose first
+// operation reads the volatile current_time and which builds the item suffix
+// with snprintf — relaxed and start-serial pre-Max, in-flight serial pre-Lib
+// (§3.3). On memory pressure it evicts from the LRU tail.
+func (w *Worker) allocItem(key []byte, hv uint64, flags uint32, exptime uint64, val []byte, cls int, flushAt uint64) (*item.Item, bool) {
+	var newIt *item.Item
+	ok := false
+	w.section(domains{cache: true, slabs: true}, profile{volatiles: true, volatileFirst: true, libc: true, io: true, site: "do_item_alloc"}, func(ctx access.Ctx) {
+		newIt, ok = nil, false
+		allocNow := ctx.Volatile(w.c.CurrentTime)
+		if !w.c.slabs.Alloc(ctx, cls) {
+			if !w.evictOne(ctx, cls, allocNow, flushAt) {
+				return
+			}
+			if !w.c.slabs.Alloc(ctx, cls) {
+				return
+			}
+		}
+		if allocNow < flushAt {
+			allocNow = flushAt // keep a same-second flush_all from eating the new item
+		}
+		// Fresh (captured) memory: uninstrumented stores, as GCC emits.
+		newIt = item.New(key, hv, flags, exptime, len(val), cls)
+		newIt.Data.WriteAllDirect(val)
+		newIt.Refcount.StoreDirect(1) // the creator's handle
+		newIt.Time.StoreDirect(allocNow)
+		n := ctx.FormatSuffix(newIt.Suffix, 0, flags, len(val))
+		newIt.SuffixLen.StoreDirect(uint64(n))
+		ok = true
+	})
+	return newIt, ok
+}
+
+// linkItem is do_item_link / do_store_item: the cache-lock critical section
+// that replaces old (if any) with newIt, with global stats via the stats lock
+// (the Figure 3 rapid re-locking) and the hash-expansion signal via sem_post
+// (unsafe until stage onCommit).
+func (w *Worker) linkItem(old, newIt *item.Item) {
+	w.section(domains{cache: true}, profile{volatiles: true, libc: true, io: true, site: "do_item_link"}, func(ctx access.Ctx) {
+		if old != nil {
+			w.unlinkLocked(ctx, old)
+		}
+		w.c.tab.Insert(ctx, newIt)
+		w.c.lru.Link(ctx, newIt)
+		newIt.SetLinked(ctx, true)
+		ctx.SetWord(newIt.CasID, ctx.AddWord(w.c.casCounter, 1))
+		size := uint64(newIt.TotalBytes(ctx))
+		w.gstat(func(g access.Ctx) { g.AddWord(w.c.gstats.TotalItems, 1) })
+		w.gstat(func(g access.Ctx) {
+			g.AddWord(w.c.gstats.CurrItems, 1)
+			g.AddWord(w.c.gstats.CurrBytes, size)
+		})
+		if w.c.tab.NeedExpand(ctx) {
+			w.c.signalHash(ctx)
+		}
+	})
+}
+
+// evictOne frees one chunk in class cls by evicting (or reclaiming, if
+// expired) an unreferenced LRU-tail item. Runs inside the alloc critical
+// section; in the IP and lock branches each candidate's item lock is
+// trylocked from within (Figure 1a) and busy candidates are skipped — the
+// save_for_later path.
+func (w *Worker) evictOne(ctx access.Ctx, cls int, now, flushAt uint64) bool {
+	it := w.c.lru.Tail(ctx, cls)
+	for tries := 0; it != nil && tries < 5; tries++ {
+		if ctx.Volatile(it.Refcount) > 1 {
+			it = item.AsItem(ctx.Any(it.Prev))
+			continue
+		}
+		unlock, ok := w.victimTryLock(ctx, it.Hash)
+		if !ok {
+			it = item.AsItem(ctx.Any(it.Prev)) // save for later
+			continue
+		}
+		wasExpired := w.expired(ctx, it, now, flushAt)
+		w.unlinkLocked(ctx, it)
+		unlock()
+		if wasExpired {
+			w.gstat(func(g access.Ctx) { g.AddWord(w.c.gstats.Expired, 1) })
+		} else {
+			// The Figure 3 pattern: a second, separate stats-lock acquisition
+			// right after the first.
+			w.gstat(func(g access.Ctx) { g.AddWord(w.c.gstats.Evictions, 1) })
+			ctx.Fprintf(w.c.log(), "evicted item to make room")
+			if w.c.conf.Automove {
+				w.c.signalSlab(ctx)
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Delete, Incr/Decr, Touch, FlushAll
+
+// Delete removes key; reports whether it existed.
+func (w *Worker) Delete(key []byte) bool {
+	hv := assoc.Hash(key)
+	now := w.volatileLoad(w.c.CurrentTime)
+	flushAt := w.volatileLoad(w.c.flushBefore)
+	found := false
+
+	body := func(ictx access.Ctx) {
+		found = false
+		it := w.c.tab.Find(ictx, hv, key)
+		if it == nil {
+			return
+		}
+		live := !w.expired(ictx, it, now, flushAt)
+		w.section(domains{cache: true}, profile{volatiles: true, libc: true, site: "do_item_unlink"}, func(ctx access.Ctx) {
+			w.unlinkLocked(ctx, it)
+		})
+		found = live
+	}
+
+	if w.c.cfg.itemTx {
+		w.section(domains{cache: true}, profile{volatiles: true, volatileFirst: true, libc: true, site: "item_delete"}, body)
+	} else {
+		w.itemLock(hv)
+		body(w.dctx)
+		w.itemUnlock(hv)
+	}
+
+	w.tstat(func(ctx access.Ctx) {
+		if found {
+			ctx.AddWord(w.stats.DeleteHits, 1)
+		} else {
+			ctx.AddWord(w.stats.DeleteMiss, 1)
+		}
+	})
+	return found
+}
+
+// Incr adds delta to a decimal value in place (incr command); Decr subtracts,
+// saturating at zero. The value parse and re-format are the strtoull/snprintf
+// libc calls of §3.4.
+func (w *Worker) Incr(key []byte, delta uint64) (uint64, DeltaResult) {
+	return w.delta(key, delta, false)
+}
+
+// Decr subtracts delta, saturating at zero.
+func (w *Worker) Decr(key []byte, delta uint64) (uint64, DeltaResult) {
+	return w.delta(key, delta, true)
+}
+
+func (w *Worker) delta(key []byte, delta uint64, decr bool) (uint64, DeltaResult) {
+	hv := assoc.Hash(key)
+	now := w.volatileLoad(w.c.CurrentTime)
+	flushAt := w.volatileLoad(w.c.flushBefore)
+	var out uint64
+	res := DeltaNotFound
+
+	body := func(ictx access.Ctx) {
+		out, res = 0, DeltaNotFound
+		it := w.c.tab.Find(ictx, hv, key)
+		if it == nil || w.expired(ictx, it, now, flushAt) {
+			return
+		}
+		n := int(ictx.Word(it.NBytes))
+		v, used := ictx.Strtoull(it.Data, 0, n)
+		if used == 0 || used != n {
+			res = DeltaNonNumeric
+			return
+		}
+		if decr {
+			if delta > v {
+				v = 0
+			} else {
+				v -= delta
+			}
+		} else {
+			v += delta
+		}
+		// Re-format in place when the new text fits the chunk (memcached
+		// rewrites the value buffer); otherwise allocate a replacement item
+		// through the normal alloc/link path.
+		if digits := decimalDigits(v); digits <= it.CapBytes {
+			written := ictx.FormatUint(it.Data, 0, v)
+			ictx.SetWord(it.NBytes, uint64(written))
+			w.section(domains{cache: true}, profile{}, func(ctx access.Ctx) {
+				ctx.SetWord(it.CasID, ctx.AddWord(w.c.casCounter, 1))
+			})
+		} else {
+			text := make([]byte, 0, 20)
+			text = appendUint(text, v)
+			cls, err := w.c.slabs.ClassFor(item.SizeFor(len(key), len(text)))
+			if err != nil {
+				return
+			}
+			repl, ok := w.allocItem(key, hv, it.Flags, ictx.Word(it.Exptime), text, cls, flushAt)
+			if !ok {
+				return
+			}
+			w.linkItem(it, repl)
+		}
+		out, res = v, DeltaOK
+	}
+
+	if w.c.cfg.itemTx {
+		// io: the grow path links a replacement item, which may signal the
+		// hash maintainer.
+		w.section(domains{cache: true, slabs: true}, profile{volatiles: true, volatileFirst: true, libc: true, io: true, site: "add_delta"}, body)
+	} else {
+		w.itemLock(hv)
+		body(w.dctx)
+		w.itemUnlock(hv)
+	}
+
+	w.tstat(func(ctx access.Ctx) {
+		if res == DeltaOK {
+			ctx.AddWord(w.stats.IncrHits, 1)
+		} else {
+			ctx.AddWord(w.stats.IncrMiss, 1)
+		}
+	})
+	return out, res
+}
+
+// decimalDigits returns the decimal text length of v.
+func decimalDigits(v uint64) int {
+	n := 1
+	for v >= 10 {
+		v /= 10
+		n++
+	}
+	return n
+}
+
+func appendUint(dst []byte, v uint64) []byte {
+	if v == 0 {
+		return append(dst, '0')
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(dst, buf[i:]...)
+}
+
+// Touch updates an item's expiry time; reports whether it existed.
+func (w *Worker) Touch(key []byte, exptime uint64) bool {
+	hv := assoc.Hash(key)
+	now := w.volatileLoad(w.c.CurrentTime)
+	flushAt := w.volatileLoad(w.c.flushBefore)
+	found := false
+	body := func(ictx access.Ctx) {
+		found = false
+		it := w.c.tab.Find(ictx, hv, key)
+		if it == nil || w.expired(ictx, it, now, flushAt) {
+			return
+		}
+		ictx.SetWord(it.Exptime, exptime)
+		found = true
+	}
+	if w.c.cfg.itemTx {
+		w.section(domains{cache: true}, profile{volatiles: true, volatileFirst: true, libc: true, site: "item_touch"}, body)
+	} else {
+		w.itemLock(hv)
+		body(w.dctx)
+		w.itemUnlock(hv)
+	}
+	w.tstat(func(ctx access.Ctx) { ctx.AddWord(w.stats.TouchCmds, 1) })
+	return found
+}
+
+// FlushAll marks everything stored before now as expired (lazy reclamation,
+// via the flush watermark volatile).
+func (w *Worker) FlushAll() {
+	now := w.volatileLoad(w.c.CurrentTime)
+	w.volatileStore(w.c.flushBefore, now+1)
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+
+// Snapshot is the "stats" command payload.
+type Snapshot struct {
+	mcstats.Aggregated
+	CurrItems   uint64
+	TotalItems  uint64
+	CurrBytes   uint64
+	Evictions   uint64
+	Expired     uint64
+	Reassigned  uint64
+	HashExpands uint64
+	HashItems   uint64
+	HashBuckets uint64
+	SlabBytes   uint64
+	STM         stm.Snapshot
+}
+
+// ResetStats zeroes the command counters ("stats reset"): every per-thread
+// block and the global event counters; gauges (curr_items, bytes) survive.
+func (w *Worker) ResetStats() {
+	w.c.mu.Lock()
+	blocks := append([]*mcstats.Thread(nil), w.c.tblocks...)
+	w.c.mu.Unlock()
+	w.section(domains{}, profile{}, func(ctx access.Ctx) {
+		for _, b := range blocks {
+			for _, word := range []*stm.TWord{
+				b.GetCmds, b.GetHits, b.GetMisses, b.SetCmds,
+				b.DeleteHits, b.DeleteMiss, b.IncrHits, b.IncrMiss,
+				b.CasHits, b.CasMiss, b.CasBadval, b.TouchCmds, b.Expired,
+			} {
+				ctx.SetWord(word, 0)
+			}
+		}
+	})
+	w.gstat(func(g access.Ctx) {
+		g.SetWord(w.c.gstats.Evictions, 0)
+		g.SetWord(w.c.gstats.Expired, 0)
+	})
+	if w.c.rt != nil {
+		w.c.rt.ResetStats()
+	}
+}
+
+// SlabClassStat is one row of "stats slabs".
+type SlabClassStat struct {
+	Class      int
+	ChunkSize  int
+	Pages      uint64
+	FreeChunks uint64
+	UsedChunks uint64
+}
+
+// SlabStats reports per-class slab allocator detail (the "stats slabs"
+// command), read under the slabs lock domain.
+func (w *Worker) SlabStats() []SlabClassStat {
+	var out []SlabClassStat
+	w.section(domains{slabs: true}, profile{}, func(ctx access.Ctx) {
+		out = out[:0]
+		for cls := 0; cls < w.c.slabs.NumClasses(); cls++ {
+			pages := w.c.slabs.PagesOf(ctx, cls)
+			if pages == 0 {
+				continue
+			}
+			free := w.c.slabs.FreeChunks(ctx, cls)
+			perPage := uint64(slab.PageSize / w.c.slabs.ChunkSize(cls))
+			out = append(out, SlabClassStat{
+				Class:      cls,
+				ChunkSize:  w.c.slabs.ChunkSize(cls),
+				Pages:      pages,
+				FreeChunks: free,
+				UsedChunks: pages*perPage - free,
+			})
+		}
+	})
+	return out
+}
+
+// Stats aggregates per-thread blocks (taking each per-thread lock, or one
+// transaction) and reads the global counters under the stats lock.
+func (w *Worker) Stats() Snapshot {
+	var s Snapshot
+	w.c.mu.Lock()
+	blocks := append([]*mcstats.Thread(nil), w.c.tblocks...)
+	w.c.mu.Unlock()
+
+	w.section(domains{}, profile{}, func(ctx access.Ctx) {
+		s.Aggregated = mcstats.Aggregate(ctx, blocks)
+	})
+	w.section(domains{cache: true, stats: true}, profile{volatiles: true}, func(ctx access.Ctx) {
+		s.CurrItems = ctx.Word(w.c.gstats.CurrItems)
+		s.TotalItems = ctx.Word(w.c.gstats.TotalItems)
+		s.CurrBytes = ctx.Word(w.c.gstats.CurrBytes)
+		s.Evictions = ctx.Word(w.c.gstats.Evictions)
+		s.Expired = ctx.Word(w.c.gstats.Expired)
+		s.Reassigned = ctx.Word(w.c.gstats.Reassigned)
+		s.HashExpands = ctx.Word(w.c.gstats.HashExpands)
+		s.HashItems = w.c.tab.Items(ctx)
+		s.HashBuckets = w.c.tab.Size(ctx)
+	})
+	w.section(domains{slabs: true}, profile{}, func(ctx access.Ctx) {
+		s.SlabBytes = w.c.slabs.Allocated(ctx)
+	})
+	if w.c.rt != nil {
+		s.STM = w.c.rt.Stats()
+	}
+	return s
+}

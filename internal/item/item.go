@@ -1,0 +1,218 @@
+// Package item provides memcached's item representation and the per-slab-class
+// LRU lists (memcached's items.c), written against the access.Ctx layer so the
+// same code runs under locks and under every transactional branch.
+//
+// Concurrency domains follow memcached 1.4.15:
+//
+//   - hash-chain membership (HNext) and item payload are protected by the
+//     item-lock domain (striped by key hash);
+//   - LRU links (Prev/Next), link/unlink and eviction are protected by the
+//     cache-lock domain;
+//   - Refcount is a "volatile" (lock incr) counter, updated with atomic
+//     read-modify-writes in lock-based branches and — after stage Max — with
+//     transactional accesses;
+//   - Exptime/Time are read against the volatile current_time clock.
+package item
+
+import (
+	"repro/internal/access"
+	"repro/internal/stm"
+)
+
+// ItFlags bits (memcached's it_flags).
+const (
+	// FlagLinked marks an item present in the hash table and LRU.
+	FlagLinked = 1 << iota
+	// FlagSlabbed marks a chunk sitting in a slab freelist (not a live item).
+	FlagSlabbed
+)
+
+// Item is one cache entry. Immutable fields (Key bytes, Flags, Class,
+// CapBytes) are written once before the item is published; everything else is
+// shared state accessed through a Ctx.
+type Item struct {
+	Key    *stm.TBytes
+	KeyLen int
+	Hash   uint64
+	Class  int
+	Flags  uint32
+
+	// Data holds the value; NBytes (mutable: incr/decr rewrite the value in
+	// place) is the live length, CapBytes the allocated capacity.
+	Data     *stm.TBytes
+	NBytes   *stm.TWord
+	CapBytes int
+
+	// Suffix is the " <flags> <len>\r\n" header built with the snprintf
+	// clone at allocation time (the libc call on the set path).
+	Suffix    *stm.TBytes
+	SuffixLen *stm.TWord
+
+	Refcount *stm.TWord // volatile / lock incr domain
+	ItFlags  *stm.TWord
+	Exptime  *stm.TWord
+	Time     *stm.TWord // last access (LRU aging)
+	CasID    *stm.TWord
+
+	HNext      *stm.TAny // *Item: hash chain (item-lock domain)
+	Prev, Next *stm.TAny // *Item: LRU links (cache-lock domain)
+}
+
+const suffixCap = 48 // " 4294967295 <len>\r\n" fits comfortably
+
+// New allocates an item for the given key with capacity for nbytes of value
+// data. All stores are to captured (not yet published) memory, so they are
+// direct, exactly as uninstrumented GCC stores to fresh allocations.
+func New(key []byte, hash uint64, flags uint32, exptime uint64, nbytes int, class int) *Item {
+	it := &Item{
+		Key:       stm.NewTBytesFrom(key),
+		KeyLen:    len(key),
+		Hash:      hash,
+		Class:     class,
+		Flags:     flags,
+		Data:      stm.NewTBytes(nbytes),
+		NBytes:    stm.NewTWord(uint64(nbytes)),
+		CapBytes:  nbytes,
+		Suffix:    stm.NewTBytes(suffixCap),
+		SuffixLen: stm.NewTWord(0),
+		Refcount:  stm.NewTWord(0),
+		ItFlags:   stm.NewTWord(0),
+		Exptime:   stm.NewTWord(exptime),
+		Time:      stm.NewTWord(0),
+		CasID:     stm.NewTWord(0),
+		HNext:     stm.NewTAny(nil),
+		Prev:      stm.NewTAny(nil),
+		Next:      stm.NewTAny(nil),
+	}
+	return it
+}
+
+// AsItem converts a value read from a TAny link back to an item pointer,
+// treating stored nils uniformly.
+func AsItem(v any) *Item {
+	if v == nil {
+		return nil
+	}
+	return v.(*Item)
+}
+
+// Linked reports whether the item is in the hash table/LRU.
+func (it *Item) Linked(c access.Ctx) bool { return c.Word(it.ItFlags)&FlagLinked != 0 }
+
+// SetLinked sets or clears the linked flag.
+func (it *Item) SetLinked(c access.Ctx, on bool) {
+	f := c.Word(it.ItFlags)
+	if on {
+		f |= FlagLinked
+	} else {
+		f &^= FlagLinked
+	}
+	c.SetWord(it.ItFlags, f)
+}
+
+// RefIncr bumps the reference count (the lock incr path).
+func (it *Item) RefIncr(c access.Ctx) uint64 { return c.AddVolatile(it.Refcount, 1) }
+
+// RefDecr drops the reference count and returns the new value.
+func (it *Item) RefDecr(c access.Ctx) uint64 { return c.AddVolatile(it.Refcount, ^uint64(0)) }
+
+// RefGet reads the reference count.
+func (it *Item) RefGet(c access.Ctx) uint64 { return c.Volatile(it.Refcount) }
+
+// Expired reports whether the item is past its expiry at time now.
+func (it *Item) Expired(c access.Ctx, now uint64) bool {
+	e := c.Word(it.Exptime)
+	return e != 0 && e <= now
+}
+
+// TotalBytes returns the item's accounted size (key + value + suffix + a
+// fixed header charge), used for slab class selection and the bytes stat.
+func (it *Item) TotalBytes(c access.Ctx) int {
+	return it.KeyLen + int(c.Word(it.NBytes)) + suffixCap + headerSize
+}
+
+// headerSize approximates sizeof(item) in memcached's accounting.
+const headerSize = 48
+
+// SizeFor returns the accounted size for a prospective item.
+func SizeFor(keyLen, nbytes int) int { return keyLen + nbytes + suffixCap + headerSize }
+
+// ---------------------------------------------------------------------------
+// LRU lists (cache-lock domain)
+
+// LRU holds one doubly-linked list per slab class, most recently used first.
+type LRU struct {
+	heads []*stm.TAny
+	tails []*stm.TAny
+	sizes []*stm.TWord
+}
+
+// NewLRU creates LRU lists for n slab classes.
+func NewLRU(n int) *LRU {
+	l := &LRU{
+		heads: make([]*stm.TAny, n),
+		tails: make([]*stm.TAny, n),
+		sizes: make([]*stm.TWord, n),
+	}
+	for i := range l.heads {
+		l.heads[i] = stm.NewTAny(nil)
+		l.tails[i] = stm.NewTAny(nil)
+		l.sizes[i] = stm.NewTWord(0)
+	}
+	return l
+}
+
+// Classes returns the number of classes.
+func (l *LRU) Classes() int { return len(l.heads) }
+
+// Len returns the number of items in class cls.
+func (l *LRU) Len(c access.Ctx, cls int) uint64 { return c.Word(l.sizes[cls]) }
+
+// Head returns the most recently used item of class cls, or nil.
+func (l *LRU) Head(c access.Ctx, cls int) *Item { return AsItem(c.Any(l.heads[cls])) }
+
+// Tail returns the least recently used item of class cls, or nil.
+func (l *LRU) Tail(c access.Ctx, cls int) *Item { return AsItem(c.Any(l.tails[cls])) }
+
+// Link inserts it at the head of its class list.
+func (l *LRU) Link(c access.Ctx, it *Item) {
+	cls := it.Class
+	head := AsItem(c.Any(l.heads[cls]))
+	c.SetAny(it.Prev, nil)
+	if head != nil {
+		c.SetAny(it.Next, head)
+		c.SetAny(head.Prev, it)
+	} else {
+		c.SetAny(it.Next, nil)
+		c.SetAny(l.tails[cls], it)
+	}
+	c.SetAny(l.heads[cls], it)
+	c.AddWord(l.sizes[cls], 1)
+}
+
+// Unlink removes it from its class list.
+func (l *LRU) Unlink(c access.Ctx, it *Item) {
+	cls := it.Class
+	prev := AsItem(c.Any(it.Prev))
+	next := AsItem(c.Any(it.Next))
+	if prev != nil {
+		c.SetAny(prev.Next, next)
+	} else {
+		c.SetAny(l.heads[cls], next)
+	}
+	if next != nil {
+		c.SetAny(next.Prev, prev)
+	} else {
+		c.SetAny(l.tails[cls], prev)
+	}
+	c.SetAny(it.Prev, nil)
+	c.SetAny(it.Next, nil)
+	c.AddWord(l.sizes[cls], ^uint64(0))
+}
+
+// Touch moves it to the head of its class list (item_update).
+func (l *LRU) Touch(c access.Ctx, it *Item, now uint64) {
+	l.Unlink(c, it)
+	l.Link(c, it)
+	c.SetWord(it.Time, now)
+}

@@ -1,0 +1,106 @@
+// Package mcstats holds memcached's statistics counters: the global counters
+// protected by the stats lock (the second-most contended lock in the paper's
+// mutrace profile) and the per-thread counters protected by per-thread locks
+// — which, being pthread mutexes, are unsafe inside atomic transactions and
+// therefore had to be transactionalized even though they are never contended
+// (§3.1).
+package mcstats
+
+import (
+	"repro/internal/access"
+	"repro/internal/stm"
+)
+
+// Global is the stats-lock domain (stats.c globals that never moved to
+// per-thread storage).
+type Global struct {
+	TotalItems  *stm.TWord
+	CurrItems   *stm.TWord
+	CurrBytes   *stm.TWord
+	Evictions   *stm.TWord
+	Expired     *stm.TWord
+	Reassigned  *stm.TWord // slab pages moved by the rebalancer
+	HashExpands *stm.TWord
+}
+
+// NewGlobal allocates zeroed global counters.
+func NewGlobal() *Global {
+	return &Global{
+		TotalItems:  stm.NewTWord(0),
+		CurrItems:   stm.NewTWord(0),
+		CurrBytes:   stm.NewTWord(0),
+		Evictions:   stm.NewTWord(0),
+		Expired:     stm.NewTWord(0),
+		Reassigned:  stm.NewTWord(0),
+		HashExpands: stm.NewTWord(0),
+	}
+}
+
+// Thread is one worker's statistics block (per-thread lock domain).
+type Thread struct {
+	GetCmds    *stm.TWord
+	GetHits    *stm.TWord
+	GetMisses  *stm.TWord
+	SetCmds    *stm.TWord
+	DeleteHits *stm.TWord
+	DeleteMiss *stm.TWord
+	IncrHits   *stm.TWord
+	IncrMiss   *stm.TWord
+	CasHits    *stm.TWord
+	CasMiss    *stm.TWord
+	CasBadval  *stm.TWord
+	TouchCmds  *stm.TWord
+	Expired    *stm.TWord
+}
+
+// NewThread allocates zeroed per-thread counters.
+func NewThread() *Thread {
+	return &Thread{
+		GetCmds:    stm.NewTWord(0),
+		GetHits:    stm.NewTWord(0),
+		GetMisses:  stm.NewTWord(0),
+		SetCmds:    stm.NewTWord(0),
+		DeleteHits: stm.NewTWord(0),
+		DeleteMiss: stm.NewTWord(0),
+		IncrHits:   stm.NewTWord(0),
+		IncrMiss:   stm.NewTWord(0),
+		CasHits:    stm.NewTWord(0),
+		CasMiss:    stm.NewTWord(0),
+		CasBadval:  stm.NewTWord(0),
+		TouchCmds:  stm.NewTWord(0),
+		Expired:    stm.NewTWord(0),
+	}
+}
+
+// Aggregate sums the per-thread blocks into a plain snapshot, reading each
+// block under ctx (memcached's threadlocal_stats_aggregate takes every
+// per-thread lock; transactional branches read inside a transaction).
+type Aggregated struct {
+	GetCmds, GetHits, GetMisses uint64
+	SetCmds                     uint64
+	DeleteHits, DeleteMiss      uint64
+	IncrHits, IncrMiss          uint64
+	CasHits, CasMiss, CasBadval uint64
+	TouchCmds, Expired          uint64
+}
+
+// Aggregate folds ts into a snapshot via c.
+func Aggregate(c access.Ctx, blocks []*Thread) Aggregated {
+	var a Aggregated
+	for _, t := range blocks {
+		a.GetCmds += c.Word(t.GetCmds)
+		a.GetHits += c.Word(t.GetHits)
+		a.GetMisses += c.Word(t.GetMisses)
+		a.SetCmds += c.Word(t.SetCmds)
+		a.DeleteHits += c.Word(t.DeleteHits)
+		a.DeleteMiss += c.Word(t.DeleteMiss)
+		a.IncrHits += c.Word(t.IncrHits)
+		a.IncrMiss += c.Word(t.IncrMiss)
+		a.CasHits += c.Word(t.CasHits)
+		a.CasMiss += c.Word(t.CasMiss)
+		a.CasBadval += c.Word(t.CasBadval)
+		a.TouchCmds += c.Word(t.TouchCmds)
+		a.Expired += c.Word(t.Expired)
+	}
+	return a
+}

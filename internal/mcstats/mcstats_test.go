@@ -1,0 +1,65 @@
+package mcstats
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/stm"
+)
+
+var dc = access.DirectCtx{}
+
+func TestGlobalCountersZeroed(t *testing.T) {
+	g := NewGlobal()
+	for name, w := range map[string]*stm.TWord{
+		"TotalItems": g.TotalItems, "CurrItems": g.CurrItems,
+		"CurrBytes": g.CurrBytes, "Evictions": g.Evictions,
+		"Expired": g.Expired, "Reassigned": g.Reassigned,
+		"HashExpands": g.HashExpands,
+	} {
+		if w == nil {
+			t.Fatalf("%s nil", name)
+		}
+		if w.LoadDirect() != 0 {
+			t.Errorf("%s = %d", name, w.LoadDirect())
+		}
+	}
+}
+
+func TestAggregateSums(t *testing.T) {
+	a, b := NewThread(), NewThread()
+	dc.AddWord(a.GetCmds, 10)
+	dc.AddWord(a.GetHits, 6)
+	dc.AddWord(b.GetCmds, 5)
+	dc.AddWord(b.GetHits, 1)
+	dc.AddWord(b.SetCmds, 7)
+	dc.AddWord(a.CasBadval, 2)
+	agg := Aggregate(dc, []*Thread{a, b})
+	if agg.GetCmds != 15 || agg.GetHits != 7 || agg.SetCmds != 7 || agg.CasBadval != 2 {
+		t.Errorf("Aggregate = %+v", agg)
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	agg := Aggregate(dc, nil)
+	if agg != (Aggregated{}) {
+		t.Errorf("Aggregate(nil) = %+v", agg)
+	}
+}
+
+func TestAggregateTransactional(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	th := rt.NewThread()
+	blk := NewThread()
+	err := th.Run(stm.Props{Kind: stm.Atomic}, func(tx *stm.Tx) {
+		ctx := access.TxCtx{T: tx}
+		ctx.AddWord(blk.GetMisses, 3)
+		agg := Aggregate(ctx, []*Thread{blk})
+		if agg.GetMisses != 3 {
+			t.Errorf("in-tx aggregate = %+v", agg)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

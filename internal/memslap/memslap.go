@@ -1,0 +1,400 @@
+// Package memslap reproduces the workload generator of the paper's
+// evaluation: memslap v1.0 run as
+//
+//	memslap --concurrency=x --execute-number=625000 --binary
+//
+// Each of x concurrent clients issues a fixed number of operations (so
+// "perfect scaling corresponds to an execution time that remains constant at
+// higher thread counts"), with memslap's default 9:1 get:set mix over a
+// shared key space.
+//
+// Two transports are provided: Direct drives engine workers in-process (used
+// by the benchmark harness, so the figures measure synchronization rather
+// than loopback networking), and Network speaks the real text or binary
+// protocol over TCP (used by cmd/memslap and the integration tests).
+package memslap
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// Config mirrors the memslap options the paper sets.
+type Config struct {
+	// Concurrency is the number of client threads (memslap --concurrency).
+	Concurrency int
+	// ExecuteNumber is operations per client (memslap --execute-number;
+	// 625000 in the paper — scale down for quick runs).
+	ExecuteNumber int
+	// SetFraction is the fraction of sets (memslap default: 0.1).
+	SetFraction float64
+	// KeySpace is the number of distinct keys (memslap win_size-ish default:
+	// 10000).
+	KeySpace int
+	// ValueSize is the value payload size (memslap default 1024).
+	ValueSize int
+	// Binary selects the binary protocol on the network transport
+	// (--binary, as the paper runs).
+	Binary bool
+	// Zipf skews key popularity with a Zipf-like distribution (s≈1) instead
+	// of uniform choice, concentrating traffic on hot keys — the contention
+	// regime where TM algorithm and CM choice matter most.
+	Zipf bool
+	// Seed makes runs reproducible.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Concurrency == 0 {
+		c.Concurrency = 1
+	}
+	if c.ExecuteNumber == 0 {
+		c.ExecuteNumber = 10000
+	}
+	if c.SetFraction == 0 {
+		c.SetFraction = 0.1
+	}
+	if c.KeySpace == 0 {
+		c.KeySpace = 10000
+	}
+	if c.ValueSize == 0 {
+		c.ValueSize = 1024
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x9E3779B97F4A7C15
+	}
+	return c
+}
+
+// Result summarizes one run.
+type Result struct {
+	Duration time.Duration
+	Ops      uint64
+	Gets     uint64
+	Sets     uint64
+	Hits     uint64
+	Errors   uint64
+}
+
+// OpsPerSec returns throughput.
+func (r Result) OpsPerSec() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Duration.Seconds()
+}
+
+// rng is a per-client xorshift64* generator.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+func key(buf []byte, n int) []byte {
+	return fmt.Appendf(buf[:0], "memslap-key-%08d", n)
+}
+
+func value(n, size int) []byte {
+	v := bytes.Repeat([]byte{byte('a' + n%26)}, size)
+	copy(v, fmt.Sprintf("val-%d-", n))
+	return v
+}
+
+// clientOps runs one client's operation stream against any executor.
+type executor interface {
+	get(key []byte) (hit bool, err error)
+	set(key, val []byte) error
+}
+
+// zipfPick maps a uniform random draw to a Zipf-like rank over n keys using
+// the inverse-CDF approximation rank ≈ n^u - 1 (s = 1), cheap enough for the
+// hot path and heavy-tailed enough to concentrate traffic.
+func zipfPick(u uint64, n int) int {
+	// Normalize to (0,1], then exponentiate: n^x = 2^(x*log2(n)).
+	x := float64(u>>11) / float64(1<<53)
+	if x <= 0 {
+		x = 1.0 / float64(1<<53)
+	}
+	log2n := 0.0
+	for m := n; m > 1; m >>= 1 {
+		log2n++
+	}
+	rank := int(pow2(x*log2n)) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= n {
+		rank = n - 1
+	}
+	return rank
+}
+
+// pow2 computes 2^y for y >= 0 without importing math (stdlib-only habit
+// aside, this keeps the generator allocation- and call-free).
+func pow2(y float64) float64 {
+	i := int(y)
+	frac := y - float64(i)
+	p := 1.0
+	for ; i > 0; i-- {
+		p *= 2
+	}
+	// 2^frac ≈ 1 + frac*(0.6931 + frac*(0.2402 + frac*0.0555)) (Taylor-ish)
+	return p * (1 + frac*(0.69314718+frac*(0.24022651+frac*0.05550411)))
+}
+
+func drive(id int, cfg Config, ex executor) (gets, sets, hits, errs uint64) {
+	r := rng{s: cfg.Seed + uint64(id)*0x9E3779B97F4A7C15 + 1}
+	setThreshold := uint64(cfg.SetFraction * float64(^uint64(0)))
+	kbuf := make([]byte, 0, 32)
+	val := value(id, cfg.ValueSize)
+	for i := 0; i < cfg.ExecuteNumber; i++ {
+		var kn int
+		if cfg.Zipf {
+			kn = zipfPick(r.next(), cfg.KeySpace)
+		} else {
+			kn = int(r.next() % uint64(cfg.KeySpace))
+		}
+		k := key(kbuf, kn)
+		if r.next() < setThreshold {
+			sets++
+			if err := ex.set(k, val); err != nil {
+				errs++
+			}
+		} else {
+			gets++
+			hit, err := ex.get(k)
+			if err != nil {
+				errs++
+			} else if hit {
+				hits++
+			}
+		}
+	}
+	return
+}
+
+// ---------------------------------------------------------------------------
+// Direct transport
+
+type directExec struct{ w *engine.Worker }
+
+func (d directExec) get(k []byte) (bool, error) {
+	_, _, _, ok := d.w.Get(k)
+	return ok, nil
+}
+
+func (d directExec) set(k, v []byte) error {
+	if res := d.w.Set(k, 0, 0, v); res != engine.Stored {
+		return fmt.Errorf("memslap: set: %v", res)
+	}
+	return nil
+}
+
+// RunDirect drives the cache in-process with cfg.Concurrency workers.
+func RunDirect(c *engine.Cache, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	workers := make([]*engine.Worker, cfg.Concurrency)
+	for i := range workers {
+		workers[i] = c.NewWorker()
+	}
+	var res Result
+	var mu sync.Mutex
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Concurrency; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			gets, sets, hits, errs := drive(i, cfg, directExec{w: workers[i]})
+			mu.Lock()
+			res.Gets += gets
+			res.Sets += sets
+			res.Hits += hits
+			res.Errors += errs
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	res.Duration = time.Since(start)
+	res.Ops = res.Gets + res.Sets
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// Network transport
+
+// RunNetwork drives a server at addr with cfg.Concurrency connections using
+// the text protocol, or the binary protocol when cfg.Binary is set.
+func RunNetwork(addr string, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	clients := make([]executor, cfg.Concurrency)
+	conns := make([]net.Conn, cfg.Concurrency)
+	for i := range clients {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			for _, c := range conns[:i] {
+				c.Close()
+			}
+			return Result{}, err
+		}
+		conns[i] = conn
+		if cfg.Binary {
+			clients[i] = &binClient{r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+		} else {
+			clients[i] = &textClient{r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+		}
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+
+	var res Result
+	var mu sync.Mutex
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Concurrency; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			gets, sets, hits, errs := drive(i, cfg, clients[i])
+			mu.Lock()
+			res.Gets += gets
+			res.Sets += sets
+			res.Hits += hits
+			res.Errors += errs
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	res.Duration = time.Since(start)
+	res.Ops = res.Gets + res.Sets
+	return res, nil
+}
+
+// textClient speaks the text protocol.
+type textClient struct {
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+func (c *textClient) set(k, v []byte) error {
+	fmt.Fprintf(c.w, "set %s 0 0 %d\r\n", k, len(v))
+	c.w.Write(v)
+	c.w.WriteString("\r\n")
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	if line != "STORED\r\n" {
+		return fmt.Errorf("memslap: set reply %q", line)
+	}
+	return nil
+}
+
+func (c *textClient) get(k []byte) (bool, error) {
+	fmt.Fprintf(c.w, "get %s\r\n", k)
+	if err := c.w.Flush(); err != nil {
+		return false, err
+	}
+	hit := false
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return false, err
+		}
+		if line == "END\r\n" {
+			return hit, nil
+		}
+		var key string
+		var flags, n int
+		if _, err := fmt.Sscanf(line, "VALUE %s %d %d", &key, &flags, &n); err != nil {
+			return false, fmt.Errorf("memslap: get reply %q", line)
+		}
+		if _, err := io.CopyN(io.Discard, c.r, int64(n)+2); err != nil {
+			return false, err
+		}
+		hit = true
+	}
+}
+
+// binClient speaks the binary protocol (Get/Set only, as memslap does).
+type binClient struct {
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+func (c *binClient) frame(opcode byte, extras, key, value []byte) error {
+	var hdr [24]byte
+	hdr[0] = 0x80
+	hdr[1] = opcode
+	hdr[2] = byte(len(key) >> 8)
+	hdr[3] = byte(len(key))
+	hdr[4] = byte(len(extras))
+	body := len(extras) + len(key) + len(value)
+	hdr[8] = byte(body >> 24)
+	hdr[9] = byte(body >> 16)
+	hdr[10] = byte(body >> 8)
+	hdr[11] = byte(body)
+	c.w.Write(hdr[:])
+	c.w.Write(extras)
+	c.w.Write(key)
+	c.w.Write(value)
+	return c.w.Flush()
+}
+
+func (c *binClient) readRes() (status uint16, bodyLen int, err error) {
+	var hdr [24]byte
+	if _, err = io.ReadFull(c.r, hdr[:]); err != nil {
+		return 0, 0, err
+	}
+	status = uint16(hdr[6])<<8 | uint16(hdr[7])
+	bodyLen = int(hdr[8])<<24 | int(hdr[9])<<16 | int(hdr[10])<<8 | int(hdr[11])
+	if _, err = io.CopyN(io.Discard, c.r, int64(bodyLen)); err != nil {
+		return 0, 0, err
+	}
+	return status, bodyLen, nil
+}
+
+func (c *binClient) set(k, v []byte) error {
+	extras := make([]byte, 8) // flags 0, exptime 0
+	if err := c.frame(0x01, extras, k, v); err != nil {
+		return err
+	}
+	status, _, err := c.readRes()
+	if err != nil {
+		return err
+	}
+	if status != 0 {
+		return fmt.Errorf("memslap: binary set status %#x", status)
+	}
+	return nil
+}
+
+func (c *binClient) get(k []byte) (bool, error) {
+	if err := c.frame(0x00, nil, k, nil); err != nil {
+		return false, err
+	}
+	status, _, err := c.readRes()
+	if err != nil {
+		return false, err
+	}
+	return status == 0, nil
+}

@@ -1,0 +1,153 @@
+package memslap
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+func newCache(t *testing.T, b engine.Branch) *engine.Cache {
+	t.Helper()
+	c := engine.New(engine.Config{Branch: b, HashPower: 8, MemLimit: 16 << 20})
+	c.Start()
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func TestRunDirectCounts(t *testing.T) {
+	c := newCache(t, engine.ITOnCommit)
+	cfg := Config{Concurrency: 4, ExecuteNumber: 500, KeySpace: 200, ValueSize: 64}
+	res := RunDirect(c, cfg)
+	if res.Ops != 4*500 {
+		t.Errorf("Ops = %d, want 2000", res.Ops)
+	}
+	if res.Gets+res.Sets != res.Ops {
+		t.Errorf("gets+sets = %d+%d != ops %d", res.Gets, res.Sets, res.Ops)
+	}
+	// ~10% sets with generous slack.
+	if res.Sets < res.Ops/20 || res.Sets > res.Ops/4 {
+		t.Errorf("Sets = %d of %d, not near 10%%", res.Sets, res.Ops)
+	}
+	if res.Errors != 0 {
+		t.Errorf("Errors = %d", res.Errors)
+	}
+	if res.Duration <= 0 {
+		t.Error("Duration not measured")
+	}
+	if res.OpsPerSec() <= 0 {
+		t.Error("OpsPerSec = 0")
+	}
+}
+
+func TestRunDirectHitRateRises(t *testing.T) {
+	c := newCache(t, engine.Baseline)
+	cfg := Config{Concurrency: 2, ExecuteNumber: 3000, KeySpace: 100, ValueSize: 32}
+	first := RunDirect(c, cfg)
+	second := RunDirect(c, cfg)
+	if second.Hits <= first.Hits/2 {
+		t.Errorf("hit count did not stabilize: first=%d second=%d", first.Hits, second.Hits)
+	}
+	if second.Hits == 0 {
+		t.Error("no hits on a populated cache")
+	}
+}
+
+func TestRunDirectDeterministicMix(t *testing.T) {
+	c1 := newCache(t, engine.Semaphore)
+	c2 := newCache(t, engine.Semaphore)
+	cfg := Config{Concurrency: 3, ExecuteNumber: 1000, Seed: 7}
+	r1 := RunDirect(c1, cfg)
+	r2 := RunDirect(c2, cfg)
+	if r1.Sets != r2.Sets || r1.Gets != r2.Gets {
+		t.Errorf("same seed produced different mixes: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestRunNetworkText(t *testing.T) {
+	c := newCache(t, engine.IPOnCommit)
+	s, err := server.Listen(c, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := RunNetwork(s.Addr(), Config{Concurrency: 3, ExecuteNumber: 300, KeySpace: 100, ValueSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 900 || res.Errors != 0 {
+		t.Errorf("ops=%d errors=%d", res.Ops, res.Errors)
+	}
+	if res.Hits == 0 {
+		t.Error("no hits over 900 ops on 100 keys")
+	}
+}
+
+func TestRunNetworkBinary(t *testing.T) {
+	c := newCache(t, engine.ITOnCommit)
+	s, err := server.Listen(c, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := RunNetwork(s.Addr(), Config{Concurrency: 2, ExecuteNumber: 300, KeySpace: 50, ValueSize: 64, Binary: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 600 || res.Errors != 0 {
+		t.Errorf("ops=%d errors=%d", res.Ops, res.Errors)
+	}
+	if res.Hits == 0 {
+		t.Error("no hits")
+	}
+}
+
+func TestRunNetworkDialFailure(t *testing.T) {
+	if _, err := RunNetwork("127.0.0.1:1", Config{Concurrency: 1, ExecuteNumber: 1}); err == nil {
+		t.Error("expected dial error")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Concurrency != 1 || cfg.ExecuteNumber == 0 || cfg.SetFraction != 0.1 ||
+		cfg.KeySpace == 0 || cfg.ValueSize != 1024 || cfg.Seed == 0 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}
+
+func TestZipfSkewsTraffic(t *testing.T) {
+	// The Zipf mode must concentrate a large share of draws on low ranks.
+	counts := make([]int, 1024)
+	r := rng{s: 42}
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[zipfPick(r.next(), 1024)]++
+	}
+	top16 := 0
+	for _, c := range counts[:16] {
+		top16 += c
+	}
+	if frac := float64(top16) / draws; frac < 0.3 {
+		t.Errorf("top-16 keys got %.1f%% of traffic, want heavy tail (>30%%)", 100*frac)
+	}
+	// Bounds respected.
+	for i := 0; i < 10000; i++ {
+		if k := zipfPick(r.next(), 7); k < 0 || k >= 7 {
+			t.Fatalf("zipfPick out of range: %d", k)
+		}
+	}
+}
+
+func TestRunDirectZipf(t *testing.T) {
+	c := newCache(t, engine.ITOnCommit)
+	res := RunDirect(c, Config{Concurrency: 2, ExecuteNumber: 2000, KeySpace: 512, ValueSize: 64, Zipf: true})
+	if res.Ops != 4000 || res.Errors != 0 {
+		t.Errorf("ops=%d errors=%d", res.Ops, res.Errors)
+	}
+	// Hot keys repeat, so the hit rate under Zipf should exceed uniform.
+	uniform := RunDirect(newCache(t, engine.ITOnCommit), Config{Concurrency: 2, ExecuteNumber: 2000, KeySpace: 512, ValueSize: 64})
+	if res.Hits <= uniform.Hits {
+		t.Logf("zipf hits=%d uniform hits=%d (usually zipf wins; not a hard failure)", res.Hits, uniform.Hits)
+	}
+}

@@ -1,0 +1,299 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"io"
+
+	"repro/internal/engine"
+)
+
+// Binary protocol framing (the subset memslap --binary exercises, plus the
+// administrative opcodes).
+const (
+	binMagicReq = 0x80
+	binMagicRes = 0x81
+)
+
+// Opcodes.
+const (
+	OpGet       = 0x00
+	OpGetQ      = 0x09 // quiet get: no reply on miss (pipelined multigets)
+	OpGetK      = 0x0c // get returning the key in the reply
+	OpGetKQ     = 0x0d
+	OpSet       = 0x01
+	OpAdd       = 0x02
+	OpReplace   = 0x03
+	OpDelete    = 0x04
+	OpIncrement = 0x05
+	OpDecrement = 0x06
+	OpQuit      = 0x07
+	OpFlush     = 0x08
+	OpNoop      = 0x0a
+	OpVersion   = 0x0b
+	OpAppend    = 0x0e
+	OpPrepend   = 0x0f
+	OpStat      = 0x10
+	OpTouch     = 0x1c
+	OpGAT       = 0x1d
+)
+
+// Response status codes.
+const (
+	StatusOK             = 0x0000
+	StatusKeyNotFound    = 0x0001
+	StatusKeyExists      = 0x0002
+	StatusValueTooLarge  = 0x0003
+	StatusInvalidArgs    = 0x0004
+	StatusItemNotStored  = 0x0005
+	StatusNonNumeric     = 0x0006
+	StatusUnknownCommand = 0x0081
+	StatusOutOfMemory    = 0x0082
+)
+
+type binHeader struct {
+	opcode   byte
+	keyLen   uint16
+	extraLen byte
+	status   uint16
+	bodyLen  uint32
+	opaque   uint32
+	cas      uint64
+}
+
+// serveBinaryOne handles one binary request frame.
+func (c *Conn) serveBinaryOne() error {
+	var hdr [24]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return err
+	}
+	if hdr[0] != binMagicReq {
+		return c.binError(binHeader{opcode: hdr[1]}, StatusUnknownCommand, nil)
+	}
+	req := binHeader{
+		opcode:   hdr[1],
+		keyLen:   binary.BigEndian.Uint16(hdr[2:4]),
+		extraLen: hdr[4],
+		bodyLen:  binary.BigEndian.Uint32(hdr[8:12]),
+		opaque:   binary.BigEndian.Uint32(hdr[12:16]),
+		cas:      binary.BigEndian.Uint64(hdr[16:24]),
+	}
+	if req.bodyLen > MaxBodyLen {
+		// A hostile or corrupt frame must not make us allocate its claimed
+		// body. Drain what we can and refuse.
+		io.CopyN(io.Discard, c.r, int64(req.bodyLen))
+		return c.binError(req, StatusValueTooLarge, []byte("Too large"))
+	}
+	body := make([]byte, req.bodyLen)
+	if _, err := io.ReadFull(c.r, body); err != nil {
+		return err
+	}
+	if int(req.extraLen)+int(req.keyLen) > len(body) {
+		return c.binError(req, StatusInvalidArgs, nil)
+	}
+	extras := body[:req.extraLen]
+	key := body[req.extraLen : int(req.extraLen)+int(req.keyLen)]
+	value := body[int(req.extraLen)+int(req.keyLen):]
+
+	switch req.opcode {
+	case OpGet, OpGetQ, OpGetK, OpGetKQ:
+		quiet := req.opcode == OpGetQ || req.opcode == OpGetKQ
+		withKey := req.opcode == OpGetK || req.opcode == OpGetKQ
+		val, flags, cas, ok := c.worker.Get(key)
+		if !ok {
+			if quiet {
+				return nil // quiet miss: no reply at all
+			}
+			return c.binError(req, StatusKeyNotFound, []byte("Not found"))
+		}
+		var fx [4]byte
+		binary.BigEndian.PutUint32(fx[:], flags)
+		replyKey := []byte(nil)
+		if withKey {
+			replyKey = key
+		}
+		return c.binReply(req, StatusOK, fx[:], replyKey, val, cas)
+
+	case OpSet, OpAdd, OpReplace:
+		if len(extras) < 8 {
+			return c.binError(req, StatusInvalidArgs, nil)
+		}
+		flags := binary.BigEndian.Uint32(extras[0:4])
+		exptime := absoluteExptime(c.worker, uint64(binary.BigEndian.Uint32(extras[4:8])))
+		var res engine.StoreResult
+		switch {
+		case req.cas != 0:
+			res = c.worker.CAS(key, flags, exptime, value, req.cas)
+		case req.opcode == OpSet:
+			res = c.worker.Set(key, flags, exptime, value)
+		case req.opcode == OpAdd:
+			res = c.worker.Add(key, flags, exptime, value)
+		default:
+			res = c.worker.Replace(key, flags, exptime, value)
+		}
+		switch res {
+		case engine.Stored:
+			return c.binReply(req, StatusOK, nil, nil, nil, 0)
+		case engine.Exists:
+			return c.binError(req, StatusKeyExists, []byte("Data exists for key"))
+		case engine.NotFound:
+			return c.binError(req, StatusKeyNotFound, []byte("Not found"))
+		case engine.TooLarge:
+			return c.binError(req, StatusValueTooLarge, []byte("Too large"))
+		case engine.OutOfMemory:
+			return c.binError(req, StatusOutOfMemory, []byte("Out of memory"))
+		default:
+			return c.binError(req, StatusItemNotStored, []byte("Not stored"))
+		}
+
+	case OpAppend, OpPrepend:
+		var res engine.StoreResult
+		if req.opcode == OpAppend {
+			res = c.worker.Append(key, value)
+		} else {
+			res = c.worker.Prepend(key, value)
+		}
+		if res == engine.Stored {
+			return c.binReply(req, StatusOK, nil, nil, nil, 0)
+		}
+		return c.binError(req, StatusItemNotStored, []byte("Not stored"))
+
+	case OpTouch, OpGAT:
+		if len(extras) < 4 {
+			return c.binError(req, StatusInvalidArgs, nil)
+		}
+		exptime := absoluteExptime(c.worker, uint64(binary.BigEndian.Uint32(extras[0:4])))
+		if req.opcode == OpTouch {
+			if c.worker.Touch(key, exptime) {
+				return c.binReply(req, StatusOK, nil, nil, nil, 0)
+			}
+			return c.binError(req, StatusKeyNotFound, []byte("Not found"))
+		}
+		val, flags, cas, ok := c.worker.GetAndTouch(key, exptime)
+		if !ok {
+			return c.binError(req, StatusKeyNotFound, []byte("Not found"))
+		}
+		var fx [4]byte
+		binary.BigEndian.PutUint32(fx[:], flags)
+		return c.binReply(req, StatusOK, fx[:], nil, val, cas)
+
+	case OpDelete:
+		if c.worker.Delete(key) {
+			return c.binReply(req, StatusOK, nil, nil, nil, 0)
+		}
+		return c.binError(req, StatusKeyNotFound, []byte("Not found"))
+
+	case OpIncrement, OpDecrement:
+		if len(extras) < 20 {
+			return c.binError(req, StatusInvalidArgs, nil)
+		}
+		delta := binary.BigEndian.Uint64(extras[0:8])
+		initial := binary.BigEndian.Uint64(extras[8:16])
+		expRaw := binary.BigEndian.Uint32(extras[16:20])
+		var v uint64
+		var res engine.DeltaResult
+		if req.opcode == OpIncrement {
+			v, res = c.worker.Incr(key, delta)
+		} else {
+			v, res = c.worker.Decr(key, delta)
+		}
+		if res == engine.DeltaNotFound {
+			// 0xffffffff means "do not create".
+			if expRaw == 0xffffffff {
+				return c.binError(req, StatusKeyNotFound, []byte("Not found"))
+			}
+			text := make([]byte, 0, 20)
+			text = appendUintBin(text, initial)
+			if sr := c.worker.Add(key, 0, absoluteExptime(c.worker, uint64(expRaw)), text); sr != engine.Stored {
+				return c.binError(req, StatusOutOfMemory, []byte("Out of memory"))
+			}
+			v = initial
+		} else if res == engine.DeltaNonNumeric {
+			return c.binError(req, StatusNonNumeric, []byte("Non-numeric value"))
+		}
+		var out [8]byte
+		binary.BigEndian.PutUint64(out[:], v)
+		return c.binReply(req, StatusOK, nil, nil, out[:], 0)
+
+	case OpFlush:
+		c.worker.FlushAll()
+		return c.binReply(req, StatusOK, nil, nil, nil, 0)
+
+	case OpNoop:
+		return c.binReply(req, StatusOK, nil, nil, nil, 0)
+
+	case OpVersion:
+		return c.binReply(req, StatusOK, nil, nil, []byte(Version), 0)
+
+	case OpStat:
+		// One stat per frame, terminated by an empty key/value frame.
+		s := c.worker.Stats()
+		stats := []struct {
+			k string
+			v uint64
+		}{
+			{"cmd_get", s.GetCmds}, {"get_hits", s.GetHits},
+			{"get_misses", s.GetMisses}, {"cmd_set", s.SetCmds},
+			{"curr_items", s.CurrItems}, {"evictions", s.Evictions},
+			{"tm_transactions", s.STM.Commits}, {"tm_aborts", s.STM.Aborts},
+		}
+		for _, kv := range stats {
+			var buf [20]byte
+			n := copy(buf[:], appendUintBin(nil, kv.v))
+			if err := c.binReplyNoFlush(req, StatusOK, nil, []byte(kv.k), buf[:n], 0); err != nil {
+				return err
+			}
+		}
+		return c.binReply(req, StatusOK, nil, nil, nil, 0)
+
+	case OpQuit:
+		c.binReply(req, StatusOK, nil, nil, nil, 0)
+		return ErrQuit
+
+	default:
+		return c.binError(req, StatusUnknownCommand, []byte("Unknown command"))
+	}
+}
+
+func appendUintBin(dst []byte, v uint64) []byte {
+	if v == 0 {
+		return append(dst, '0')
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(dst, buf[i:]...)
+}
+
+func (c *Conn) binReply(req binHeader, status uint16, extras, key, value []byte, cas uint64) error {
+	if err := c.binReplyNoFlush(req, status, extras, key, value, cas); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+func (c *Conn) binReplyNoFlush(req binHeader, status uint16, extras, key, value []byte, cas uint64) error {
+	var hdr [24]byte
+	hdr[0] = binMagicRes
+	hdr[1] = req.opcode
+	binary.BigEndian.PutUint16(hdr[2:4], uint16(len(key)))
+	hdr[4] = byte(len(extras))
+	binary.BigEndian.PutUint16(hdr[6:8], status)
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(extras)+len(key)+len(value)))
+	binary.BigEndian.PutUint32(hdr[12:16], req.opaque)
+	binary.BigEndian.PutUint64(hdr[16:24], cas)
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	c.w.Write(extras)
+	c.w.Write(key)
+	_, err := c.w.Write(value)
+	return err
+}
+
+func (c *Conn) binError(req binHeader, status uint16, msg []byte) error {
+	return c.binReply(req, status, nil, nil, msg, 0)
+}

@@ -1,0 +1,383 @@
+// Package protocol implements the memcached wire protocols — the full text
+// protocol and the binary protocol subset memslap --binary exercises — on top
+// of an engine.Worker. The server hands each connection a Conn; Serve
+// auto-detects the protocol from the first byte, as memcached does.
+package protocol
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/engine"
+)
+
+// Version is the version string reported to clients; the paper's study uses
+// memcached 1.4.15, so we advertise a lineage-compatible tag.
+const Version = "1.4.15-tm-repro"
+
+// ErrQuit reports a clean client-requested shutdown of the connection.
+var ErrQuit = errors.New("protocol: quit")
+
+// MaxKeyLen is the protocol's 250-byte key limit.
+const MaxKeyLen = 250
+
+// MaxBodyLen bounds any value/body a client may declare (8 MiB, ample for
+// the 1 MiB slab-page limit); larger claims are drained, not allocated.
+const MaxBodyLen = 8 << 20
+
+// Conn serves one client connection.
+type Conn struct {
+	worker *engine.Worker
+	r      *bufio.Reader
+	w      *bufio.Writer
+
+	gatActive  bool
+	gatExptime uint64
+}
+
+// NewConn wraps a transport with a protocol handler bound to a worker.
+func NewConn(worker *engine.Worker, rw io.ReadWriter) *Conn {
+	return &Conn{worker: worker, r: bufio.NewReader(rw), w: bufio.NewWriter(rw)}
+}
+
+// Serve processes commands until EOF, quit, or a transport error.
+func (c *Conn) Serve() error {
+	for {
+		first, err := c.r.Peek(1)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		if first[0] == binMagicReq {
+			err = c.serveBinaryOne()
+		} else {
+			err = c.serveTextOne()
+		}
+		if err != nil {
+			if errors.Is(err, ErrQuit) {
+				return nil
+			}
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// serveTextOne handles a single text-protocol command line.
+func (c *Conn) serveTextOne() error {
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	if len(line) == 0 {
+		return c.reply("ERROR\r\n")
+	}
+	fields := bytes.Fields(line)
+	cmd := string(fields[0])
+	args := fields[1:]
+
+	switch cmd {
+	case "get", "gets":
+		return c.cmdGet(args, cmd == "gets", false)
+	case "gat", "gats":
+		return c.cmdGat(args, cmd == "gats")
+	case "set", "add", "replace", "append", "prepend", "cas":
+		return c.cmdStore(cmd, args)
+	case "delete":
+		return c.cmdDelete(args)
+	case "incr", "decr":
+		return c.cmdDelta(cmd, args)
+	case "touch":
+		return c.cmdTouch(args)
+	case "stats":
+		if len(args) > 0 {
+			switch string(args[0]) {
+			case "reset":
+				c.worker.ResetStats()
+				return c.reply("RESET\r\n")
+			case "slabs":
+				return c.cmdStatsSlabs()
+			}
+		}
+		return c.cmdStats()
+	case "flush_all":
+		return c.cmdFlushAll(args)
+	case "version":
+		return c.reply("VERSION " + Version + "\r\n")
+	case "verbosity":
+		if len(args) >= 1 {
+			return c.replyMaybe(args, "OK\r\n")
+		}
+		return c.clientError("usage: verbosity <level>")
+	case "quit":
+		return ErrQuit
+	default:
+		return c.reply("ERROR\r\n")
+	}
+}
+
+func (c *Conn) cmdGat(args [][]byte, withCAS bool) error {
+	if len(args) < 2 {
+		return c.clientError("gat requires exptime and a key")
+	}
+	exptime, err := strconv.ParseUint(string(args[0]), 10, 64)
+	if err != nil {
+		return c.clientError("invalid exptime argument")
+	}
+	c.gatExptime = absoluteExptime(c.worker, exptime)
+	defer func() { c.gatExptime = 0; c.gatActive = false }()
+	c.gatActive = true
+	return c.cmdGet(args[1:], withCAS, true)
+}
+
+func (c *Conn) cmdGet(args [][]byte, withCAS, touch bool) error {
+	if len(args) == 0 {
+		return c.clientError("get requires a key")
+	}
+	for _, key := range args {
+		if len(key) > MaxKeyLen {
+			return c.clientError("key too long")
+		}
+		var val []byte
+		var flags uint32
+		var cas uint64
+		var ok bool
+		if touch && c.gatActive {
+			val, flags, cas, ok = c.worker.GetAndTouch(key, c.gatExptime)
+		} else {
+			val, flags, cas, ok = c.worker.Get(key)
+		}
+		if !ok {
+			continue
+		}
+		if withCAS {
+			fmt.Fprintf(c.w, "VALUE %s %d %d %d\r\n", key, flags, len(val), cas)
+		} else {
+			fmt.Fprintf(c.w, "VALUE %s %d %d\r\n", key, flags, len(val))
+		}
+		c.w.Write(val)
+		c.w.WriteString("\r\n")
+	}
+	return c.reply("END\r\n")
+}
+
+func (c *Conn) cmdStore(cmd string, args [][]byte) error {
+	want := 4
+	if cmd == "cas" {
+		want = 5
+	}
+	if len(args) < want {
+		c.reply("ERROR\r\n")
+		return nil
+	}
+	key := args[0]
+	flags, err1 := strconv.ParseUint(string(args[1]), 10, 32)
+	exptime, err2 := strconv.ParseUint(string(args[2]), 10, 64)
+	nbytes, err3 := strconv.Atoi(string(args[3]))
+	var casUnique uint64
+	var err4 error
+	noreplyAt := 4
+	if cmd == "cas" {
+		casUnique, err4 = strconv.ParseUint(string(args[4]), 10, 64)
+		noreplyAt = 5
+	}
+	noreply := len(args) > noreplyAt && string(args[noreplyAt]) == "noreply"
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil || nbytes < 0 ||
+		nbytes > MaxBodyLen || len(key) > MaxKeyLen {
+		// Still must consume the data block to stay in sync — without
+		// allocating whatever size the client claimed.
+		if nbytes >= 0 {
+			c.discard(nbytes + 2)
+		}
+		if noreply {
+			return c.w.Flush()
+		}
+		return c.clientError("bad command line format")
+	}
+	data := make([]byte, nbytes)
+	if _, err := io.ReadFull(c.r, data); err != nil {
+		return err
+	}
+	var crlf [2]byte
+	if _, err := io.ReadFull(c.r, crlf[:]); err != nil {
+		return err
+	}
+	if crlf != [2]byte{'\r', '\n'} {
+		if noreply {
+			return c.w.Flush()
+		}
+		return c.clientError("bad data chunk")
+	}
+	// Relative expiry (≤ 30 days, memcached convention) is converted here.
+	exptime = absoluteExptime(c.worker, exptime)
+
+	var res engine.StoreResult
+	switch cmd {
+	case "set":
+		res = c.worker.Set(key, uint32(flags), exptime, data)
+	case "add":
+		res = c.worker.Add(key, uint32(flags), exptime, data)
+	case "replace":
+		res = c.worker.Replace(key, uint32(flags), exptime, data)
+	case "append":
+		res = c.worker.Append(key, data)
+	case "prepend":
+		res = c.worker.Prepend(key, data)
+	case "cas":
+		res = c.worker.CAS(key, uint32(flags), exptime, data, casUnique)
+	}
+	if noreply {
+		return c.w.Flush()
+	}
+	return c.reply(res.String() + "\r\n")
+}
+
+func (c *Conn) cmdDelete(args [][]byte) error {
+	if len(args) < 1 {
+		return c.clientError("delete requires a key")
+	}
+	if c.worker.Delete(args[0]) {
+		return c.replyMaybe(args[1:], "DELETED\r\n")
+	}
+	return c.replyMaybe(args[1:], "NOT_FOUND\r\n")
+}
+
+func (c *Conn) cmdDelta(cmd string, args [][]byte) error {
+	if len(args) < 2 {
+		return c.clientError("incr/decr require key and value")
+	}
+	delta, err := strconv.ParseUint(string(args[1]), 10, 64)
+	if err != nil {
+		return c.clientError("invalid numeric delta argument")
+	}
+	var v uint64
+	var res engine.DeltaResult
+	if cmd == "incr" {
+		v, res = c.worker.Incr(args[0], delta)
+	} else {
+		v, res = c.worker.Decr(args[0], delta)
+	}
+	switch res {
+	case engine.DeltaOK:
+		return c.replyMaybe(args[2:], strconv.FormatUint(v, 10)+"\r\n")
+	case engine.DeltaNotFound:
+		return c.replyMaybe(args[2:], "NOT_FOUND\r\n")
+	default:
+		return c.clientError("cannot increment or decrement non-numeric value")
+	}
+}
+
+func (c *Conn) cmdTouch(args [][]byte) error {
+	if len(args) < 2 {
+		return c.clientError("touch requires key and exptime")
+	}
+	exptime, err := strconv.ParseUint(string(args[1]), 10, 64)
+	if err != nil {
+		return c.clientError("invalid exptime argument")
+	}
+	if c.worker.Touch(args[0], absoluteExptime(c.worker, exptime)) {
+		return c.replyMaybe(args[2:], "TOUCHED\r\n")
+	}
+	return c.replyMaybe(args[2:], "NOT_FOUND\r\n")
+}
+
+func (c *Conn) cmdStats() error {
+	s := c.worker.Stats()
+	stat := func(k string, v uint64) { fmt.Fprintf(c.w, "STAT %s %d\r\n", k, v) }
+	fmt.Fprintf(c.w, "STAT version %s\r\n", Version)
+	stat("cmd_get", s.GetCmds)
+	stat("get_hits", s.GetHits)
+	stat("get_misses", s.GetMisses)
+	stat("cmd_set", s.SetCmds)
+	stat("delete_hits", s.DeleteHits)
+	stat("delete_misses", s.DeleteMiss)
+	stat("incr_hits", s.IncrHits)
+	stat("incr_misses", s.IncrMiss)
+	stat("cas_hits", s.CasHits)
+	stat("cas_misses", s.CasMiss)
+	stat("cas_badval", s.CasBadval)
+	stat("cmd_touch", s.TouchCmds)
+	stat("curr_items", s.CurrItems)
+	stat("total_items", s.TotalItems)
+	stat("bytes", s.CurrBytes)
+	stat("evictions", s.Evictions)
+	stat("expired_unfetched", s.Expired)
+	stat("slabs_moved", s.Reassigned)
+	stat("hash_expansions", s.HashExpands)
+	stat("hash_items", s.HashItems)
+	stat("hash_buckets", s.HashBuckets)
+	stat("limit_maxbytes", s.SlabBytes)
+	stat("tm_transactions", s.STM.Commits)
+	stat("tm_aborts", s.STM.Aborts)
+	stat("tm_inflight_switch", s.STM.InFlightSwitch)
+	stat("tm_start_serial", s.STM.StartSerial)
+	stat("tm_abort_serial", s.STM.AbortSerial)
+	return c.reply("END\r\n")
+}
+
+func (c *Conn) cmdStatsSlabs() error {
+	for _, s := range c.worker.SlabStats() {
+		fmt.Fprintf(c.w, "STAT %d:chunk_size %d\r\n", s.Class, s.ChunkSize)
+		fmt.Fprintf(c.w, "STAT %d:total_pages %d\r\n", s.Class, s.Pages)
+		fmt.Fprintf(c.w, "STAT %d:used_chunks %d\r\n", s.Class, s.UsedChunks)
+		fmt.Fprintf(c.w, "STAT %d:free_chunks %d\r\n", s.Class, s.FreeChunks)
+	}
+	return c.reply("END\r\n")
+}
+
+func (c *Conn) cmdFlushAll(args [][]byte) error {
+	c.worker.FlushAll()
+	return c.replyMaybe(args, "OK\r\n")
+}
+
+// ---------------------------------------------------------------------------
+// helpers
+
+// absoluteExptime converts relative expiry seconds (≤ 30 days) to absolute.
+func absoluteExptime(w *engine.Worker, exptime uint64) uint64 {
+	const thirtyDays = 60 * 60 * 24 * 30
+	if exptime == 0 || exptime > thirtyDays {
+		return exptime
+	}
+	return w.CacheNow() + exptime
+}
+
+func (c *Conn) readLine() ([]byte, error) {
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	line = bytes.TrimRight(line, "\r\n")
+	return line, nil
+}
+
+func (c *Conn) discard(n int) {
+	if n > 0 {
+		io.CopyN(io.Discard, c.r, int64(n))
+	}
+}
+
+func (c *Conn) reply(s string) error {
+	c.w.WriteString(s)
+	return c.w.Flush()
+}
+
+// replyMaybe suppresses the reply when the trailing argument is "noreply".
+func (c *Conn) replyMaybe(rest [][]byte, s string) error {
+	if len(rest) > 0 && string(rest[len(rest)-1]) == "noreply" {
+		return c.w.Flush()
+	}
+	return c.reply(s)
+}
+
+func (c *Conn) clientError(msg string) error {
+	return c.reply("CLIENT_ERROR " + msg + "\r\n")
+}

@@ -1,0 +1,98 @@
+package sem
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPostThenWait(t *testing.T) {
+	s := New(0)
+	s.Post()
+	s.Wait() // must not block
+	if got := s.Value(); got != 0 {
+		t.Errorf("Value = %d, want 0", got)
+	}
+}
+
+func TestInitialCount(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 3; i++ {
+		if !s.TryWait() {
+			t.Fatalf("TryWait %d failed", i)
+		}
+	}
+	if s.TryWait() {
+		t.Error("TryWait succeeded on empty semaphore")
+	}
+}
+
+func TestPostsAccumulate(t *testing.T) {
+	// The property that makes the Fig. 2 transformation correct: posts issued
+	// before the waiter arrives are not lost (unlike cond_signal).
+	s := New(0)
+	for i := 0; i < 5; i++ {
+		s.Post()
+	}
+	for i := 0; i < 5; i++ {
+		if !s.TryWait() {
+			t.Fatalf("post %d was lost", i)
+		}
+	}
+}
+
+func TestWaitBlocksUntilPost(t *testing.T) {
+	s := New(0)
+	var woke atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		s.Wait()
+		woke.Store(true)
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if woke.Load() {
+		t.Fatal("Wait returned before Post")
+	}
+	s.Post()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Wait did not wake after Post")
+	}
+}
+
+func TestManyWaitersManyPosters(t *testing.T) {
+	s := New(0)
+	const n = 50
+	var wg sync.WaitGroup
+	var served atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Wait()
+			served.Add(1)
+		}()
+	}
+	for i := 0; i < n; i++ {
+		go s.Post()
+	}
+	wg.Wait()
+	if served.Load() != n {
+		t.Errorf("served = %d, want %d", served.Load(), n)
+	}
+	if s.TryWait() {
+		t.Error("extra count left over")
+	}
+}
+
+func TestNegativeInitialPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for negative initial count")
+		}
+	}()
+	New(-1)
+}

@@ -1,0 +1,92 @@
+// Package server provides the TCP front end: it accepts connections, binds
+// each to an engine worker, and speaks the memcached protocols via
+// internal/protocol. Go's goroutine-per-connection model stands in for
+// memcached's libevent worker threads; the synchronization structure under
+// study (worker threads sharing the cache with maintenance threads) is
+// identical.
+package server
+
+import (
+	"errors"
+	"net"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/protocol"
+)
+
+// Server is a running memcached front end.
+type Server struct {
+	cache *engine.Cache
+	ln    net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// Listen starts serving cache on addr (e.g. "127.0.0.1:0"). The cache's
+// maintenance threads must already be started.
+func Listen(cache *engine.Cache, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cache: cache, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			worker := s.cache.NewWorker()
+			_ = protocol.NewConn(worker, conn).Serve()
+		}()
+	}
+}
+
+// Close stops accepting, closes live connections, and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("server: already closed")
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}

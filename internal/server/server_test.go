@@ -1,0 +1,132 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func startServer(t *testing.T, b engine.Branch) (*Server, *engine.Cache) {
+	t.Helper()
+	c := engine.New(engine.Config{Branch: b, HashPower: 8})
+	c.Start()
+	s, err := Listen(c, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() {
+		s.Close()
+		c.Stop()
+	})
+	return s, c
+}
+
+func roundTrip(t *testing.T, addr, send string, wantPrefix string) string {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte(send)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !strings.HasPrefix(line, wantPrefix) {
+		t.Errorf("reply %q, want prefix %q", line, wantPrefix)
+	}
+	return line
+}
+
+func TestServeTextOverTCP(t *testing.T) {
+	s, _ := startServer(t, engine.Baseline)
+	roundTrip(t, s.Addr(), "set k 0 0 5\r\nhello\r\n", "STORED")
+	roundTrip(t, s.Addr(), "version\r\n", "VERSION")
+}
+
+func TestConnectionsShareTheCache(t *testing.T) {
+	s, _ := startServer(t, engine.ITOnCommit)
+	roundTrip(t, s.Addr(), "set shared 0 0 3\r\nabc\r\n", "STORED")
+
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "get shared\r\n")
+	r := bufio.NewReader(conn)
+	line, _ := r.ReadString('\n')
+	if !strings.HasPrefix(line, "VALUE shared 0 3") {
+		t.Errorf("second connection missed: %q", line)
+	}
+}
+
+func TestManyConcurrentConnections(t *testing.T) {
+	s, _ := startServer(t, engine.IPOnCommit)
+	const conns = 16
+	var wg sync.WaitGroup
+	for i := 0; i < conns; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", s.Addr())
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			for op := 0; op < 30; op++ {
+				key := fmt.Sprintf("k-%d-%d", i, op%5)
+				fmt.Fprintf(conn, "set %s 0 0 2\r\nvv\r\n", key)
+				if line, err := r.ReadString('\n'); err != nil || line != "STORED\r\n" {
+					t.Errorf("set: %q %v", line, err)
+					return
+				}
+				fmt.Fprintf(conn, "get %s\r\n", key)
+				if line, err := r.ReadString('\n'); err != nil || !strings.HasPrefix(line, "VALUE") {
+					t.Errorf("get: %q %v", line, err)
+					return
+				}
+				r.ReadString('\n') // data
+				r.ReadString('\n') // END
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestCloseTerminates(t *testing.T) {
+	c := engine.New(engine.Config{Branch: engine.Semaphore, HashPower: 8})
+	c.Start()
+	defer c.Stop()
+	s, err := Listen(c, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Close(); err == nil {
+		t.Error("double Close did not error")
+	}
+	// The held connection must have been torn down.
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("connection still alive after Close")
+	}
+}

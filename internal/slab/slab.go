@@ -1,0 +1,200 @@
+// Package slab models memcached's slab allocator (slabs.c): memory is carved
+// into 1 MiB pages assigned to size classes whose chunk sizes grow by a fixed
+// factor; each class keeps a freelist of chunks. Item payloads live in Go
+// memory (the garbage collector is our malloc), so what this package manages
+// is the accounting and the concurrency structure — the slabs_lock domain the
+// paper has to transactionalize, including the slab-rebalance signal whose
+// pthread trylock became a transactional boolean (§3.1).
+//
+// All shared state is accessed through an access.Ctx supplied by the caller,
+// which must hold the slabs lock (lock branches) or be inside a transaction
+// covering the slabs domain (transactional branches).
+package slab
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/stm"
+)
+
+// PageSize is the memcached slab page size (1 MiB).
+const PageSize = 1 << 20
+
+// DefaultGrowthFactor matches memcached's -f default of 1.25.
+const DefaultGrowthFactor = 1.25
+
+// MinChunkSize is the smallest chunk size (memcached: 48 + item header).
+const MinChunkSize = 96
+
+// Class is one slab class.
+type Class struct {
+	// ChunkSize and PerPage are immutable after initialization.
+	ChunkSize int
+	PerPage   int
+
+	// Free counts chunks in the freelist; Pages counts pages assigned.
+	Free  *stm.TWord
+	Pages *stm.TWord
+}
+
+// Allocator is the slab allocator.
+type Allocator struct {
+	classes []Class
+
+	// MemAllocated tracks bytes handed to classes; MemLimit bounds it.
+	MemAllocated *stm.TWord
+	MemLimit     uint64
+
+	// Rebalance is the transactional boolean that replaced the
+	// slab_rebalance pthread lock: set while a page move is in flight so
+	// concurrent maintenance backs off (the trylock pattern, §3.1).
+	Rebalance *stm.TWord
+}
+
+// New builds an allocator with chunk sizes growing from MinChunkSize by
+// factor until maxChunk, with the given total memory limit in bytes.
+func New(memLimit uint64, factor float64, maxChunk int) *Allocator {
+	if factor <= 1 {
+		factor = DefaultGrowthFactor
+	}
+	if maxChunk <= 0 || maxChunk > PageSize {
+		maxChunk = PageSize / 2
+	}
+	a := &Allocator{
+		MemAllocated: stm.NewTWord(0),
+		MemLimit:     memLimit,
+		Rebalance:    stm.NewTWord(0),
+	}
+	size := MinChunkSize
+	for size < maxChunk {
+		a.classes = append(a.classes, Class{
+			ChunkSize: size,
+			PerPage:   PageSize / size,
+			Free:      stm.NewTWord(0),
+			Pages:     stm.NewTWord(0),
+		})
+		next := int(float64(size) * factor)
+		if next <= size {
+			next = size + 8
+		}
+		size = (next + 7) &^ 7 // 8-byte alignment, as memcached does
+	}
+	// Final class at maxChunk.
+	a.classes = append(a.classes, Class{
+		ChunkSize: maxChunk,
+		PerPage:   PageSize / maxChunk,
+		Free:      stm.NewTWord(0),
+		Pages:     stm.NewTWord(0),
+	})
+	return a
+}
+
+// NumClasses returns the number of size classes.
+func (a *Allocator) NumClasses() int { return len(a.classes) }
+
+// ChunkSize returns the chunk size of class cls.
+func (a *Allocator) ChunkSize(cls int) int { return a.classes[cls].ChunkSize }
+
+// ClassFor returns the smallest class whose chunks fit size bytes, or an
+// error if the object is too large for any class (SERVER_ERROR object too
+// large for cache).
+func (a *Allocator) ClassFor(size int) (int, error) {
+	for i := range a.classes {
+		if a.classes[i].ChunkSize >= size {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("slab: object of %d bytes too large for cache", size)
+}
+
+// Alloc takes one chunk from class cls, growing the class by a page if
+// memory remains. It reports false when the cache is full and the caller
+// must evict (slabs_alloc returning NULL).
+func (a *Allocator) Alloc(c access.Ctx, cls int) bool {
+	cl := &a.classes[cls]
+	if free := c.Word(cl.Free); free > 0 {
+		c.SetWord(cl.Free, free-1)
+		return true
+	}
+	if c.Word(a.MemAllocated)+PageSize > a.MemLimit {
+		return false
+	}
+	c.AddWord(a.MemAllocated, PageSize)
+	c.AddWord(cl.Pages, 1)
+	c.SetWord(cl.Free, uint64(cl.PerPage-1)) // one chunk handed out now
+	return true
+}
+
+// Release returns one chunk of class cls to its freelist (slabs_free).
+func (a *Allocator) Release(c access.Ctx, cls int) {
+	c.AddWord(a.classes[cls].Free, 1)
+}
+
+// FreeChunks returns the freelist length of class cls.
+func (a *Allocator) FreeChunks(c access.Ctx, cls int) uint64 {
+	return c.Word(a.classes[cls].Free)
+}
+
+// PagesOf returns the number of pages assigned to class cls.
+func (a *Allocator) PagesOf(c access.Ctx, cls int) uint64 {
+	return c.Word(a.classes[cls].Pages)
+}
+
+// Allocated returns the bytes currently assigned to classes.
+func (a *Allocator) Allocated(c access.Ctx) uint64 { return c.Word(a.MemAllocated) }
+
+// TryStartRebalance attempts to claim the rebalance flag — the transactional
+// replacement for pthread_mutex_trylock(slab_rebalance_lock). The caller must
+// be inside the slabs concurrency domain.
+func (a *Allocator) TryStartRebalance(c access.Ctx) bool {
+	if c.Word(a.Rebalance) != 0 {
+		return false
+	}
+	c.SetWord(a.Rebalance, 1)
+	return true
+}
+
+// EndRebalance clears the rebalance flag.
+func (a *Allocator) EndRebalance(c access.Ctx) { c.SetWord(a.Rebalance, 0) }
+
+// RebalanceInFlight reports whether a page move is in progress.
+func (a *Allocator) RebalanceInFlight(c access.Ctx) bool { return c.Word(a.Rebalance) != 0 }
+
+// PickMove selects a donor and recipient class for the rebalancer: the donor
+// has the most fully-free pages, the recipient has no free chunks. It returns
+// ok=false when no useful move exists.
+func (a *Allocator) PickMove(c access.Ctx) (donor, recipient int, ok bool) {
+	donor, recipient = -1, -1
+	var bestFreePages uint64
+	for i := range a.classes {
+		cl := &a.classes[i]
+		freePages := c.Word(cl.Free) / uint64(cl.PerPage)
+		if c.Word(cl.Pages) > 1 && freePages > bestFreePages {
+			bestFreePages = freePages
+			donor = i
+		}
+		if recipient == -1 && c.Word(cl.Pages) > 0 && c.Word(cl.Free) == 0 {
+			recipient = i
+		}
+	}
+	if donor == -1 || recipient == -1 || donor == recipient || bestFreePages == 0 {
+		return 0, 0, false
+	}
+	return donor, recipient, true
+}
+
+// MovePage transfers one fully-free page from donor to recipient
+// (slab_rebalance_move). The caller must have claimed the rebalance flag.
+func (a *Allocator) MovePage(c access.Ctx, donor, recipient int) bool {
+	d, r := &a.classes[donor], &a.classes[recipient]
+	free := c.Word(d.Free)
+	if free < uint64(d.PerPage) || c.Word(d.Pages) == 0 {
+		return false
+	}
+	c.SetWord(d.Free, free-uint64(d.PerPage))
+	c.AddWord(d.Pages, ^uint64(0))
+	c.AddWord(r.Pages, 1)
+	c.AddWord(r.Free, uint64(r.PerPage))
+	return true
+}

@@ -1,0 +1,198 @@
+package slab
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/stm"
+)
+
+var dc = access.DirectCtx{}
+
+func TestClassSizesGrow(t *testing.T) {
+	a := New(64<<20, 1.25, 8192)
+	if a.NumClasses() < 10 {
+		t.Fatalf("NumClasses = %d, want a real ladder", a.NumClasses())
+	}
+	prev := 0
+	for i := 0; i < a.NumClasses(); i++ {
+		cs := a.ChunkSize(i)
+		if cs <= prev {
+			t.Errorf("class %d size %d not increasing", i, cs)
+		}
+		if cs%8 != 0 {
+			t.Errorf("class %d size %d not 8-aligned", i, cs)
+		}
+		prev = cs
+	}
+}
+
+func TestClassFor(t *testing.T) {
+	a := New(64<<20, 1.25, 8192)
+	cls, err := a.ClassFor(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ChunkSize(cls) < 100 {
+		t.Errorf("chunk %d too small", a.ChunkSize(cls))
+	}
+	if cls > 0 && a.ChunkSize(cls-1) >= 100 {
+		t.Errorf("not the smallest fitting class")
+	}
+	if _, err := a.ClassFor(1 << 30); err == nil {
+		t.Error("huge object accepted")
+	}
+}
+
+func TestAllocGrowsByPage(t *testing.T) {
+	a := New(4<<20, 1.25, 8192)
+	cls, _ := a.ClassFor(1000)
+	if !a.Alloc(dc, cls) {
+		t.Fatal("first Alloc failed")
+	}
+	per := PageSize / a.ChunkSize(cls)
+	if got := a.FreeChunks(dc, cls); got != uint64(per-1) {
+		t.Errorf("free after first alloc = %d, want %d", got, per-1)
+	}
+	if got := a.PagesOf(dc, cls); got != 1 {
+		t.Errorf("pages = %d", got)
+	}
+	if got := a.Allocated(dc); got != PageSize {
+		t.Errorf("allocated = %d", got)
+	}
+}
+
+func TestAllocExhaustsAtLimit(t *testing.T) {
+	a := New(2<<20, 1.25, 8192) // two pages
+	cls, _ := a.ClassFor(100000)
+	per := PageSize / a.ChunkSize(cls)
+	total := 0
+	for a.Alloc(dc, cls) {
+		total++
+		if total > 3*per {
+			t.Fatal("allocator never exhausted")
+		}
+	}
+	if total != 2*per {
+		t.Errorf("allocated %d chunks, want %d", total, 2*per)
+	}
+	// Release returns capacity.
+	a.Release(dc, cls)
+	if !a.Alloc(dc, cls) {
+		t.Error("Alloc failed after Release")
+	}
+}
+
+func TestRebalanceFlag(t *testing.T) {
+	a := New(4<<20, 1.25, 8192)
+	if !a.TryStartRebalance(dc) {
+		t.Fatal("flag initially claimed")
+	}
+	if a.TryStartRebalance(dc) {
+		t.Error("second claim succeeded — trylock semantics broken")
+	}
+	if !a.RebalanceInFlight(dc) {
+		t.Error("in-flight not visible")
+	}
+	a.EndRebalance(dc)
+	if !a.TryStartRebalance(dc) {
+		t.Error("claim after release failed")
+	}
+}
+
+func TestPickAndMovePage(t *testing.T) {
+	a := New(8<<20, 2.0, 8192)
+	donor, _ := a.ClassFor(1000)
+	recipient, _ := a.ClassFor(8000)
+	if donor == recipient {
+		t.Fatal("test needs distinct classes")
+	}
+	// Donor: two pages, fully free after releases. Recipient: one page, empty
+	// freelist.
+	if !a.Alloc(dc, donor) {
+		t.Fatal("alloc donor")
+	}
+	a.Release(dc, donor)
+	// Force second page by draining the first.
+	for a.FreeChunks(dc, donor) > 0 {
+		a.Alloc(dc, donor)
+	}
+	a.Alloc(dc, donor)
+	for a.FreeChunks(dc, donor) > 0 {
+		a.Alloc(dc, donor)
+	}
+	// Now give all chunks back: 2 pages fully free.
+	per := PageSize / a.ChunkSize(donor)
+	for i := 0; i < 2*per; i++ {
+		a.Release(dc, donor)
+	}
+	// Recipient with zero free chunks.
+	if !a.Alloc(dc, recipient) {
+		t.Fatal("alloc recipient")
+	}
+	for a.FreeChunks(dc, recipient) > 0 {
+		a.Alloc(dc, recipient)
+	}
+
+	d, r, ok := a.PickMove(dc)
+	if !ok {
+		t.Fatal("PickMove found nothing")
+	}
+	if d != donor || r != recipient {
+		t.Errorf("PickMove = (%d,%d), want (%d,%d)", d, r, donor, recipient)
+	}
+	beforeR := a.PagesOf(dc, recipient)
+	if !a.MovePage(dc, d, r) {
+		t.Fatal("MovePage failed")
+	}
+	if a.PagesOf(dc, recipient) != beforeR+1 {
+		t.Error("recipient page count unchanged")
+	}
+	if got := a.FreeChunks(dc, recipient); got != uint64(PageSize/a.ChunkSize(recipient)) {
+		t.Errorf("recipient free = %d", got)
+	}
+	if a.PagesOf(dc, donor) != 1 {
+		t.Errorf("donor pages = %d, want 1", a.PagesOf(dc, donor))
+	}
+}
+
+func TestMovePageRefusesPartialPages(t *testing.T) {
+	a := New(8<<20, 2.0, 8192)
+	cls, _ := a.ClassFor(1000)
+	a.Alloc(dc, cls) // one chunk in use: page not fully free
+	if a.MovePage(dc, cls, cls+1) {
+		t.Error("moved a partially-used page")
+	}
+}
+
+func TestAllocatorUnderTransactions(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	th := rt.NewThread()
+	a := New(4<<20, 1.25, 8192)
+	cls, _ := a.ClassFor(500)
+	err := th.Run(stm.Props{Kind: stm.Atomic}, func(tx *stm.Tx) {
+		ctx := access.TxCtx{T: tx, Profile: access.Profile{TxVolatiles: true, SafeLibc: true}}
+		if !a.Alloc(ctx, cls) {
+			t.Error("Alloc in tx failed")
+		}
+		a.Release(ctx, cls)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := PageSize / a.ChunkSize(cls)
+	if got := a.FreeChunks(dc, cls); got != uint64(per) {
+		t.Errorf("free = %d, want %d", got, per)
+	}
+}
+
+func TestDefaultFactorAndBounds(t *testing.T) {
+	a := New(1<<20, 0, 0) // defaults
+	if a.NumClasses() == 0 {
+		t.Fatal("no classes")
+	}
+	last := a.ChunkSize(a.NumClasses() - 1)
+	if last > PageSize/2 {
+		t.Errorf("largest chunk %d exceeds default max", last)
+	}
+}

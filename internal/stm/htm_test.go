@@ -1,0 +1,172 @@
+package stm
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestHTMBasicCommit(t *testing.T) {
+	rt := New(Config{Algorithm: HTM})
+	th := rt.NewThread()
+	w := NewTWord(1)
+	mustRun(t, th, Props{Kind: Atomic}, func(tx *Tx) {
+		w.Store(tx, w.Load(tx)+1)
+	})
+	if w.LoadDirect() != 2 {
+		t.Errorf("w = %d", w.LoadDirect())
+	}
+	s := rt.Stats()
+	if s.Commits != 1 || s.HTMFallbacks != 0 || s.HTMCapacityAborts != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestHTMCapacityFallback(t *testing.T) {
+	rt := New(Config{Algorithm: HTM, HTMCapacity: 8, HTMRetries: 2})
+	th := rt.NewThread()
+	words := make([]*TWord, 32)
+	for i := range words {
+		words[i] = NewTWord(0)
+	}
+	// A transaction touching 32 locations cannot fit in an 8-location
+	// hardware transaction: it must capacity-abort HTMRetries times and then
+	// complete via the lock fallback.
+	mustRun(t, th, Props{Kind: Atomic}, func(tx *Tx) {
+		for _, w := range words {
+			w.Store(tx, w.Load(tx)+1)
+		}
+	})
+	for i, w := range words {
+		if w.LoadDirect() != 1 {
+			t.Fatalf("words[%d] = %d", i, w.LoadDirect())
+		}
+	}
+	s := rt.Stats()
+	if s.HTMCapacityAborts != 2 {
+		t.Errorf("capacity aborts = %d, want 2 (HTMRetries)", s.HTMCapacityAborts)
+	}
+	if s.HTMFallbacks != 1 {
+		t.Errorf("fallbacks = %d, want 1", s.HTMFallbacks)
+	}
+	if s.SerialCommits != 1 {
+		t.Errorf("serial commits = %d, want 1 (the fallback)", s.SerialCommits)
+	}
+}
+
+func TestHTMAbortedBySerialWriter(t *testing.T) {
+	rt := New(Config{Algorithm: HTM, HTMRetries: 100})
+	w := NewTWord(0)
+
+	inTx := make(chan struct{})
+	proceed := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	attempts := 0
+	go func() {
+		defer wg.Done()
+		th := rt.NewThread()
+		mustRun(t, th, Props{Kind: Atomic}, func(tx *Tx) {
+			attempts++
+			_ = w.Load(tx)
+			if attempts == 1 {
+				close(inTx)
+				<-proceed // a serial transaction runs while we are in flight
+			}
+			w.Store(tx, w.Load(tx)+1)
+		})
+	}()
+	<-inTx
+	// A relaxed start-serial transaction acquires the lock: the in-flight
+	// hardware transaction must abort at its commit subscription check.
+	th := rt.NewThread()
+	serDone := make(chan struct{})
+	go func() {
+		mustRun(t, th, Props{Kind: Relaxed, StartSerial: true}, func(tx *Tx) {
+			w.Store(tx, 100)
+		})
+		close(serDone)
+	}()
+	<-serDone
+	close(proceed)
+	wg.Wait()
+	if attempts < 2 {
+		t.Errorf("attempts = %d; the serial writer should have aborted attempt 1", attempts)
+	}
+	if got := w.LoadDirect(); got != 101 {
+		t.Errorf("w = %d, want 101 (serial write then +1)", got)
+	}
+}
+
+func TestHTMConcurrentCounter(t *testing.T) {
+	rt := New(Config{Algorithm: HTM, HTMRetries: 4})
+	ctr := NewTWord(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := rt.NewThread()
+			for i := 0; i < 1500; i++ {
+				mustRun(t, th, Props{Kind: Atomic}, func(tx *Tx) {
+					ctr.Store(tx, ctr.Load(tx)+1)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ctr.LoadDirect(); got != 9000 {
+		t.Errorf("ctr = %d, want 9000", got)
+	}
+}
+
+func TestHTMForcesSerialLockOn(t *testing.T) {
+	rt := New(Config{Algorithm: HTM, NoSerialLock: true})
+	if rt.Config().NoSerialLock {
+		t.Error("HTM must keep the serial lock (it is the fallback path)")
+	}
+}
+
+// TestHTMSerializationPoisonsThroughput demonstrates the §5 claim: with
+// frequent serialized transactions, hardware transactions keep aborting on
+// the lock subscription and falling back, so almost everything ends up
+// serial.
+func TestHTMSerializationPoisonsThroughput(t *testing.T) {
+	rt := New(Config{Algorithm: HTM, HTMRetries: 2})
+	w := NewTWord(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := rt.NewThread()
+			for i := 0; i < 500; i++ {
+				if g == 0 {
+					// A stream of relaxed/serial transactions.
+					mustRun(t, th, Props{Kind: Relaxed, StartSerial: true}, func(tx *Tx) {
+						w.Store(tx, w.Load(tx)+1)
+					})
+				} else {
+					mustRun(t, th, Props{Kind: Atomic}, func(tx *Tx) {
+						v := w.Load(tx)
+						// Yield mid-transaction so the serial stream overlaps
+						// us (on one core, overlap requires preemption).
+						runtime.Gosched()
+						w.Store(tx, v+1)
+					})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := w.LoadDirect(); got != 2000 {
+		t.Fatalf("w = %d, want 2000", got)
+	}
+	s := rt.Stats()
+	if s.HTMFallbacks == 0 {
+		t.Error("expected lock fallbacks under a serialized workload")
+	}
+	t.Logf("commits=%d serial=%d fallbacks=%d capacity-aborts=%d",
+		s.Commits, s.SerialCommits, s.HTMFallbacks, s.HTMCapacityAborts)
+}

@@ -1,0 +1,33 @@
+package stm
+
+import "sync/atomic"
+
+// orec is an ownership record. The word holds either a version number (even,
+// version = word>>1) or, when the low bit is set, the lock word of the owning
+// transaction attempt.
+//
+// Many locations hash to one orec; that is by design (false conflicts are part
+// of the algorithm family being modeled).
+type orec struct {
+	v atomic.Uint64
+	_ [7]uint64 // pad to a cache line to keep orec contention honest
+}
+
+func orecLocked(w uint64) bool    { return w&1 != 0 }
+func orecVersion(w uint64) uint64 { return w >> 1 }
+func versionWord(ver uint64) uint64 {
+	return ver << 1
+}
+
+// ownedOrec remembers an orec this transaction has locked and the version word
+// to restore on abort.
+type ownedOrec struct {
+	o    *orec
+	prev uint64
+}
+
+// orecRead is a read-set entry for orec-based algorithms.
+type orecRead struct {
+	o   *orec
+	ver uint64 // version word observed at read time (always even)
+}

@@ -1,0 +1,72 @@
+package stm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// SerializationProfile attributes serialization events to their causes — the
+// analogue of the execinfo-based profiling the paper's authors added to the
+// GCC TM library ("manually diagnosing the causes of aborts and serialization
+// was challenging, and we eventually extended the GCC TM library ... to
+// provide more meaningful profiling data", §6).
+//
+// Profiling is off by default; enable it with Runtime.EnableProfiling. Each
+// in-flight switch is attributed to the unsafe operation that forced it (the
+// string passed to Tx.Unsafe), and abort-serial events to the contention
+// manager.
+type SerializationProfile struct {
+	mu     sync.Mutex
+	causes map[string]uint64
+}
+
+// EnableProfiling turns on serialization-cause attribution.
+func (rt *Runtime) EnableProfiling() {
+	rt.prof.CompareAndSwap(nil, &SerializationProfile{causes: make(map[string]uint64)})
+}
+
+// Profile returns the current profile, or nil when profiling is disabled.
+func (rt *Runtime) Profile() *SerializationProfile { return rt.prof.Load() }
+
+func (rt *Runtime) profileCause(cause string) {
+	p := rt.prof.Load()
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.causes[cause]++
+	p.mu.Unlock()
+}
+
+// CauseCount is one attributed serialization cause.
+type CauseCount struct {
+	Cause string
+	Count uint64
+}
+
+// Causes returns the attributed events, most frequent first.
+func (p *SerializationProfile) Causes() []CauseCount {
+	p.mu.Lock()
+	out := make([]CauseCount, 0, len(p.causes))
+	for c, n := range p.causes {
+		out = append(out, CauseCount{Cause: c, Count: n})
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Cause < out[j].Cause
+	})
+	return out
+}
+
+// String renders the profile as a report.
+func (p *SerializationProfile) String() string {
+	out := "serialization causes:\n"
+	for _, c := range p.Causes() {
+		out += fmt.Sprintf("  %8d  %s\n", c.Count, c.Cause)
+	}
+	return out
+}

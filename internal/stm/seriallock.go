@@ -1,0 +1,113 @@
+package stm
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// serialLock is the global readers/writer lock of the GCC TM runtime. Every
+// speculative transaction holds it in read mode for its whole lifetime;
+// serial-irrevocable transactions hold it in write mode. The single shared
+// cache line it occupies is the bottleneck Figure 10 of the paper removes.
+//
+// When disabled (Config.NoSerialLock), the read side is free and the write
+// side degrades to a plain mutex that excludes only other serial transactions.
+type serialLock struct {
+	state    atomic.Int64  // reader count; writerBit set while a writer owns or waits
+	seq      atomic.Uint64 // write-acquisition count; HTM subscribes to this
+	disabled bool
+	fallback sync.Mutex // write-side mutual exclusion when disabled
+}
+
+const writerBit int64 = 1 << 62
+
+// RLock acquires the lock in read mode (transaction begin).
+func (l *serialLock) RLock() {
+	if l.disabled {
+		return
+	}
+	spins := 0
+	for {
+		s := l.state.Load()
+		if s&writerBit == 0 {
+			if l.state.CompareAndSwap(s, s+1) {
+				return
+			}
+			continue
+		}
+		spins++
+		if spins > 64 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// RUnlock releases the read side (transaction commit or abort).
+func (l *serialLock) RUnlock() {
+	if l.disabled {
+		return
+	}
+	l.state.Add(-1)
+}
+
+// Lock acquires the lock in write mode (serial transaction begin). Each
+// acquisition bumps the subscription sequence, aborting in-flight emulated
+// hardware transactions at their commit check.
+func (l *serialLock) Lock() {
+	if l.disabled {
+		l.fallback.Lock()
+		l.seq.Add(1)
+		return
+	}
+	// Announce writer intent, then drain readers. Competing writers spin on
+	// the bit; there is at most a handful (serialized transactions), so
+	// fairness is not a concern here, matching libitm.
+	spins := 0
+	for {
+		s := l.state.Load()
+		if s&writerBit == 0 && l.state.CompareAndSwap(s, s|writerBit) {
+			break
+		}
+		spins++
+		if spins > 64 {
+			runtime.Gosched()
+		}
+	}
+	spins = 0
+	for l.state.Load() != writerBit {
+		spins++
+		if spins > 64 {
+			runtime.Gosched()
+		}
+	}
+	l.seq.Add(1)
+}
+
+// subscribe waits until no writer is active and returns the current
+// acquisition sequence (hardware-transaction begin).
+func (l *serialLock) subscribe() uint64 {
+	spins := 0
+	for l.state.Load()&writerBit != 0 {
+		spins++
+		if spins > 64 {
+			runtime.Gosched()
+		}
+	}
+	return l.seq.Load()
+}
+
+// stillSubscribed reports whether no serial writer ran or is running since
+// the given sequence (hardware-transaction commit check).
+func (l *serialLock) stillSubscribed(seq uint64) bool {
+	return l.seq.Load() == seq && l.state.Load()&writerBit == 0
+}
+
+// Unlock releases the write side.
+func (l *serialLock) Unlock() {
+	if l.disabled {
+		l.fallback.Unlock()
+		return
+	}
+	l.state.Add(-writerBit)
+}

@@ -1,0 +1,220 @@
+package stm
+
+import "sync/atomic"
+
+// ids numbers transactional locations. Location ids, not addresses, feed the
+// orec hash; this sidesteps Go's lack of stable addresses-as-integers without
+// package unsafe.
+var ids atomic.Uint64
+
+func nextID() uint64          { return ids.Add(1) }
+func reserveIDs(n int) uint64 { return ids.Add(uint64(n)) - uint64(n) + 1 }
+
+// TWord is a word-sized transactional location (counters, booleans, sizes,
+// reference counts). The zero value is not usable; create with NewTWord.
+type TWord struct {
+	id uint64
+	w  atomic.Uint64
+}
+
+// NewTWord creates a word location holding v.
+func NewTWord(v uint64) *TWord {
+	t := &TWord{id: nextID()}
+	t.w.Store(v)
+	return t
+}
+
+// Load reads the word inside tx.
+func (t *TWord) Load(tx *Tx) uint64 { return tx.loadWord(t.id, &t.w) }
+
+// Store writes the word inside tx.
+func (t *TWord) Store(tx *Tx, v uint64) { tx.storeWord(t.id, &t.w, v) }
+
+// Add adds delta (two's-complement) inside tx and returns the new value.
+func (t *TWord) Add(tx *Tx, delta uint64) uint64 {
+	v := t.Load(tx) + delta
+	t.Store(tx, v)
+	return v
+}
+
+// LoadDirect reads the word outside any transaction. It is the privatized /
+// nontransactional access path (only correct when the caller has otherwise
+// excluded transactional writers, e.g. by privatization).
+func (t *TWord) LoadDirect() uint64 { return t.w.Load() }
+
+// StoreDirect writes the word outside any transaction.
+func (t *TWord) StoreDirect(v uint64) { t.w.Store(v) }
+
+// AddDirect atomically adds delta outside any transaction and returns the new
+// value — the analogue of memcached's inline-assembly `lock incr` reference
+// count updates (a C++11-atomic-like access, unsafe inside transactions).
+func (t *TWord) AddDirect(delta uint64) uint64 { return t.w.Add(delta) }
+
+// CompareAndSwapDirect performs an atomic compare-and-swap outside any
+// transaction (trylock-style volatile usage).
+func (t *TWord) CompareAndSwapDirect(old, new uint64) bool {
+	return t.w.CompareAndSwap(old, new)
+}
+
+// box wraps an arbitrary value so TAny can be read and written atomically.
+type box struct{ v any }
+
+// TAny is a transactional location holding an arbitrary value (pointers to
+// items, strings, ...). The zero value is not usable; create with NewTAny.
+type TAny struct {
+	id uint64
+	p  atomic.Pointer[box]
+}
+
+// NewTAny creates a location holding v.
+func NewTAny(v any) *TAny {
+	t := &TAny{id: nextID()}
+	t.p.Store(&box{v: v})
+	return t
+}
+
+// Load reads the value inside tx.
+func (t *TAny) Load(tx *Tx) any { return tx.loadAny(t).v }
+
+// Store writes the value inside tx.
+func (t *TAny) Store(tx *Tx, v any) { tx.storeAny(t, &box{v: v}) }
+
+// LoadDirect reads the value outside any transaction (privatized access).
+func (t *TAny) LoadDirect() any { return t.p.Load().v }
+
+// StoreDirect writes the value outside any transaction.
+func (t *TAny) StoreDirect(v any) { t.p.Store(&box{v: v}) }
+
+// TBytes is a transactional byte buffer, stored as 64-bit words so that the
+// word-granular barriers (and the word-vs-byte logging costs the paper
+// discusses for memcpy under buffered-update algorithms) are faithfully
+// reproduced. Length is fixed at creation, like a C allocation.
+type TBytes struct {
+	baseID uint64
+	n      int
+	words  []atomic.Uint64
+}
+
+// NewTBytes allocates a transactional buffer of n bytes, zero-filled.
+func NewTBytes(n int) *TBytes {
+	nw := (n + 7) / 8
+	return &TBytes{baseID: reserveIDs(nw), n: n, words: make([]atomic.Uint64, nw)}
+}
+
+// NewTBytesFrom allocates a transactional buffer holding a copy of src,
+// written nontransactionally (fresh, captured memory — GCC would not
+// instrument these stores either).
+func NewTBytesFrom(src []byte) *TBytes {
+	t := NewTBytes(len(src))
+	for i, b := range src {
+		w := &t.words[i/8]
+		w.Store(w.Load() | uint64(b)<<(8*(i%8)))
+	}
+	return t
+}
+
+// Len returns the buffer length in bytes.
+func (t *TBytes) Len() int { return t.n }
+
+// LoadWord reads word i (8 bytes) inside tx.
+func (t *TBytes) LoadWord(tx *Tx, i int) uint64 {
+	return tx.loadWord(t.baseID+uint64(i), &t.words[i])
+}
+
+// StoreWord writes word i inside tx.
+func (t *TBytes) StoreWord(tx *Tx, i int, v uint64) {
+	tx.storeWord(t.baseID+uint64(i), &t.words[i], v)
+}
+
+// Words returns the number of 64-bit words backing the buffer.
+func (t *TBytes) Words() int { return len(t.words) }
+
+// WordDirect reads word i outside any transaction (privatized access).
+func (t *TBytes) WordDirect(i int) uint64 { return t.words[i].Load() }
+
+// SetWordDirect writes word i outside any transaction.
+func (t *TBytes) SetWordDirect(i int, v uint64) { t.words[i].Store(v) }
+
+// ByteAt reads byte i inside tx (a word-granular read, as instrumented code
+// would issue).
+func (t *TBytes) ByteAt(tx *Tx, i int) byte {
+	return byte(t.LoadWord(tx, i/8) >> (8 * (i % 8)))
+}
+
+// SetByteAt writes byte i inside tx via a word read-modify-write.
+func (t *TBytes) SetByteAt(tx *Tx, i int, b byte) {
+	w := t.LoadWord(tx, i/8)
+	sh := 8 * (i % 8)
+	w = w&^(0xFF<<sh) | uint64(b)<<sh
+	t.StoreWord(tx, i/8, w)
+}
+
+// ReadAll copies the whole buffer out inside tx.
+func (t *TBytes) ReadAll(tx *Tx, dst []byte) {
+	if len(dst) < t.n {
+		panic("stm: TBytes.ReadAll: destination too short")
+	}
+	for i := 0; i < len(t.words); i++ {
+		w := t.LoadWord(tx, i)
+		for b := 0; b < 8 && i*8+b < t.n; b++ {
+			dst[i*8+b] = byte(w >> (8 * b))
+		}
+	}
+}
+
+// WriteAll copies src into the buffer inside tx.
+func (t *TBytes) WriteAll(tx *Tx, src []byte) {
+	if len(src) > t.n {
+		panic("stm: TBytes.WriteAll: source too long")
+	}
+	for i := 0; i*8 < len(src); i++ {
+		var w uint64
+		full := i*8+8 <= len(src)
+		if !full {
+			w = t.LoadWord(tx, i)
+		}
+		for b := 0; b < 8 && i*8+b < len(src); b++ {
+			sh := 8 * b
+			w = w&^(0xFF<<sh) | uint64(src[i*8+b])<<sh
+		}
+		t.StoreWord(tx, i, w)
+	}
+}
+
+// ReadAllDirect copies the buffer out nontransactionally (privatized access).
+func (t *TBytes) ReadAllDirect(dst []byte) {
+	if len(dst) < t.n {
+		panic("stm: TBytes.ReadAllDirect: destination too short")
+	}
+	for i := 0; i < len(t.words); i++ {
+		w := t.words[i].Load()
+		for b := 0; b < 8 && i*8+b < t.n; b++ {
+			dst[i*8+b] = byte(w >> (8 * b))
+		}
+	}
+}
+
+// WriteAllDirect copies src into the buffer nontransactionally.
+func (t *TBytes) WriteAllDirect(src []byte) {
+	if len(src) > t.n {
+		panic("stm: TBytes.WriteAllDirect: source too long")
+	}
+	for i := 0; i*8 < len(src); i++ {
+		var w uint64
+		if i*8+8 > len(src) {
+			w = t.words[i].Load()
+		}
+		for b := 0; b < 8 && i*8+b < len(src); b++ {
+			sh := 8 * b
+			w = w&^(0xFF<<sh) | uint64(src[i*8+b])<<sh
+		}
+		t.words[i].Store(w)
+	}
+}
+
+// Bytes returns a fresh nontransactional copy (direct reads).
+func (t *TBytes) Bytes() []byte {
+	dst := make([]byte, t.n)
+	t.ReadAllDirect(dst)
+	return dst
+}

@@ -1,0 +1,943 @@
+package stm
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Kind distinguishes the two transaction declarations of the Draft C++ TM
+// Specification.
+type Kind int
+
+const (
+	// Atomic transactions are statically guaranteed (here: dynamically
+	// checked) to contain no unsafe operations, and therefore never serialize
+	// except for contention-management progress.
+	Atomic Kind = iota
+	// Relaxed transactions may perform unsafe operations, at which point they
+	// become serial and irrevocable.
+	Relaxed
+)
+
+func (k Kind) String() string {
+	if k == Atomic {
+		return "atomic"
+	}
+	return "relaxed"
+}
+
+// Props declares a transaction's static properties, the analogue of what the
+// GCC front end derives from the source.
+type Props struct {
+	Kind Kind
+	// StartSerial marks a relaxed transaction that performs an unsafe
+	// operation on every code path, so the compiler makes it begin in serial
+	// mode rather than pay for instrumented execution up to the switch point
+	// (the "Start Serial" column of Tables 1-4).
+	StartSerial bool
+	// Site labels the source-level transaction for serialization-cause
+	// profiling (the execinfo-style attribution of §6). Optional.
+	Site string
+}
+
+// ErrUnsafeInAtomic reports an unsafe operation attempted inside an atomic
+// transaction: the dynamic analogue of the compile error GCC raises.
+var ErrUnsafeInAtomic = errors.New("stm: unsafe operation inside atomic transaction")
+
+// ErrCanceled is returned by Run when the transaction canceled itself
+// (transaction_cancel): its effects are undone and it is not retried.
+var ErrCanceled = errors.New("stm: transaction canceled")
+
+// ErrCancelRelaxed reports transaction_cancel attempted in a relaxed
+// transaction, which the specification forbids.
+var ErrCancelRelaxed = errors.New("stm: cancel inside relaxed transaction")
+
+// control-flow signals thrown by barrier code and recovered by the run loop.
+type abortSignal struct{}
+type switchSerialSignal struct{ op string }
+type cancelSignal struct{}
+
+type wordSlot struct {
+	p *atomic.Uint64
+	v uint64
+}
+
+type anySlot struct {
+	a *TAny
+	b *box
+}
+
+type wordRedo struct {
+	id uint64
+	v  uint64
+}
+
+// Thread is a per-goroutine transaction descriptor, the analogue of libitm's
+// gtm_thread. It is reused across transactions to avoid per-transaction
+// allocation. Not safe for concurrent use.
+type Thread struct {
+	rt  *Runtime
+	cur *Tx // non-nil while inside a transaction (flat nesting)
+	tx  Tx  // storage reused across transactions
+
+	id       uint64 // hourglass gate identity
+	rngState uint64
+
+	// activeSince publishes the begin sequence number of the thread's
+	// in-flight speculative transaction (0 = none); committers scan it during
+	// privatization-safety quiescence.
+	activeSince atomic.Uint64
+
+	commits atomic.Uint64 // per-thread, for abort-rate variance (§4)
+	aborts  atomic.Uint64
+}
+
+var threadIDs atomic.Uint64
+
+// Commits returns the number of transactions this thread has committed.
+func (th *Thread) Commits() uint64 { return th.commits.Load() }
+
+// Aborts returns the number of speculative attempts this thread has aborted.
+func (th *Thread) Aborts() uint64 { return th.aborts.Load() }
+
+// Runtime returns the runtime this thread belongs to.
+func (th *Thread) Runtime() *Runtime { return th.rt }
+
+// InTx reports whether the thread is currently inside a transaction. GCC does
+// not expose this; the paper's authors had to make it visible to decide
+// whether to register an onCommit handler or run it immediately (§3.5).
+func (th *Thread) InTx() bool { return th.cur != nil }
+
+// Current returns the in-flight transaction, or nil.
+func (th *Thread) Current() *Tx { return th.cur }
+
+func (th *Thread) rand() uint64 {
+	// xorshift64*; deterministic per-thread sequence, no global lock.
+	x := th.rngState
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	th.rngState = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Tx is a transaction attempt descriptor. Barrier methods panic with internal
+// signals on conflict; the run loop catches them and retries.
+type Tx struct {
+	th    *Thread
+	rt    *Runtime
+	props Props
+
+	serial    bool
+	lockWord  uint64 // odd; unique per attempt
+	start     uint64 // clock snapshot (MLWT/Lazy) or sequence snapshot (NOrec/TML)
+	htmSeq    uint64 // serial-lock subscription sequence (HTM)
+	tmlWriter bool   // TML: holding the global sequence lock
+
+	reads []orecRead
+	owned []ownedOrec
+	undoW []wordSlot
+	undoA []anySlot
+
+	redoW map[*atomic.Uint64]wordRedo
+	redoA map[*TAny]*box
+
+	nReadsW []wordSlot
+	nReadsA []anySlot
+
+	onCommit []func()
+	onAbort  []func()
+
+	attempts int
+}
+
+var lockWords atomic.Uint64
+
+// Kind returns the transaction's declared kind.
+func (tx *Tx) Kind() Kind { return tx.props.Kind }
+
+// Serial reports whether the attempt is executing in serial-irrevocable mode.
+func (tx *Tx) Serial() bool { return tx.serial }
+
+// Thread returns the owning thread descriptor.
+func (tx *Tx) Thread() *Thread { return tx.th }
+
+// OnCommit registers fn to run after the transaction commits and has released
+// all locks (the GCC extension the paper's stage 5 depends on).
+func (tx *Tx) OnCommit(fn func()) { tx.onCommit = append(tx.onCommit, fn) }
+
+// OnAbort registers fn to run after an aborted attempt has undone its memory
+// effects, before it retries.
+func (tx *Tx) OnAbort(fn func()) { tx.onAbort = append(tx.onAbort, fn) }
+
+// Cancel undoes the transaction's effects and terminates it without retrying.
+// Only atomic transactions may cancel (an irrevocable relaxed transaction
+// cannot undo its effects).
+func (tx *Tx) Cancel() {
+	if tx.props.Kind == Relaxed {
+		panic(ErrCancelRelaxed)
+	}
+	panic(cancelSignal{})
+}
+
+// Abort requests an explicit retry of the transaction (used by tests and by
+// condition-synchronization experiments).
+func (tx *Tx) Abort() { panic(abortSignal{}) }
+
+// Unsafe marks the execution of an operation the TM system cannot undo (I/O,
+// a volatile/atomic access, inline assembly, an un-annotated library call).
+// In an atomic transaction it panics — the analogue of GCC's compile error.
+// In a relaxed transaction it triggers the in-flight switch to serial
+// irrevocable mode: the speculation so far is rolled back and the body
+// restarts serially, exactly as libitm behaves.
+func (tx *Tx) Unsafe(op string) {
+	if tx.serial {
+		return
+	}
+	if tx.props.Kind == Atomic {
+		panic(fmt.Errorf("%w: %s", ErrUnsafeInAtomic, op))
+	}
+	tx.rt.profileCause(causeAt("in-flight switch: "+op, tx.props.Site))
+	panic(switchSerialSignal{op: op})
+}
+
+func causeAt(cause, site string) string {
+	if site == "" {
+		return cause
+	}
+	return cause + " @ " + site
+}
+
+// Run executes fn as a transaction with the given properties, retrying on
+// conflicts per the configured contention manager. Nested calls flatten into
+// the enclosing transaction. It returns nil on commit, ErrCanceled if the
+// transaction canceled itself.
+func (th *Thread) Run(props Props, fn func(*Tx)) error {
+	if th.cur != nil {
+		// Flat nesting: subsumed by the outer transaction, as in GCC.
+		fn(th.cur)
+		return nil
+	}
+	rt := th.rt
+	if props.StartSerial && props.Kind == Atomic {
+		panic("stm: StartSerial is only meaningful for relaxed transactions")
+	}
+
+	serial := rt.cfg.Algorithm == SerialAlg
+	if props.StartSerial {
+		serial = true
+		rt.stats.StartSerial.Add(1)
+		rt.profileCause(causeAt("start serial", props.Site))
+	}
+
+	consec := 0 // consecutive aborts of this source-level transaction
+	for {
+		if rt.cfg.CM == CMHourglass && !serial {
+			th.gateWait()
+		}
+		tx := th.begin(props, serial)
+		res := tx.execute(fn)
+		switch res {
+		case resCommit:
+			th.commits.Add(1)
+			rt.stats.Commits.Add(1)
+			if tx.serial {
+				rt.stats.SerialCommits.Add(1)
+			}
+			if rt.cfg.CM == CMHourglass {
+				th.gateRelease()
+			}
+			th.finish(tx, true)
+			return nil
+		case resCancel:
+			th.finish(tx, false)
+			return ErrCanceled
+		case resSwitchSerial:
+			// In-flight switch: restart the body serially. Not an abort for
+			// contention-management purposes.
+			rt.stats.InFlightSwitch.Add(1)
+			serial = true
+			th.finish(tx, false)
+			continue
+		case resRetry:
+			// Condition synchronization (§5): block until the read set is
+			// dirtied by another commit, then re-run. Not an abort for
+			// contention-management purposes.
+			rt.stats.Retries.Add(1)
+			th.finish(tx, false)
+			tx.waitReadSetChange()
+			continue
+		case resAbort:
+			th.aborts.Add(1)
+			rt.stats.Aborts.Add(1)
+			consec++
+			th.finish(tx, false)
+			if rt.cfg.Algorithm == HTM && consec >= rt.cfg.HTMRetries {
+				// Lock-elision fallback: take the global lock for real.
+				rt.stats.HTMFallbacks.Add(1)
+				rt.profileCause(causeAt("htm fallback: retry limit", props.Site))
+				serial = true
+				continue
+			}
+			switch rt.cfg.CM {
+			case CMSerialize:
+				if consec >= rt.cfg.SerializeAfter {
+					rt.stats.AbortSerial.Add(1)
+					rt.profileCause(causeAt("abort serial: consecutive-abort limit", props.Site))
+					serial = true
+				}
+			case CMBackoff:
+				th.backoff(consec)
+			case CMHourglass:
+				if consec >= rt.cfg.HourglassAfter {
+					th.gateAcquire()
+				}
+			case CMNone:
+				// Retry immediately — but let the scheduler run the
+				// conflicting owner. GCC's threads are preemptible on their
+				// own cores; a goroutine spin-retrying on a loaded scheduler
+				// would otherwise monopolize its P and livelock.
+				runtime.Gosched()
+			}
+			continue
+		}
+	}
+}
+
+const (
+	resCommit = iota
+	resAbort
+	resSwitchSerial
+	resCancel
+	resRetry
+)
+
+func (th *Thread) begin(props Props, serial bool) *Tx {
+	rt := th.rt
+	tx := &th.tx
+	redoW, redoA := tx.redoW, tx.redoA
+	*tx = Tx{
+		th:       th,
+		rt:       rt,
+		props:    props,
+		serial:   serial,
+		lockWord: lockWords.Add(1)<<1 | 1,
+		reads:    tx.reads[:0],
+		owned:    tx.owned[:0],
+		undoW:    tx.undoW[:0],
+		undoA:    tx.undoA[:0],
+		nReadsW:  tx.nReadsW[:0],
+		nReadsA:  tx.nReadsA[:0],
+		onCommit: tx.onCommit[:0],
+		onAbort:  tx.onAbort[:0],
+	}
+	tx.redoW, tx.redoA = redoW, redoA
+	rt.stats.Starts.Add(1)
+	if serial {
+		rt.serial.Lock()
+	} else {
+		if rt.cfg.Algorithm == HTM {
+			// Hardware transactions subscribe to the lock instead of taking
+			// its read side (lock elision).
+			tx.htmSeq = rt.serial.subscribe()
+		} else {
+			rt.serial.RLock()
+		}
+		th.activeSince.Store(rt.txSeq.Add(1))
+		switch rt.cfg.Algorithm {
+		case MLWT, HTM, LazyAlg:
+			tx.start = rt.clock.Load()
+		case NOrec:
+			tx.start = rt.norecBegin()
+		case TML:
+			tx.tmlBegin()
+		}
+		if rt.cfg.Algorithm == LazyAlg || rt.cfg.Algorithm == NOrec {
+			if tx.redoW == nil {
+				tx.redoW = make(map[*atomic.Uint64]wordRedo)
+				tx.redoA = make(map[*TAny]*box)
+			} else {
+				clear(tx.redoW)
+				clear(tx.redoA)
+			}
+		}
+	}
+	th.cur = tx
+	return tx
+}
+
+// finish tears down the attempt; on commit it then runs the onCommit
+// handlers after all locks are released, outside any transaction, matching
+// GCC's ordering (which is what lets them produce out-of-order I/O, §3.5).
+func (th *Thread) finish(tx *Tx, committed bool) {
+	th.cur = nil
+	if !committed {
+		return
+	}
+	for _, fn := range tx.onCommit {
+		fn()
+	}
+}
+
+// execute runs the body once and classifies the outcome.
+func (tx *Tx) execute(fn func(*Tx)) (res int) {
+	committed := false
+	defer func() {
+		if committed {
+			return
+		}
+		r := recover()
+		tx.rollback()
+		switch r.(type) {
+		case nil:
+			res = resAbort // tryCommit failed
+		case abortSignal:
+			tx.runOnAbort()
+			res = resAbort
+		case htmCapacitySignal:
+			tx.runOnAbort()
+			res = resAbort
+		case retrySignal:
+			res = resRetry
+		case switchSerialSignal:
+			res = resSwitchSerial
+		case cancelSignal:
+			res = resCancel
+		default:
+			tx.th.cur = nil // leave the transactional context before unwinding
+			panic(r)        // user panic: effects undone, then propagate
+		}
+	}()
+	fn(tx)
+	if tx.tryCommit() {
+		committed = true
+		return resCommit
+	}
+	tx.runOnAbort()
+	// rollback handled by the deferred function (r == nil path)
+	return resAbort
+}
+
+func (tx *Tx) runOnAbort() {
+	for _, fn := range tx.onAbort {
+		fn()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Read and write barriers
+
+func (tx *Tx) loadWord(id uint64, p *atomic.Uint64) uint64 {
+	if tx.serial {
+		return p.Load()
+	}
+	switch tx.rt.cfg.Algorithm {
+	case MLWT:
+		return tx.orecLoad(id, func() uint64 { return p.Load() })
+	case HTM:
+		v := tx.orecLoad(id, func() uint64 { return p.Load() })
+		tx.htmCheckCapacity()
+		return v
+	case LazyAlg:
+		if e, ok := tx.redoW[p]; ok {
+			return e.v
+		}
+		return tx.orecLoad(id, func() uint64 { return p.Load() })
+	case NOrec:
+		if e, ok := tx.redoW[p]; ok {
+			return e.v
+		}
+		v := tx.norecLoadWord(p)
+		tx.nReadsW = append(tx.nReadsW, wordSlot{p: p, v: v})
+		return v
+	case TML:
+		return tx.tmlLoad(p.Load)
+	}
+	panic("stm: bad algorithm")
+}
+
+func (tx *Tx) storeWord(id uint64, p *atomic.Uint64, v uint64) {
+	if tx.serial {
+		// Serial atomic transactions run "instrumented serial": they keep an
+		// undo log because they may still cancel. Serial relaxed transactions
+		// are irrevocable and write through unlogged, as in libitm.
+		if tx.props.Kind == Atomic {
+			tx.undoW = append(tx.undoW, wordSlot{p: p, v: p.Load()})
+		}
+		p.Store(v)
+		return
+	}
+	switch tx.rt.cfg.Algorithm {
+	case MLWT, HTM:
+		tx.orecAcquire(id)
+		tx.undoW = append(tx.undoW, wordSlot{p: p, v: p.Load()})
+		p.Store(v)
+		if tx.rt.cfg.Algorithm == HTM {
+			tx.htmCheckCapacity()
+		}
+	case LazyAlg, NOrec:
+		tx.redoW[p] = wordRedo{id: id, v: v}
+	case TML:
+		tx.tmlAcquire()
+		tx.undoW = append(tx.undoW, wordSlot{p: p, v: p.Load()})
+		p.Store(v)
+	}
+}
+
+func (tx *Tx) loadAny(a *TAny) *box {
+	if tx.serial {
+		return a.p.Load()
+	}
+	switch tx.rt.cfg.Algorithm {
+	case MLWT, HTM:
+		var b *box
+		tx.orecLoad(a.id, func() uint64 { b = a.p.Load(); return 0 })
+		if tx.rt.cfg.Algorithm == HTM {
+			tx.htmCheckCapacity()
+		}
+		return b
+	case LazyAlg:
+		if b, ok := tx.redoA[a]; ok {
+			return b
+		}
+		var b *box
+		tx.orecLoad(a.id, func() uint64 { b = a.p.Load(); return 0 })
+		return b
+	case NOrec:
+		if b, ok := tx.redoA[a]; ok {
+			return b
+		}
+		b := tx.norecLoadAny(a)
+		tx.nReadsA = append(tx.nReadsA, anySlot{a: a, b: b})
+		return b
+	case TML:
+		var b *box
+		tx.tmlLoad(func() uint64 { b = a.p.Load(); return 0 })
+		return b
+	}
+	panic("stm: bad algorithm")
+}
+
+func (tx *Tx) storeAny(a *TAny, b *box) {
+	if tx.serial {
+		if tx.props.Kind == Atomic {
+			tx.undoA = append(tx.undoA, anySlot{a: a, b: a.p.Load()})
+		}
+		a.p.Store(b)
+		return
+	}
+	switch tx.rt.cfg.Algorithm {
+	case MLWT, HTM:
+		tx.orecAcquire(a.id)
+		tx.undoA = append(tx.undoA, anySlot{a: a, b: a.p.Load()})
+		a.p.Store(b)
+		if tx.rt.cfg.Algorithm == HTM {
+			tx.htmCheckCapacity()
+		}
+	case LazyAlg, NOrec:
+		tx.redoA[a] = b
+	case TML:
+		tx.tmlAcquire()
+		tx.undoA = append(tx.undoA, anySlot{a: a, b: a.p.Load()})
+		a.p.Store(b)
+	}
+}
+
+// orecLoad performs the orec-validated read protocol shared by MLWT and Lazy.
+// read is invoked to sample the location between the two orec samples.
+func (tx *Tx) orecLoad(id uint64, read func() uint64) uint64 {
+	o := tx.rt.orecFor(id)
+	for {
+		w1 := o.v.Load()
+		if orecLocked(w1) {
+			if w1 == tx.lockWord {
+				// We own the orec (write-through): the in-place value is ours.
+				return read()
+			}
+			panic(abortSignal{})
+		}
+		v := read()
+		if o.v.Load() != w1 {
+			continue // concurrent update between samples; resample
+		}
+		if orecVersion(w1) > tx.start {
+			tx.extend()
+		}
+		tx.reads = append(tx.reads, orecRead{o: o, ver: w1})
+		return v
+	}
+}
+
+// orecAcquire locks the orec covering id for writing (encounter-time, MLWT).
+func (tx *Tx) orecAcquire(id uint64) {
+	o := tx.rt.orecFor(id)
+	for {
+		w := o.v.Load()
+		if w == tx.lockWord {
+			return
+		}
+		if orecLocked(w) {
+			panic(abortSignal{})
+		}
+		if orecVersion(w) > tx.start {
+			tx.extend()
+		}
+		if o.v.CompareAndSwap(w, tx.lockWord) {
+			tx.owned = append(tx.owned, ownedOrec{o: o, prev: w})
+			return
+		}
+	}
+}
+
+// extend attempts a timestamp extension: revalidate the read set at the
+// current clock and adopt it as the new start time. On failure, abort.
+func (tx *Tx) extend() {
+	now := tx.rt.clock.Load()
+	if !tx.validateReads() {
+		panic(abortSignal{})
+	}
+	tx.start = now
+}
+
+// validateReads checks every read-set entry is still at its observed version
+// (or locked by us, with the pre-lock version matching).
+func (tx *Tx) validateReads() bool {
+	for _, r := range tx.reads {
+		cur := r.o.v.Load()
+		if cur == r.ver {
+			continue
+		}
+		if cur == tx.lockWord {
+			if tx.prevFor(r.o) == r.ver {
+				continue
+			}
+		}
+		return false
+	}
+	return true
+}
+
+func (tx *Tx) prevFor(o *orec) uint64 {
+	for _, ow := range tx.owned {
+		if ow.o == o {
+			return ow.prev
+		}
+	}
+	return ^uint64(0)
+}
+
+// ---------------------------------------------------------------------------
+// NOrec
+
+// norecBegin samples an even global sequence number.
+func (rt *Runtime) norecBegin() uint64 {
+	spins := 0
+	for {
+		s := rt.nseq.Load()
+		if s&1 == 0 {
+			return s
+		}
+		spins++
+		if spins > 64 {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (tx *Tx) norecLoadWord(p *atomic.Uint64) uint64 {
+	v := p.Load()
+	for tx.rt.nseq.Load() != tx.start {
+		tx.start = tx.norecValidate()
+		v = p.Load()
+	}
+	return v
+}
+
+func (tx *Tx) norecLoadAny(a *TAny) *box {
+	b := a.p.Load()
+	for tx.rt.nseq.Load() != tx.start {
+		tx.start = tx.norecValidate()
+		b = a.p.Load()
+	}
+	return b
+}
+
+// norecValidate re-checks every recorded read by value and returns a new
+// consistent snapshot, or aborts.
+func (tx *Tx) norecValidate() uint64 {
+	for {
+		t := tx.rt.norecBegin()
+		ok := true
+		for _, r := range tx.nReadsW {
+			if r.p.Load() != r.v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, r := range tx.nReadsA {
+				if r.a.p.Load() != r.b {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			panic(abortSignal{})
+		}
+		if tx.rt.nseq.Load() == t {
+			return t
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Commit and rollback
+
+// tryCommit attempts to commit; returns false if validation fails (the caller
+// rolls back and retries).
+func (tx *Tx) tryCommit() bool {
+	rt := tx.rt
+	if tx.serial {
+		rt.serial.Unlock()
+		return true
+	}
+	switch rt.cfg.Algorithm {
+	case HTM:
+		// The lock subscription stands in for real HTM's cache-line
+		// monitoring: any serial acquisition since begin aborts us.
+		if !rt.serial.stillSubscribed(tx.htmSeq) {
+			return false
+		}
+		wrote := len(tx.owned) > 0
+		if wrote {
+			if !tx.validateReads() {
+				return false
+			}
+			if !rt.serial.stillSubscribed(tx.htmSeq) {
+				return false
+			}
+			nv := versionWord(rt.clock.Add(1))
+			for _, ow := range tx.owned {
+				ow.o.v.Store(nv)
+			}
+			tx.owned = tx.owned[:0]
+		}
+		tx.endSpeculation(wrote)
+		return true
+	case MLWT:
+		wrote := len(tx.owned) > 0
+		if wrote {
+			if !tx.validateReads() {
+				return false
+			}
+			nv := versionWord(rt.clock.Add(1))
+			for _, ow := range tx.owned {
+				ow.o.v.Store(nv)
+			}
+			tx.owned = tx.owned[:0] // published: nothing to roll back
+		}
+		rt.serial.RUnlock()
+		tx.endSpeculation(wrote)
+		return true
+	case LazyAlg:
+		wrote := len(tx.redoW) > 0 || len(tx.redoA) > 0
+		if wrote {
+			if !tx.lazyAcquireAll() {
+				return false
+			}
+			if !tx.validateReads() {
+				return false
+			}
+			for p, e := range tx.redoW {
+				p.Store(e.v)
+			}
+			for a, b := range tx.redoA {
+				a.p.Store(b)
+			}
+			nv := versionWord(rt.clock.Add(1))
+			for _, ow := range tx.owned {
+				ow.o.v.Store(nv)
+			}
+			tx.owned = tx.owned[:0]
+		}
+		rt.serial.RUnlock()
+		tx.endSpeculation(wrote)
+		return true
+	case NOrec:
+		if len(tx.redoW) == 0 && len(tx.redoA) == 0 {
+			rt.serial.RUnlock()
+			tx.endSpeculation(false)
+			return true
+		}
+		for !rt.nseq.CompareAndSwap(tx.start, tx.start+1) {
+			tx.start = tx.norecValidate() // aborts via panic on conflict
+		}
+		for p, e := range tx.redoW {
+			p.Store(e.v)
+		}
+		for a, b := range tx.redoA {
+			a.p.Store(b)
+		}
+		rt.nseq.Store(tx.start + 2)
+		rt.serial.RUnlock()
+		tx.endSpeculation(true)
+		return true
+	case TML:
+		wrote := tx.tmlWriter
+		tx.tmlCommit()
+		tx.tmlWriter = false
+		rt.serial.RUnlock()
+		tx.endSpeculation(wrote)
+		return true
+	}
+	panic("stm: bad algorithm")
+}
+
+// endSpeculation retires the attempt's speculative window and, after a writer
+// commit, performs the privatization-safety quiescence the Draft C++ TM
+// Specification requires (and the paper's Figure 1a correctness argument
+// relies on): wait until every transaction that began before this commit has
+// finished, so their doomed eager writes and rollbacks cannot be observed by
+// this thread's subsequent nontransactional (privatized) accesses.
+func (tx *Tx) endSpeculation(wrote bool) {
+	tx.th.activeSince.Store(0)
+	if wrote && !tx.rt.cfg.NoQuiesce {
+		tx.rt.quiesce(tx.rt.txSeq.Add(1))
+	}
+}
+
+// lazyAcquireAll locks the orecs covering the write set; false on conflict.
+func (tx *Tx) lazyAcquireAll() bool {
+	for _, e := range tx.redoW {
+		if !tx.lazyAcquire(e.id) {
+			return false
+		}
+	}
+	for a := range tx.redoA {
+		if !tx.lazyAcquire(a.id) {
+			return false
+		}
+	}
+	return true
+}
+
+func (tx *Tx) lazyAcquire(id uint64) bool {
+	o := tx.rt.orecFor(id)
+	for {
+		w := o.v.Load()
+		if w == tx.lockWord {
+			return true
+		}
+		if orecLocked(w) {
+			return false
+		}
+		if o.v.CompareAndSwap(w, tx.lockWord) {
+			tx.owned = append(tx.owned, ownedOrec{o: o, prev: w})
+			return true
+		}
+	}
+}
+
+// rollback undoes in-place effects (MLWT), releases owned orecs at their
+// pre-lock versions, and releases the serial lock side held by this attempt.
+func (tx *Tx) rollback() {
+	rt := tx.rt
+	if tx.serial {
+		// Atomic serial transactions logged undo entries; relaxed serial ones
+		// are irrevocable (nothing to undo; their effects stand).
+		for i := len(tx.undoW) - 1; i >= 0; i-- {
+			tx.undoW[i].p.Store(tx.undoW[i].v)
+		}
+		for i := len(tx.undoA) - 1; i >= 0; i-- {
+			tx.undoA[i].a.p.Store(tx.undoA[i].b)
+		}
+		rt.serial.Unlock()
+		return
+	}
+	if rt.cfg.Algorithm == TML {
+		tx.tmlRollback()
+		rt.serial.RUnlock()
+		tx.th.activeSince.Store(0)
+		return
+	}
+	for i := len(tx.undoW) - 1; i >= 0; i-- {
+		tx.undoW[i].p.Store(tx.undoW[i].v)
+	}
+	for i := len(tx.undoA) - 1; i >= 0; i-- {
+		tx.undoA[i].a.p.Store(tx.undoA[i].b)
+	}
+	for _, ow := range tx.owned {
+		ow.o.v.Store(ow.prev)
+	}
+	if rt.cfg.Algorithm != HTM {
+		rt.serial.RUnlock()
+	}
+	tx.th.activeSince.Store(0)
+}
+
+// ---------------------------------------------------------------------------
+// Contention-manager mechanics
+
+func (th *Thread) ensureID() uint64 {
+	if th.id == 0 {
+		th.id = threadIDs.Add(1)
+	}
+	return th.id
+}
+
+func (th *Thread) gateWait() {
+	id := th.ensureID()
+	spins := 0
+	for {
+		g := th.rt.gate.Load()
+		if g == 0 || g == id {
+			return
+		}
+		spins++
+		if spins > 64 {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (th *Thread) gateAcquire() {
+	id := th.ensureID()
+	spins := 0
+	for !th.rt.gate.CompareAndSwap(0, id) {
+		if th.rt.gate.Load() == id {
+			return
+		}
+		spins++
+		if spins > 64 {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (th *Thread) gateRelease() {
+	id := th.ensureID()
+	th.rt.gate.CompareAndSwap(id, 0)
+}
+
+// backoff sleeps for a randomized exponentially growing interval. Long waits
+// use the OS timer, which is exactly the preemption exposure the paper blames
+// for backoff's poor behaviour at high thread counts.
+func (th *Thread) backoff(consec int) {
+	shift := consec
+	if shift > 12 {
+		shift = 12
+	}
+	ns := (uint64(1) << shift) * 64 // 128ns .. ~260µs
+	ns = ns/2 + th.rand()%(ns/2+1)  // jitter in [ns/2, ns]
+	if ns < 2048 {
+		for i := uint64(0); i < ns/16; i++ {
+			runtime.Gosched()
+		}
+		return
+	}
+	time.Sleep(time.Duration(ns) * time.Nanosecond)
+}

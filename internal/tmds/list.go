@@ -1,0 +1,205 @@
+// Package tmds provides transactional data structures built on the STM
+// runtime: a sorted linked-list set, a hash set, a red-black tree and a FIFO
+// queue. They serve three purposes: additional workloads for evaluating the
+// TM implementations (the role the paper's conclusion proposes for its
+// transactionalized memcached), test fixtures that stress the runtime with
+// pointer-heavy transactions, and examples of writing new code directly
+// against the transactional API rather than retrofitting locks.
+package tmds
+
+import "repro/internal/stm"
+
+// listNode is a sorted singly-linked list node. Key is immutable; Next is
+// transactional.
+type listNode struct {
+	key  uint64
+	val  *stm.TAny
+	next *stm.TAny // *listNode
+}
+
+func asListNode(v any) *listNode {
+	if v == nil {
+		return nil
+	}
+	return v.(*listNode)
+}
+
+// List is a sorted transactional linked-list set (the classic STM
+// microbenchmark structure). The zero value is not usable; create with
+// NewList.
+type List struct {
+	head *stm.TAny // sentinel -> first node
+	size *stm.TWord
+}
+
+// NewList creates an empty list.
+func NewList() *List {
+	return &List{head: stm.NewTAny(nil), size: stm.NewTWord(0)}
+}
+
+// locate returns the first node with node.key >= key and its predecessor
+// link (the TAny to update for insertion/removal).
+func (l *List) locate(tx *stm.Tx, key uint64) (link *stm.TAny, node *listNode) {
+	link = l.head
+	node = asListNode(link.Load(tx))
+	for node != nil && node.key < key {
+		link = node.next
+		node = asListNode(link.Load(tx))
+	}
+	return link, node
+}
+
+// Insert adds key=val; reports false if the key was already present (the
+// value is not replaced, set semantics).
+func (l *List) Insert(tx *stm.Tx, key uint64, val any) bool {
+	link, node := l.locate(tx, key)
+	if node != nil && node.key == key {
+		return false
+	}
+	n := &listNode{key: key, val: stm.NewTAny(val), next: stm.NewTAny(node)}
+	link.Store(tx, n)
+	l.size.Add(tx, 1)
+	return true
+}
+
+// Remove deletes key; reports whether it was present.
+func (l *List) Remove(tx *stm.Tx, key uint64) bool {
+	link, node := l.locate(tx, key)
+	if node == nil || node.key != key {
+		return false
+	}
+	link.Store(tx, node.next.Load(tx))
+	l.size.Add(tx, ^uint64(0))
+	return true
+}
+
+// Contains reports whether key is present.
+func (l *List) Contains(tx *stm.Tx, key uint64) bool {
+	_, node := l.locate(tx, key)
+	return node != nil && node.key == key
+}
+
+// Get returns the value stored at key.
+func (l *List) Get(tx *stm.Tx, key uint64) (any, bool) {
+	_, node := l.locate(tx, key)
+	if node == nil || node.key != key {
+		return nil, false
+	}
+	return node.val.Load(tx), true
+}
+
+// Len returns the element count.
+func (l *List) Len(tx *stm.Tx) uint64 { return l.size.Load(tx) }
+
+// Keys returns the keys in order (a full read of the structure — a large
+// read-set transaction).
+func (l *List) Keys(tx *stm.Tx) []uint64 {
+	var out []uint64
+	node := asListNode(l.head.Load(tx))
+	for node != nil {
+		out = append(out, node.key)
+		node = asListNode(node.next.Load(tx))
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+
+// HashSet is a transactional hash set: fixed buckets, each a sorted list.
+type HashSet struct {
+	buckets []*List
+	mask    uint64
+}
+
+// NewHashSet creates a set with 2^powerBits buckets.
+func NewHashSet(powerBits uint) *HashSet {
+	h := &HashSet{buckets: make([]*List, 1<<powerBits), mask: 1<<powerBits - 1}
+	for i := range h.buckets {
+		h.buckets[i] = NewList()
+	}
+	return h
+}
+
+func (h *HashSet) bucket(key uint64) *List {
+	return h.buckets[(key*0x9E3779B97F4A7C15)>>32&h.mask]
+}
+
+// Insert adds key; reports false if already present.
+func (h *HashSet) Insert(tx *stm.Tx, key uint64) bool {
+	return h.bucket(key).Insert(tx, key, nil)
+}
+
+// Remove deletes key; reports whether it was present.
+func (h *HashSet) Remove(tx *stm.Tx, key uint64) bool {
+	return h.bucket(key).Remove(tx, key)
+}
+
+// Contains reports membership.
+func (h *HashSet) Contains(tx *stm.Tx, key uint64) bool {
+	return h.bucket(key).Contains(tx, key)
+}
+
+// Len sums the bucket sizes (a cross-bucket read transaction).
+func (h *HashSet) Len(tx *stm.Tx) uint64 {
+	var n uint64
+	for _, b := range h.buckets {
+		n += b.Len(tx)
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+
+// Queue is a transactional FIFO queue.
+type Queue struct {
+	head *stm.TAny // *queueNode, oldest
+	tail *stm.TAny // *queueNode, newest
+	size *stm.TWord
+}
+
+type queueNode struct {
+	val  any
+	next *stm.TAny
+}
+
+func asQueueNode(v any) *queueNode {
+	if v == nil {
+		return nil
+	}
+	return v.(*queueNode)
+}
+
+// NewQueue creates an empty queue.
+func NewQueue() *Queue {
+	return &Queue{head: stm.NewTAny(nil), tail: stm.NewTAny(nil), size: stm.NewTWord(0)}
+}
+
+// Push appends val.
+func (q *Queue) Push(tx *stm.Tx, val any) {
+	n := &queueNode{val: val, next: stm.NewTAny(nil)}
+	if t := asQueueNode(q.tail.Load(tx)); t != nil {
+		t.next.Store(tx, n)
+	} else {
+		q.head.Store(tx, n)
+	}
+	q.tail.Store(tx, n)
+	q.size.Add(tx, 1)
+}
+
+// Pop removes and returns the oldest value; ok=false when empty.
+func (q *Queue) Pop(tx *stm.Tx) (any, bool) {
+	h := asQueueNode(q.head.Load(tx))
+	if h == nil {
+		return nil, false
+	}
+	next := h.next.Load(tx)
+	q.head.Store(tx, next)
+	if asQueueNode(next) == nil {
+		q.tail.Store(tx, nil)
+	}
+	q.size.Add(tx, ^uint64(0))
+	return h.val, true
+}
+
+// Len returns the element count.
+func (q *Queue) Len(tx *stm.Tx) uint64 { return q.size.Load(tx) }

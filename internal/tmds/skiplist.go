@@ -1,0 +1,173 @@
+package tmds
+
+import "repro/internal/stm"
+
+// SkipList is a transactional skip list set: sorted, with expected
+// logarithmic search via express lanes. Like the treap, node heights derive
+// deterministically from the key, so the structure's shape is a pure
+// function of its contents.
+//
+// Skip lists are the other classic STM workload: searches read a short
+// prefix of high-level links plus a short walk at level 0, so the read set
+// is small; inserts write one forward pointer per level of the new node.
+type SkipList struct {
+	maxLevel int
+	head     []*stm.TAny // head forward pointers, one per level
+	size     *stm.TWord
+}
+
+type skipNode struct {
+	key  uint64
+	next []*stm.TAny // forward pointers, len == node height
+}
+
+func asSkipNode(v any) *skipNode {
+	if v == nil {
+		return nil
+	}
+	return v.(*skipNode)
+}
+
+// NewSkipList creates an empty skip list with the given maximum level
+// (default 16 when maxLevel <= 0, comfortable for ~64K keys).
+func NewSkipList(maxLevel int) *SkipList {
+	if maxLevel <= 0 {
+		maxLevel = 16
+	}
+	s := &SkipList{maxLevel: maxLevel, size: stm.NewTWord(0)}
+	s.head = make([]*stm.TAny, maxLevel)
+	for i := range s.head {
+		s.head[i] = stm.NewTAny(nil)
+	}
+	return s
+}
+
+// heightFor derives a geometric (p = 1/2) height from the key.
+func (s *SkipList) heightFor(key uint64) int {
+	x := prioFor(key) // reuse the treap's mixer
+	h := 1
+	for x&1 == 1 && h < s.maxLevel {
+		h++
+		x >>= 1
+	}
+	return h
+}
+
+// findPreds returns, per level, the link whose successor is the first node
+// with key >= target, plus that first node at level 0 (nil if none).
+//
+// The walk descends level by level, resuming each level from the predecessor
+// node found above (a node reached while walking level l has height > l, so
+// it owns a link at every lower level).
+func (s *SkipList) findPreds(tx *stm.Tx, key uint64) ([]*stm.TAny, *skipNode) {
+	preds := make([]*stm.TAny, s.maxLevel)
+	var predNode *skipNode // nil means the head towers
+	for lvl := s.maxLevel - 1; lvl >= 0; lvl-- {
+		var link *stm.TAny
+		if predNode == nil {
+			link = s.head[lvl]
+		} else {
+			link = predNode.next[lvl]
+		}
+		for {
+			n := asSkipNode(link.Load(tx))
+			if n == nil || n.key >= key {
+				break
+			}
+			predNode = n
+			link = n.next[lvl]
+		}
+		preds[lvl] = link
+	}
+	return preds, asSkipNode(preds[0].Load(tx))
+}
+
+// Contains reports whether key is present.
+func (s *SkipList) Contains(tx *stm.Tx, key uint64) bool {
+	_, n := s.findPreds(tx, key)
+	return n != nil && n.key == key
+}
+
+// Insert adds key; reports false if it was already present.
+func (s *SkipList) Insert(tx *stm.Tx, key uint64) bool {
+	preds, n := s.findPreds(tx, key)
+	if n != nil && n.key == key {
+		return false
+	}
+	h := s.heightFor(key)
+	node := &skipNode{key: key, next: make([]*stm.TAny, h)}
+	for lvl := 0; lvl < h; lvl++ {
+		node.next[lvl] = stm.NewTAny(preds[lvl].Load(tx))
+		preds[lvl].Store(tx, node)
+	}
+	s.size.Add(tx, 1)
+	return true
+}
+
+// Remove deletes key; reports whether it was present.
+func (s *SkipList) Remove(tx *stm.Tx, key uint64) bool {
+	preds, n := s.findPreds(tx, key)
+	if n == nil || n.key != key {
+		return false
+	}
+	for lvl := 0; lvl < len(n.next); lvl++ {
+		// preds[lvl] points at n for every level n occupies (findPreds
+		// stopped at the first key >= target on each level).
+		if asSkipNode(preds[lvl].Load(tx)) == n {
+			preds[lvl].Store(tx, n.next[lvl].Load(tx))
+		}
+	}
+	s.size.Add(tx, ^uint64(0))
+	return true
+}
+
+// Len returns the element count.
+func (s *SkipList) Len(tx *stm.Tx) uint64 { return s.size.Load(tx) }
+
+// Keys returns the keys in ascending order (the level-0 walk).
+func (s *SkipList) Keys(tx *stm.Tx) []uint64 {
+	var out []uint64
+	for n := asSkipNode(s.head[0].Load(tx)); n != nil; n = asSkipNode(n.next[0].Load(tx)) {
+		out = append(out, n.key)
+	}
+	return out
+}
+
+// CheckInvariants validates that every level is sorted and is a subsequence
+// of the level below, and that the level-0 count matches Len.
+func (s *SkipList) CheckInvariants(tx *stm.Tx) bool {
+	// Level 0: strict ascending order, count == size.
+	count := uint64(0)
+	prev := uint64(0)
+	first := true
+	level0 := map[uint64]bool{}
+	for n := asSkipNode(s.head[0].Load(tx)); n != nil; n = asSkipNode(n.next[0].Load(tx)) {
+		if !first && n.key <= prev {
+			return false
+		}
+		prev, first = n.key, false
+		level0[n.key] = true
+		count++
+	}
+	if count != s.size.Load(tx) {
+		return false
+	}
+	// Higher levels: sorted subsequences of level 0.
+	for lvl := 1; lvl < s.maxLevel; lvl++ {
+		first = true
+		prev = 0
+		for n := asSkipNode(s.head[lvl].Load(tx)); n != nil; n = asSkipNode(n.next[lvl].Load(tx)) {
+			if len(n.next) <= lvl {
+				return false // node present on a level above its height
+			}
+			if !first && n.key <= prev {
+				return false
+			}
+			prev, first = n.key, false
+			if !level0[n.key] {
+				return false
+			}
+		}
+	}
+	return true
+}

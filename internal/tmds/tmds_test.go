@@ -1,0 +1,553 @@
+package tmds
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stm"
+)
+
+func newTh() *stm.Thread { return stm.New(stm.Config{}).NewThread() }
+
+func atomically(t *testing.T, th *stm.Thread, fn func(*stm.Tx)) {
+	t.Helper()
+	if err := th.Run(stm.Props{Kind: stm.Atomic}, fn); err != nil {
+		t.Errorf("tx: %v", err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// List
+
+func TestListBasics(t *testing.T) {
+	th := newTh()
+	l := NewList()
+	atomically(t, th, func(tx *stm.Tx) {
+		if !l.Insert(tx, 5, "five") || !l.Insert(tx, 1, "one") || !l.Insert(tx, 9, "nine") {
+			t.Error("insert failed")
+		}
+		if l.Insert(tx, 5, "again") {
+			t.Error("duplicate insert succeeded")
+		}
+		if !l.Contains(tx, 1) || !l.Contains(tx, 5) || !l.Contains(tx, 9) || l.Contains(tx, 2) {
+			t.Error("contains wrong")
+		}
+		if v, ok := l.Get(tx, 5); !ok || v != "five" {
+			t.Errorf("Get(5) = %v,%v", v, ok)
+		}
+		keys := l.Keys(tx)
+		if len(keys) != 3 || keys[0] != 1 || keys[1] != 5 || keys[2] != 9 {
+			t.Errorf("keys = %v", keys)
+		}
+		if !l.Remove(tx, 5) || l.Remove(tx, 5) {
+			t.Error("remove semantics wrong")
+		}
+		if l.Len(tx) != 2 {
+			t.Errorf("len = %d", l.Len(tx))
+		}
+	})
+}
+
+func TestListMatchesModelQuick(t *testing.T) {
+	th := newTh()
+	type op struct {
+		Key    uint8
+		Insert bool
+	}
+	f := func(ops []op) bool {
+		l := NewList()
+		model := map[uint64]bool{}
+		ok := true
+		atomically(t, th, func(tx *stm.Tx) {
+			for _, o := range ops {
+				k := uint64(o.Key % 32)
+				if o.Insert {
+					if l.Insert(tx, k, nil) == model[k] {
+						ok = false
+					}
+					model[k] = true
+				} else {
+					if l.Remove(tx, k) != model[k] {
+						ok = false
+					}
+					delete(model, k)
+				}
+			}
+			var want []uint64
+			for k := range model {
+				want = append(want, k)
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			got := l.Keys(tx)
+			if len(got) != len(want) {
+				ok = false
+				return
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestListConcurrentDisjointSum(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	l := NewList()
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := rt.NewThread()
+			for i := 0; i < 300; i++ {
+				k := uint64(g*1000 + i)
+				_ = th.Run(stm.Props{Kind: stm.Atomic}, func(tx *stm.Tx) {
+					l.Insert(tx, k, nil)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	th := rt.NewThread()
+	atomically(t, th, func(tx *stm.Tx) {
+		if got := l.Len(tx); got != 1800 {
+			t.Errorf("len = %d, want 1800", got)
+		}
+		keys := l.Keys(tx)
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] >= keys[i] {
+				t.Fatalf("order violated at %d: %d >= %d", i, keys[i-1], keys[i])
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// HashSet
+
+func TestHashSetBasics(t *testing.T) {
+	th := newTh()
+	h := NewHashSet(4)
+	atomically(t, th, func(tx *stm.Tx) {
+		for k := uint64(0); k < 100; k++ {
+			if !h.Insert(tx, k) {
+				t.Fatalf("insert %d failed", k)
+			}
+		}
+		if h.Len(tx) != 100 {
+			t.Errorf("len = %d", h.Len(tx))
+		}
+		for k := uint64(0); k < 100; k += 2 {
+			if !h.Remove(tx, k) {
+				t.Fatalf("remove %d failed", k)
+			}
+		}
+		for k := uint64(0); k < 100; k++ {
+			want := k%2 == 1
+			if h.Contains(tx, k) != want {
+				t.Errorf("contains(%d) != %v", k, want)
+			}
+		}
+	})
+}
+
+func TestHashSetConcurrentMembership(t *testing.T) {
+	rt := stm.New(stm.Config{CM: stm.CMSerialize})
+	h := NewHashSet(6)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := rt.NewThread()
+			for i := 0; i < 500; i++ {
+				k := uint64((g*striped + i) % 256)
+				_ = th.Run(stm.Props{Kind: stm.Atomic}, func(tx *stm.Tx) {
+					if i%3 == 0 {
+						h.Remove(tx, k)
+					} else {
+						h.Insert(tx, k)
+					}
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	// No duplicates: removing every key exactly once must empty the set.
+	th := rt.NewThread()
+	atomically(t, th, func(tx *stm.Tx) {
+		n := h.Len(tx)
+		var removed uint64
+		for k := uint64(0); k < 256; k++ {
+			if h.Remove(tx, k) {
+				removed++
+			}
+		}
+		if removed != n || h.Len(tx) != 0 {
+			t.Errorf("len=%d removed=%d rest=%d", n, removed, h.Len(tx))
+		}
+	})
+}
+
+const striped = 61
+
+// ---------------------------------------------------------------------------
+// Treap
+
+func TestTreapBasics(t *testing.T) {
+	th := newTh()
+	tr := NewTreap()
+	atomically(t, th, func(tx *stm.Tx) {
+		for _, k := range []uint64{5, 2, 8, 1, 9, 3, 7} {
+			if !tr.Insert(tx, k, k*10) {
+				t.Fatalf("insert %d failed", k)
+			}
+		}
+		if tr.Insert(tx, 5, uint64(555)) {
+			t.Error("re-insert reported as new")
+		}
+		if v, ok := tr.Get(tx, 5); !ok || v != uint64(555) {
+			t.Errorf("Get(5) = %v (re-insert must replace value)", v)
+		}
+		if tr.Len(tx) != 7 {
+			t.Errorf("len = %d", tr.Len(tx))
+		}
+		keys := tr.Keys(tx)
+		want := []uint64{1, 2, 3, 5, 7, 8, 9}
+		for i := range want {
+			if keys[i] != want[i] {
+				t.Fatalf("keys = %v", keys)
+			}
+		}
+		if !tr.CheckInvariants(tx) {
+			t.Error("invariants violated after inserts")
+		}
+		for _, k := range []uint64{1, 9, 5} {
+			if !tr.Remove(tx, k) {
+				t.Fatalf("remove %d failed", k)
+			}
+		}
+		if tr.Remove(tx, 1) {
+			t.Error("double remove succeeded")
+		}
+		if !tr.CheckInvariants(tx) {
+			t.Error("invariants violated after removals")
+		}
+		if tr.Len(tx) != 4 {
+			t.Errorf("len = %d", tr.Len(tx))
+		}
+	})
+}
+
+func TestTreapMatchesModelQuick(t *testing.T) {
+	th := newTh()
+	type op struct {
+		Key    uint16
+		Insert bool
+	}
+	f := func(ops []op) bool {
+		tr := NewTreap()
+		model := map[uint64]bool{}
+		ok := true
+		atomically(t, th, func(tx *stm.Tx) {
+			for _, o := range ops {
+				k := uint64(o.Key % 128)
+				if o.Insert {
+					if tr.Insert(tx, k, nil) == model[k] {
+						ok = false
+					}
+					model[k] = true
+				} else {
+					if tr.Remove(tx, k) != model[k] {
+						ok = false
+					}
+					delete(model, k)
+				}
+			}
+			if !tr.CheckInvariants(tx) {
+				ok = false
+			}
+			if int(tr.Len(tx)) != len(model) {
+				ok = false
+			}
+			for _, k := range tr.Keys(tx) {
+				if !model[k] {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTreapConcurrent(t *testing.T) {
+	for _, alg := range []stm.Algorithm{stm.MLWT, stm.LazyAlg, stm.NOrec} {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			rt := stm.New(stm.Config{Algorithm: alg})
+			tr := NewTreap()
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					th := rt.NewThread()
+					for i := 0; i < 250; i++ {
+						k := uint64((g*striped + i*7) % 512)
+						_ = th.Run(stm.Props{Kind: stm.Atomic}, func(tx *stm.Tx) {
+							if i%4 == 0 {
+								tr.Remove(tx, k)
+							} else {
+								tr.Insert(tx, k, g)
+							}
+						})
+					}
+				}()
+			}
+			wg.Wait()
+			th := rt.NewThread()
+			atomically(t, th, func(tx *stm.Tx) {
+				if !tr.CheckInvariants(tx) {
+					t.Error("invariants violated after concurrent use")
+				}
+				keys := tr.Keys(tx)
+				if uint64(len(keys)) != tr.Len(tx) {
+					t.Errorf("len mismatch: walk=%d size=%d", len(keys), tr.Len(tx))
+				}
+			})
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Queue
+
+func TestQueueFIFO(t *testing.T) {
+	th := newTh()
+	q := NewQueue()
+	atomically(t, th, func(tx *stm.Tx) {
+		if _, ok := q.Pop(tx); ok {
+			t.Error("pop from empty succeeded")
+		}
+		for i := 0; i < 10; i++ {
+			q.Push(tx, i)
+		}
+		if q.Len(tx) != 10 {
+			t.Errorf("len = %d", q.Len(tx))
+		}
+		for i := 0; i < 10; i++ {
+			v, ok := q.Pop(tx)
+			if !ok || v != i {
+				t.Fatalf("pop %d = %v,%v", i, v, ok)
+			}
+		}
+		if q.Len(tx) != 0 {
+			t.Errorf("len after drain = %d", q.Len(tx))
+		}
+		// Interleave empties and refills (tail handling).
+		q.Push(tx, "a")
+		q.Pop(tx)
+		q.Push(tx, "b")
+		if v, _ := q.Pop(tx); v != "b" {
+			t.Errorf("tail reset broken: %v", v)
+		}
+	})
+}
+
+func TestQueueProducersConsumers(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	q := NewQueue()
+	const producers, perP = 4, 500
+	var wg sync.WaitGroup
+	var consumed sync.Map
+	var consumedN int64
+	var mu sync.Mutex
+	for g := 0; g < producers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := rt.NewThread()
+			for i := 0; i < perP; i++ {
+				v := g*perP + i
+				_ = th.Run(stm.Props{Kind: stm.Atomic}, func(tx *stm.Tx) { q.Push(tx, v) })
+			}
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := rt.NewThread()
+			idle := 0
+			for idle < 1000 {
+				var v any
+				var ok bool
+				_ = th.Run(stm.Props{Kind: stm.Atomic}, func(tx *stm.Tx) { v, ok = q.Pop(tx) })
+				if !ok {
+					idle++
+					continue
+				}
+				idle = 0
+				if _, dup := consumed.LoadOrStore(v, true); dup {
+					t.Errorf("value %v consumed twice", v)
+					return
+				}
+				mu.Lock()
+				consumedN++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	// Drain the rest single-threaded.
+	th := rt.NewThread()
+	for {
+		var ok bool
+		var v any
+		atomically(t, th, func(tx *stm.Tx) { v, ok = q.Pop(tx) })
+		if !ok {
+			break
+		}
+		if _, dup := consumed.LoadOrStore(v, true); dup {
+			t.Fatalf("value %v consumed twice (drain)", v)
+		}
+		consumedN++
+	}
+	if consumedN != producers*perP {
+		t.Errorf("consumed %d, want %d", consumedN, producers*perP)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// SkipList
+
+func TestSkipListBasics(t *testing.T) {
+	th := newTh()
+	s := NewSkipList(0)
+	atomically(t, th, func(tx *stm.Tx) {
+		for _, k := range []uint64{50, 20, 80, 10, 90, 30, 70, 60, 40} {
+			if !s.Insert(tx, k) {
+				t.Fatalf("insert %d failed", k)
+			}
+		}
+		if s.Insert(tx, 50) {
+			t.Error("duplicate insert succeeded")
+		}
+		if s.Len(tx) != 9 {
+			t.Errorf("len = %d", s.Len(tx))
+		}
+		keys := s.Keys(tx)
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] >= keys[i] {
+				t.Fatalf("unsorted: %v", keys)
+			}
+		}
+		if !s.CheckInvariants(tx) {
+			t.Error("invariants violated after inserts")
+		}
+		for _, k := range []uint64{10, 90, 50} {
+			if !s.Remove(tx, k) {
+				t.Fatalf("remove %d failed", k)
+			}
+		}
+		if s.Remove(tx, 10) {
+			t.Error("double remove succeeded")
+		}
+		if !s.Contains(tx, 20) || s.Contains(tx, 10) {
+			t.Error("membership wrong after removals")
+		}
+		if !s.CheckInvariants(tx) {
+			t.Error("invariants violated after removals")
+		}
+	})
+}
+
+func TestSkipListMatchesModelQuick(t *testing.T) {
+	th := newTh()
+	type op struct {
+		Key    uint16
+		Insert bool
+	}
+	f := func(ops []op) bool {
+		s := NewSkipList(8)
+		model := map[uint64]bool{}
+		ok := true
+		atomically(t, th, func(tx *stm.Tx) {
+			for _, o := range ops {
+				k := uint64(o.Key % 200)
+				if o.Insert {
+					if s.Insert(tx, k) == model[k] {
+						ok = false
+					}
+					model[k] = true
+				} else {
+					if s.Remove(tx, k) != model[k] {
+						ok = false
+					}
+					delete(model, k)
+				}
+			}
+			if !s.CheckInvariants(tx) {
+				ok = false
+			}
+			if int(s.Len(tx)) != len(model) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkipListConcurrent(t *testing.T) {
+	for _, alg := range []stm.Algorithm{stm.MLWT, stm.NOrec, stm.TML} {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			rt := stm.New(stm.Config{Algorithm: alg})
+			s := NewSkipList(12)
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					th := rt.NewThread()
+					for i := 0; i < 250; i++ {
+						k := uint64((g*striped + i*11) % 600)
+						_ = th.Run(stm.Props{Kind: stm.Atomic}, func(tx *stm.Tx) {
+							if i%5 == 0 {
+								s.Remove(tx, k)
+							} else {
+								s.Insert(tx, k)
+							}
+						})
+					}
+				}()
+			}
+			wg.Wait()
+			th := rt.NewThread()
+			atomically(t, th, func(tx *stm.Tx) {
+				if !s.CheckInvariants(tx) {
+					t.Error("invariants violated after concurrent use")
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,211 @@
+package tmds
+
+import "repro/internal/stm"
+
+// Treap is a transactional ordered map implemented as a treap (a binary
+// search tree ordered by key, heap-ordered by a per-key pseudo-random
+// priority). Rotations touch a handful of transactional links, making it a
+// good medium-size-write-set workload; lookups are read-only transactions of
+// logarithmic depth.
+//
+// Priorities are derived deterministically from the key, so the structure's
+// shape is a pure function of its contents — convenient for testing and for
+// replayable benchmarks.
+type Treap struct {
+	root *stm.TAny // *treapNode
+	size *stm.TWord
+}
+
+type treapNode struct {
+	key  uint64
+	prio uint64
+	val  *stm.TAny
+	l, r *stm.TAny // *treapNode
+}
+
+func asTreapNode(v any) *treapNode {
+	if v == nil {
+		return nil
+	}
+	return v.(*treapNode)
+}
+
+func prioFor(key uint64) uint64 {
+	x := key + 0x9E3779B97F4A7C15
+	x = (x ^ x>>30) * 0xBF58476D1CE4E5B9
+	x = (x ^ x>>27) * 0x94D049BB133111EB
+	return x ^ x>>31
+}
+
+// NewTreap creates an empty tree.
+func NewTreap() *Treap {
+	return &Treap{root: stm.NewTAny(nil), size: stm.NewTWord(0)}
+}
+
+// Get returns the value at key.
+func (t *Treap) Get(tx *stm.Tx, key uint64) (any, bool) {
+	n := asTreapNode(t.root.Load(tx))
+	for n != nil {
+		switch {
+		case key == n.key:
+			return n.val.Load(tx), true
+		case key < n.key:
+			n = asTreapNode(n.l.Load(tx))
+		default:
+			n = asTreapNode(n.r.Load(tx))
+		}
+	}
+	return nil, false
+}
+
+// Contains reports whether key is present.
+func (t *Treap) Contains(tx *stm.Tx, key uint64) bool {
+	_, ok := t.Get(tx, key)
+	return ok
+}
+
+// Len returns the element count.
+func (t *Treap) Len(tx *stm.Tx) uint64 { return t.size.Load(tx) }
+
+// Insert adds or replaces key=val; reports whether the key was newly added.
+func (t *Treap) Insert(tx *stm.Tx, key uint64, val any) bool {
+	added := false
+	newRoot := t.insert(tx, asTreapNode(t.root.Load(tx)), key, val, &added)
+	t.root.Store(tx, newRoot)
+	if added {
+		t.size.Add(tx, 1)
+	}
+	return added
+}
+
+func (t *Treap) insert(tx *stm.Tx, n *treapNode, key uint64, val any, added *bool) *treapNode {
+	if n == nil {
+		*added = true
+		return &treapNode{
+			key:  key,
+			prio: prioFor(key),
+			val:  stm.NewTAny(val),
+			l:    stm.NewTAny(nil),
+			r:    stm.NewTAny(nil),
+		}
+	}
+	switch {
+	case key == n.key:
+		n.val.Store(tx, val)
+		return n
+	case key < n.key:
+		child := t.insert(tx, asTreapNode(n.l.Load(tx)), key, val, added)
+		n.l.Store(tx, child)
+		if child.prio > n.prio {
+			return t.rotateRight(tx, n)
+		}
+	default:
+		child := t.insert(tx, asTreapNode(n.r.Load(tx)), key, val, added)
+		n.r.Store(tx, child)
+		if child.prio > n.prio {
+			return t.rotateLeft(tx, n)
+		}
+	}
+	return n
+}
+
+// rotateRight lifts n's left child.
+func (t *Treap) rotateRight(tx *stm.Tx, n *treapNode) *treapNode {
+	l := asTreapNode(n.l.Load(tx))
+	n.l.Store(tx, l.r.Load(tx))
+	l.r.Store(tx, n)
+	return l
+}
+
+// rotateLeft lifts n's right child.
+func (t *Treap) rotateLeft(tx *stm.Tx, n *treapNode) *treapNode {
+	r := asTreapNode(n.r.Load(tx))
+	n.r.Store(tx, r.l.Load(tx))
+	r.l.Store(tx, n)
+	return r
+}
+
+// Remove deletes key; reports whether it was present.
+func (t *Treap) Remove(tx *stm.Tx, key uint64) bool {
+	removed := false
+	newRoot := t.remove(tx, asTreapNode(t.root.Load(tx)), key, &removed)
+	t.root.Store(tx, newRoot)
+	if removed {
+		t.size.Add(tx, ^uint64(0))
+	}
+	return removed
+}
+
+func (t *Treap) remove(tx *stm.Tx, n *treapNode, key uint64, removed *bool) *treapNode {
+	if n == nil {
+		return nil
+	}
+	switch {
+	case key < n.key:
+		n.l.Store(tx, t.remove(tx, asTreapNode(n.l.Load(tx)), key, removed))
+	case key > n.key:
+		n.r.Store(tx, t.remove(tx, asTreapNode(n.r.Load(tx)), key, removed))
+	default:
+		*removed = true
+		return t.merge(tx, asTreapNode(n.l.Load(tx)), asTreapNode(n.r.Load(tx)))
+	}
+	return n
+}
+
+// merge joins two treaps where every key in l precedes every key in r.
+func (t *Treap) merge(tx *stm.Tx, l, r *treapNode) *treapNode {
+	switch {
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	case l.prio > r.prio:
+		l.r.Store(tx, t.merge(tx, asTreapNode(l.r.Load(tx)), r))
+		return l
+	default:
+		r.l.Store(tx, t.merge(tx, l, asTreapNode(r.l.Load(tx))))
+		return r
+	}
+}
+
+// Keys returns the keys in ascending order.
+func (t *Treap) Keys(tx *stm.Tx) []uint64 {
+	var out []uint64
+	var walk func(n *treapNode)
+	walk = func(n *treapNode) {
+		if n == nil {
+			return
+		}
+		walk(asTreapNode(n.l.Load(tx)))
+		out = append(out, n.key)
+		walk(asTreapNode(n.r.Load(tx)))
+	}
+	walk(asTreapNode(t.root.Load(tx)))
+	return out
+}
+
+// CheckInvariants validates BST order and heap priority; it returns false on
+// the first violation (tests).
+func (t *Treap) CheckInvariants(tx *stm.Tx) bool {
+	var check func(n *treapNode, lo, hi uint64, hasLo, hasHi bool) bool
+	check = func(n *treapNode, lo, hi uint64, hasLo, hasHi bool) bool {
+		if n == nil {
+			return true
+		}
+		if hasLo && n.key <= lo {
+			return false
+		}
+		if hasHi && n.key >= hi {
+			return false
+		}
+		l, r := asTreapNode(n.l.Load(tx)), asTreapNode(n.r.Load(tx))
+		if l != nil && l.prio > n.prio {
+			return false
+		}
+		if r != nil && r.prio > n.prio {
+			return false
+		}
+		return check(l, lo, n.key, hasLo, true) && check(r, n.key, hi, true, hasHi)
+	}
+	return check(asTreapNode(t.root.Load(tx)), 0, 0, false, false)
+}

@@ -1,0 +1,232 @@
+// Package trace records cache operations and replays them against any
+// synchronization branch: the same captured workload, bit-for-bit, driven
+// through every member of the branch matrix. This is how a production cache
+// team would compare the paper's branches on real traffic rather than on a
+// synthetic generator.
+//
+// Traces serialize with encoding/gob; a few million operations fit in a few
+// MB and replay deterministically (per-client streams preserve their order;
+// cross-client interleaving is up to the scheduler, as it was live).
+package trace
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// Kind is an operation type.
+type Kind byte
+
+// Operation kinds.
+const (
+	OpGet Kind = iota
+	OpSet
+	OpAdd
+	OpReplace
+	OpAppend
+	OpPrepend
+	OpDelete
+	OpIncr
+	OpDecr
+	OpTouch
+	OpFlushAll
+)
+
+func (k Kind) String() string {
+	names := [...]string{"get", "set", "add", "replace", "append", "prepend",
+		"delete", "incr", "decr", "touch", "flush_all"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("Kind(%d)", byte(k))
+}
+
+// Op is one recorded operation. Client identifies the recording stream so
+// replay can preserve per-client ordering.
+type Op struct {
+	Client  int
+	Kind    Kind
+	Key     []byte
+	Value   []byte
+	Flags   uint32
+	Exptime uint64
+	Delta   uint64
+}
+
+// Trace is a recorded operation sequence (in global arrival order).
+type Trace struct {
+	Ops []Op
+}
+
+// Save writes the trace to w.
+func (t *Trace) Save(w io.Writer) error { return gob.NewEncoder(w).Encode(t) }
+
+// Load reads a trace from r.
+func Load(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := gob.NewDecoder(r).Decode(&t); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// Clients returns the number of distinct client streams.
+func (t *Trace) Clients() int {
+	max := -1
+	for _, op := range t.Ops {
+		if op.Client > max {
+			max = op.Client
+		}
+	}
+	return max + 1
+}
+
+// ---------------------------------------------------------------------------
+// Recording
+
+// Recorder wraps an engine.Worker: every operation is forwarded and recorded.
+// One Recorder per client stream; all Recorders of one Session share the
+// trace.
+type Recorder struct {
+	s      *Session
+	client int
+	w      *engine.Worker
+}
+
+// Session accumulates a trace from several concurrent Recorders.
+type Session struct {
+	mu    sync.Mutex
+	trace Trace
+	next  int
+}
+
+// NewSession creates an empty recording session.
+func NewSession() *Session { return &Session{} }
+
+// NewRecorder binds a new client stream to worker w.
+func (s *Session) NewRecorder(w *engine.Worker) *Recorder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := &Recorder{s: s, client: s.next, w: w}
+	s.next++
+	return r
+}
+
+// Trace returns the recorded trace (call after recording completes).
+func (s *Session) Trace() *Trace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := Trace{Ops: append([]Op(nil), s.trace.Ops...)}
+	return &cp
+}
+
+func (s *Session) record(op Op) {
+	s.mu.Lock()
+	s.trace.Ops = append(s.trace.Ops, op)
+	s.mu.Unlock()
+}
+
+func dup(b []byte) []byte { return append([]byte(nil), b...) }
+
+// Get forwards and records a get.
+func (r *Recorder) Get(key []byte) ([]byte, uint32, uint64, bool) {
+	r.s.record(Op{Client: r.client, Kind: OpGet, Key: dup(key)})
+	return r.w.Get(key)
+}
+
+// Set forwards and records a set.
+func (r *Recorder) Set(key []byte, flags uint32, exptime uint64, value []byte) engine.StoreResult {
+	r.s.record(Op{Client: r.client, Kind: OpSet, Key: dup(key), Value: dup(value), Flags: flags, Exptime: exptime})
+	return r.w.Set(key, flags, exptime, value)
+}
+
+// Delete forwards and records a delete.
+func (r *Recorder) Delete(key []byte) bool {
+	r.s.record(Op{Client: r.client, Kind: OpDelete, Key: dup(key)})
+	return r.w.Delete(key)
+}
+
+// Incr forwards and records an incr.
+func (r *Recorder) Incr(key []byte, delta uint64) (uint64, engine.DeltaResult) {
+	r.s.record(Op{Client: r.client, Kind: OpIncr, Key: dup(key), Delta: delta})
+	return r.w.Incr(key, delta)
+}
+
+// ---------------------------------------------------------------------------
+// Replay
+
+// Result summarizes a replay.
+type Result struct {
+	Ops    uint64
+	Hits   uint64
+	Errors uint64
+}
+
+// Replay drives the trace against cache: each recorded client stream becomes
+// one worker goroutine issuing its operations in recorded order.
+func Replay(c *engine.Cache, t *Trace) Result {
+	n := t.Clients()
+	if n == 0 {
+		return Result{}
+	}
+	streams := make([][]Op, n)
+	for _, op := range t.Ops {
+		streams[op.Client] = append(streams[op.Client], op)
+	}
+	var res Result
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, stream := range streams {
+		stream := stream
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := c.NewWorker()
+			var ops, hits, errs uint64
+			for _, op := range stream {
+				ops++
+				switch op.Kind {
+				case OpGet:
+					if _, _, _, ok := w.Get(op.Key); ok {
+						hits++
+					}
+				case OpSet:
+					if w.Set(op.Key, op.Flags, op.Exptime, op.Value) != engine.Stored {
+						errs++
+					}
+				case OpAdd:
+					w.Add(op.Key, op.Flags, op.Exptime, op.Value)
+				case OpReplace:
+					w.Replace(op.Key, op.Flags, op.Exptime, op.Value)
+				case OpAppend:
+					w.Append(op.Key, op.Value)
+				case OpPrepend:
+					w.Prepend(op.Key, op.Value)
+				case OpDelete:
+					w.Delete(op.Key)
+				case OpIncr:
+					w.Incr(op.Key, op.Delta)
+				case OpDecr:
+					w.Decr(op.Key, op.Delta)
+				case OpTouch:
+					w.Touch(op.Key, op.Exptime)
+				case OpFlushAll:
+					w.FlushAll()
+				default:
+					errs++
+				}
+			}
+			mu.Lock()
+			res.Ops += ops
+			res.Hits += hits
+			res.Errors += errs
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return res
+}

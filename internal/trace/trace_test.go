@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func newCache(t *testing.T, b engine.Branch) *engine.Cache {
+	t.Helper()
+	c := engine.New(engine.Config{Branch: b, HashPower: 8, MemLimit: 8 << 20})
+	c.Start()
+	t.Cleanup(c.Stop)
+	return c
+}
+
+// record produces a small mixed trace from two concurrent clients.
+func record(t *testing.T) *Trace {
+	t.Helper()
+	c := newCache(t, engine.Baseline)
+	s := NewSession()
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := s.NewRecorder(c.NewWorker())
+			for i := 0; i < 200; i++ {
+				key := []byte(fmt.Sprintf("t-%d", (g*17+i)%64))
+				switch i % 6 {
+				case 0:
+					r.Set(key, uint32(g), 0, []byte(fmt.Sprintf("v%d", i)))
+				case 1:
+					r.Delete(key)
+				case 2:
+					r.Incr(key, 1)
+				default:
+					r.Get(key)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return s.Trace()
+}
+
+func TestRecordCaptureShape(t *testing.T) {
+	tr := record(t)
+	if len(tr.Ops) != 400 {
+		t.Fatalf("recorded %d ops, want 400", len(tr.Ops))
+	}
+	if tr.Clients() != 2 {
+		t.Errorf("clients = %d", tr.Clients())
+	}
+	kinds := map[Kind]int{}
+	for _, op := range tr.Ops {
+		kinds[op.Kind]++
+		if len(op.Key) == 0 {
+			t.Fatal("recorded op with empty key")
+		}
+	}
+	if kinds[OpGet] == 0 || kinds[OpSet] == 0 || kinds[OpDelete] == 0 || kinds[OpIncr] == 0 {
+		t.Errorf("kind mix = %v", kinds)
+	}
+	// Per-client order preserved: sets precede their later gets per stream.
+	seen := map[int]int{}
+	for _, op := range tr.Ops {
+		seen[op.Client]++
+	}
+	if seen[0] != 200 || seen[1] != 200 {
+		t.Errorf("per-client counts = %v", seen)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tr := record(t)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ops) != len(tr.Ops) {
+		t.Fatalf("round trip lost ops: %d vs %d", len(got.Ops), len(tr.Ops))
+	}
+	for i := range got.Ops {
+		a, b := got.Ops[i], tr.Ops[i]
+		if a.Kind != b.Kind || string(a.Key) != string(b.Key) || string(a.Value) != string(b.Value) ||
+			a.Client != b.Client || a.Delta != b.Delta {
+			t.Fatalf("op %d mutated: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestLoadGarbageFails(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Error("Load accepted garbage")
+	}
+}
+
+// TestReplayAcrossBranches runs one captured trace against several branches:
+// every replay must complete without protocol errors, and a single-client
+// trace must produce the identical final key population everywhere.
+func TestReplayAcrossBranches(t *testing.T) {
+	// Single-client trace: fully deterministic final state.
+	src := newCache(t, engine.Semaphore)
+	s := NewSession()
+	r := s.NewRecorder(src.NewWorker())
+	for i := 0; i < 300; i++ {
+		key := []byte(fmt.Sprintf("d-%d", i%50))
+		switch i % 5 {
+		case 0:
+			r.Set(key, 0, 0, []byte(fmt.Sprintf("val-%d", i)))
+		case 1:
+			r.Delete(key)
+		default:
+			r.Get(key)
+		}
+	}
+	tr := s.Trace()
+
+	// Reference population from the recording cache.
+	wantLive := map[string]string{}
+	w := src.NewWorker()
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("d-%d", i)
+		if val, _, _, ok := w.Get([]byte(key)); ok {
+			wantLive[key] = string(val)
+		}
+	}
+
+	for _, b := range []engine.Branch{engine.Baseline, engine.IPCallable, engine.ITMax, engine.ITNoLock} {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			c := newCache(t, b)
+			res := Replay(c, tr)
+			if res.Ops != 300 {
+				t.Errorf("replayed %d ops", res.Ops)
+			}
+			if res.Errors != 0 {
+				t.Errorf("replay errors = %d", res.Errors)
+			}
+			w := c.NewWorker()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("d-%d", i)
+				val, _, _, ok := w.Get([]byte(key))
+				want, wantOK := wantLive[key]
+				if ok != wantOK {
+					t.Errorf("key %s: live=%v, want %v", key, ok, wantOK)
+					continue
+				}
+				if ok && string(val) != want {
+					t.Errorf("key %s: value %q, want %q", key, val, want)
+				}
+			}
+			if err := c.Validate(); err != nil {
+				t.Errorf("post-replay validation: %v", err)
+			}
+		})
+	}
+}
+
+func TestReplayEmptyTrace(t *testing.T) {
+	c := newCache(t, engine.Baseline)
+	if res := Replay(c, &Trace{}); res.Ops != 0 {
+		t.Errorf("empty trace replayed %d ops", res.Ops)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if OpGet.String() != "get" || OpFlushAll.String() != "flush_all" {
+		t.Error("kind names wrong")
+	}
+	if Kind(200).String() == "get" {
+		t.Error("out-of-range kind mapped to a name")
+	}
+}
