@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build vet test check torture-smoke torture
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# check is the tier-1 gate plus the robustness smoke: everything builds, vets
+# clean, passes its tests, and survives shrunken fault schedules under the
+# race detector.
+check: build vet test torture-smoke
+
+# torture-smoke runs the seeded fault-injection harness in its shrunken
+# (-torture.short) form. The flag is registered per test package, so only the
+# packages that define it may be targeted here.
+torture-smoke:
+	$(GO) test -race -run Torture -count=1 ./internal/engine ./internal/server -torture.short
+
+# torture runs the full schedules: 3 seeds per branch family in-process plus
+# the end-to-end network runs. Slower; the nightly-CI shape.
+torture:
+	$(GO) test -race -run Torture -count=1 ./internal/engine ./internal/server

@@ -1,0 +1,76 @@
+// mctorture runs seeded fault-injection torture schedules against the cache
+// and checks it against a sequential model. Every failure report embeds the
+// seed, so any red run reproduces exactly:
+//
+//	mctorture -branch it-oncommit -seed 42
+//	mctorture -branch all -runs 3          # 3 seeds across all 14 branches
+//	mctorture -branch ip -net              # through the TCP front end
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/engine"
+	"repro/internal/torture"
+)
+
+func main() {
+	branch := flag.String("branch", "it-oncommit", "branch to torture (see -branch help), or 'all'")
+	seed := flag.Uint64("seed", 1, "first schedule seed")
+	runs := flag.Int("runs", 1, "number of consecutive seeds per branch")
+	netMode := flag.Bool("net", false, "drive ops through the TCP front end with transport faults")
+	short := flag.Bool("short", false, "shrunken schedules (smoke mode)")
+	workers := flag.Int("workers", 0, "chaos workers (0 = default)")
+	ops := flag.Int("ops", 0, "phase-A ops per worker (0 = default)")
+	stable := flag.Int("stable", 0, "phase-B stable keys (0 = default)")
+	rate := flag.Float64("rate", 0, "max per-point fault rate (0 = default 0.02)")
+	verbose := flag.Bool("v", false, "print the fault schedule summary for green runs too")
+	flag.Parse()
+
+	var branches []engine.Branch
+	if *branch == "all" {
+		branches = engine.Branches()
+	} else {
+		b, err := engine.ParseBranch(*branch)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		branches = []engine.Branch{b}
+	}
+
+	failed := false
+	for _, b := range branches {
+		for s := *seed; s < *seed+uint64(*runs); s++ {
+			cfg := torture.Config{
+				Branch:     b,
+				Seed:       s,
+				Workers:    *workers,
+				Ops:        *ops,
+				StableKeys: *stable,
+				MaxRate:    *rate,
+				Short:      *short,
+			}
+			var rep *torture.Report
+			if *netMode {
+				rep = torture.RunNetwork(cfg)
+			} else {
+				rep = torture.Run(cfg)
+			}
+			if rep.Failed() {
+				failed = true
+				fmt.Print(rep.String())
+			} else {
+				fmt.Println(rep.String())
+				if *verbose {
+					fmt.Print(rep.Faults)
+				}
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -24,6 +24,7 @@ func main() {
 		vsize   = flag.Int("value-size", 1024, "value size in bytes")
 		setFrac = flag.Float64("set-fraction", 0.1, "fraction of sets")
 		zipf    = flag.Bool("zipf", false, "Zipf-skewed key popularity (hot keys)")
+		reconn  = flag.Int("reconnect", 0, "re-dial each connection every N operations (0 = never)")
 	)
 	flag.Parse()
 
@@ -35,6 +36,7 @@ func main() {
 		ValueSize:     *vsize,
 		SetFraction:   *setFrac,
 		Zipf:          *zipf,
+		Reconnect:     *reconn,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/assoc"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/item"
 	"repro/internal/mcstats"
 	"repro/internal/sem"
@@ -55,6 +56,15 @@ type Config struct {
 	// effective on transactional branches at stage Max or later (the
 	// predicate flags must be transactional for Retry to observe them).
 	RetryCondSync bool
+
+	// Fault wires a deterministic fault injector through every layer of the
+	// cache: the STM barriers (unless an explicit STM config already carries
+	// one), the slab allocator, and the maintenance threads. Nil disables
+	// injection at zero cost.
+	Fault *fault.Injector
+	// Watchdog, when non-zero, enables the STM starvation watchdog at this
+	// scan interval (transactional branches only; see stm.Config).
+	Watchdog time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -147,10 +157,17 @@ func New(conf Config) *Cache {
 		stripeMask:  uint64(conf.Stripes) - 1,
 	}
 	c.lru = item.NewLRU(c.slabs.NumClasses())
+	c.slabs.SetFault(conf.Fault)
 	if cfg.tm {
 		sc := stmConfigFor(cfg)
 		if conf.STM != nil {
 			sc = *conf.STM
+		}
+		if sc.Fault == nil {
+			sc.Fault = conf.Fault
+		}
+		if sc.WatchdogInterval == 0 {
+			sc.WatchdogInterval = conf.Watchdog
 		}
 		c.rt = stm.New(sc)
 		c.tm = core.New(c.rt)
@@ -186,6 +203,9 @@ func (c *Cache) newAgent() *agent {
 
 // Start launches the clock thread and the two maintenance threads.
 func (c *Cache) Start() {
+	if c.rt != nil {
+		c.rt.StartWatchdog()
+	}
 	c.wg.Add(3)
 	go c.clockThread()
 	go c.hashMaintainer()
@@ -215,6 +235,9 @@ func (c *Cache) Stop() {
 		c.slabSem.Post()
 	}
 	c.wg.Wait()
+	if c.rt != nil {
+		c.rt.StopWatchdog()
+	}
 }
 
 // SetTime forces the volatile clock (tests of expiry and flush_all).
@@ -254,6 +277,15 @@ func (c *Cache) log() func(string) {
 // active (transactional branches, stage Max+).
 func (c *Cache) retryCondSync() bool {
 	return c.conf.RetryCondSync && c.cfg.tm && c.cfg.profile.TxVolatiles
+}
+
+// faultSleep stalls briefly when the named injection point fires — the
+// delayed-wakeup / mid-expansion-stall schedules implicated in the lost-key
+// and starvation incidents.
+func (c *Cache) faultSleep(p fault.Point, d time.Duration) {
+	if c.conf.Fault.Fire(p) {
+		time.Sleep(d)
+	}
 }
 
 // hashMaintainer migrates hash buckets during expansion. Baseline uses the
@@ -306,6 +338,7 @@ func (c *Cache) hashMaintainer() {
 		if c.MxCanRun.LoadDirect() != 1 {
 			return
 		}
+		c.faultSleep(fault.MaintHashDelay, time.Millisecond)
 		for {
 			progressed := false
 			a.section(domains{cache: true}, profile{volatiles: true, volatileFirst: true, io: true, site: "assoc_maintenance"}, func(ctx access.Ctx) {
@@ -391,6 +424,10 @@ func (c *Cache) slabMaintainerRetry(a *agent) {
 // against item locks (held later in the lock order than the cache lock the
 // maintainer already owns — the documented order violation).
 func (c *Cache) expandChunk(a *agent, ctx access.Ctx) {
+	// A stall here leaves the table half-expanded (old and new arrays both
+	// live) while workers race against it — the window of the lost-key
+	// incident.
+	c.faultSleep(fault.MaintExpandStall, 100*time.Microsecond)
 	c.tab.ExpandStepLocked(ctx, assoc.BulkMove, func(hv uint64) (func(), bool) {
 		return a.victimTryLock(ctx, hv)
 	})
@@ -427,6 +464,7 @@ func (c *Cache) slabMaintainer() {
 		if c.MxCanRun.LoadDirect() != 1 {
 			return
 		}
+		c.faultSleep(fault.MaintSlabDelay, time.Millisecond)
 		a.section(domains{slabs: true}, profile{volatiles: true, volatileFirst: true, io: true, site: "slab_maintenance"}, func(ctx access.Ctx) {
 			c.rebalanceOnce(a, ctx)
 		})

@@ -1,0 +1,60 @@
+package engine_test
+
+import (
+	"flag"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/torture"
+)
+
+// tortureShort shrinks the torture runs for quick -race smoke passes:
+//
+//	go test -race -run Torture -torture.short ./internal/engine
+var tortureShort = flag.Bool("torture.short", false, "run shrunken torture schedules")
+
+// tortureSeeds: three distinct schedules per branch family. Each seed draws a
+// different fault-point shape and rate vector, so three seeds means three
+// materially different torture runs, not three repeats.
+var tortureSeeds = []uint64{1, 0xDECAFBAD, 0x5EED5EED5EED}
+
+func runTortureFamily(t *testing.T, branches []engine.Branch) {
+	t.Helper()
+	for _, b := range branches {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range tortureSeeds {
+				rep := torture.Run(torture.Config{
+					Branch: b,
+					Seed:   seed,
+					Short:  *tortureShort,
+				})
+				if rep.Failed() {
+					// Report.String embeds the seed; replay with
+					// mctorture -branch <b> -seed <seed>.
+					t.Errorf("%s", rep)
+				} else {
+					t.Logf("%s", rep)
+				}
+			}
+		})
+	}
+}
+
+// TestTortureLockFamily covers the lock-based branches: the pthreads baseline
+// and the Figure 2 semaphore restructuring.
+func TestTortureLockFamily(t *testing.T) {
+	runTortureFamily(t, []engine.Branch{engine.Baseline, engine.Semaphore})
+}
+
+// TestTortureIPFamily covers in-place (write-through) transactional branches
+// across the staging spectrum.
+func TestTortureIPFamily(t *testing.T) {
+	runTortureFamily(t, []engine.Branch{engine.IP, engine.IPOnCommit, engine.IPNoLock})
+}
+
+// TestTortureITFamily covers the instrumented-volatile (IT) branches.
+func TestTortureITFamily(t *testing.T) {
+	runTortureFamily(t, []engine.Branch{engine.IT, engine.ITOnCommit, engine.ITNoLock})
+}

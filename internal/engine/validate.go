@@ -90,3 +90,45 @@ func (c *Cache) Validate() error {
 	a.section(domains{cache: true, slabs: true, stats: true}, profile{volatiles: true, libc: true}, check)
 	return err
 }
+
+// Expanding reports whether a hash-table expansion is in flight. The torture
+// harness polls it to let migration finish before its invariant checks.
+func (w *Worker) Expanding() bool {
+	var exp bool
+	w.section(domains{cache: true}, profile{volatiles: true}, func(ctx access.Ctx) {
+		exp = w.c.tab.IsExpanding(ctx)
+	})
+	return exp
+}
+
+// ValidateQuiescent is Validate plus the checks that only hold once every
+// worker has returned its references: each linked item's refcount must be
+// exactly 1 (the link reference — anything higher is a leaked hold, the
+// balanced-refcount invariant the torture harness asserts), and slab memory
+// must be within its limit. Call only with no commands in flight.
+func (c *Cache) ValidateQuiescent() error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	a := c.newAgent()
+	var err error
+	check := func(ctx access.Ctx) {
+		err = nil
+		for cls := 0; cls < c.lru.Classes(); cls++ {
+			for it := c.lru.Head(ctx, cls); it != nil; it = item.AsItem(ctx.Any(it.Next)) {
+				if rc := ctx.Volatile(it.Refcount); rc != 1 {
+					key := make([]byte, it.KeyLen)
+					ctx.MemcpyOut(key, it.Key, 0, it.KeyLen)
+					err = fmt.Errorf("engine: quiescent item %q has refcount %d, want 1", key, rc)
+					return
+				}
+			}
+		}
+		if got := c.slabs.Allocated(ctx); got > c.conf.MemLimit {
+			err = fmt.Errorf("engine: slab memory %d exceeds limit %d", got, c.conf.MemLimit)
+			return
+		}
+	}
+	a.section(domains{cache: true, slabs: true}, profile{volatiles: true, libc: true}, check)
+	return err
+}

@@ -1,0 +1,143 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+)
+
+// collect replays n hits of p and returns the fire/no-fire decision sequence.
+func collect(in *Injector, p Point, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = in.Fire(p)
+	}
+	return out
+}
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	a := New(42)
+	a.Set(STMReadAbort, 0.25)
+	b := New(42)
+	b.Set(STMReadAbort, 0.25)
+	sa := collect(a, STMReadAbort, 1000)
+	sb := collect(b, STMReadAbort, 1000)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("hit %d: decisions diverge for identical seeds", i)
+		}
+	}
+	if a.Fired(STMReadAbort) == 0 {
+		t.Fatal("rate 0.25 over 1000 hits never fired")
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	a.Set(STMReadAbort, 0.5)
+	b := New(2)
+	b.Set(STMReadAbort, 0.5)
+	sa := collect(a, STMReadAbort, 256)
+	sb := collect(b, STMReadAbort, 256)
+	same := 0
+	for i := range sa {
+		if sa[i] == sb[i] {
+			same++
+		}
+	}
+	if same == len(sa) {
+		t.Fatal("seeds 1 and 2 produced identical 256-hit schedules")
+	}
+}
+
+func TestRateObserved(t *testing.T) {
+	in := New(7)
+	in.Set(SlabAllocFail, 0.1)
+	const n = 20000
+	collect(in, SlabAllocFail, n)
+	got := float64(in.Fired(SlabAllocFail)) / n
+	if got < 0.05 || got > 0.15 {
+		t.Fatalf("rate 0.1 fired at %.3f", got)
+	}
+}
+
+func TestUnconfiguredAndNilNeverFire(t *testing.T) {
+	in := New(3)
+	if in.Fire(ConnDrop) {
+		t.Fatal("unconfigured point fired")
+	}
+	var nilIn *Injector
+	if nilIn.Fire(ConnDrop) || nilIn.Fired(ConnDrop) != 0 {
+		t.Fatal("nil injector fired")
+	}
+}
+
+func TestDisarmStopsFiring(t *testing.T) {
+	in := New(9)
+	in.Set(STMCommitFail, 1.0)
+	if !in.Fire(STMCommitFail) {
+		t.Fatal("rate 1.0 did not fire")
+	}
+	in.Disarm()
+	for i := 0; i < 100; i++ {
+		if in.Fire(STMCommitFail) {
+			t.Fatal("disarmed injector fired")
+		}
+	}
+	in.Arm()
+	fired := false
+	for i := 0; i < 10; i++ {
+		fired = fired || in.Fire(STMCommitFail)
+	}
+	if !fired {
+		t.Fatal("re-armed injector never fired at rate 1.0")
+	}
+}
+
+func TestRandomScheduleDeterministic(t *testing.T) {
+	a := RandomSchedule(11, StmPoints(), 0.05)
+	b := RandomSchedule(11, StmPoints(), 0.05)
+	for _, p := range StmPoints() {
+		if a.Rate(p) != b.Rate(p) {
+			t.Fatalf("point %s: rate %f vs %f from the same seed", p, a.Rate(p), b.Rate(p))
+		}
+	}
+	// Across many seeds, every point must be included sometimes and dropped
+	// sometimes, and rates must stay within (0, maxRate].
+	included := map[Point]int{}
+	for seed := uint64(0); seed < 64; seed++ {
+		in := RandomSchedule(seed, StmPoints(), 0.05)
+		for _, p := range StmPoints() {
+			r := in.Rate(p)
+			if r > 0.05+1e-9 {
+				t.Fatalf("seed %d point %s rate %f above max", seed, p, r)
+			}
+			if r > 0 {
+				included[p]++
+			}
+		}
+	}
+	for _, p := range StmPoints() {
+		if included[p] == 0 || included[p] == 64 {
+			t.Errorf("point %s included in %d/64 schedules; want variety", p, included[p])
+		}
+	}
+}
+
+func TestConcurrentFireIsSafe(t *testing.T) {
+	in := New(5)
+	in.Set(STMReadDelay, 0.5)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				in.Fire(STMReadDelay)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := in.Hits(STMReadDelay); got != 8000 {
+		t.Fatalf("hits = %d, want 8000", got)
+	}
+}

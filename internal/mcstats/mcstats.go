@@ -7,9 +7,21 @@
 package mcstats
 
 import (
+	"sync/atomic"
+
 	"repro/internal/access"
 	"repro/internal/stm"
 )
+
+// ConnErrors counts connection teardowns by cause at the server front end.
+// These counters live outside every lock/transaction domain (the connection
+// layer is nontransactional even in memcached), so they are plain atomics
+// rather than TWords.
+type ConnErrors struct {
+	IO       atomic.Uint64 // transport failures: resets, short writes, unexpected close
+	Protocol atomic.Uint64 // malformed framing that forced a disconnect
+	Timeout  atomic.Uint64 // read/write/idle deadline expiries
+}
 
 // Global is the stats-lock domain (stats.c globals that never moved to
 // per-thread storage).

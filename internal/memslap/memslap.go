@@ -47,6 +47,11 @@ type Config struct {
 	// of uniform choice, concentrating traffic on hot keys — the contention
 	// regime where TM algorithm and CM choice matter most.
 	Zipf bool
+	// Reconnect, when >0, makes each network client close and re-dial its
+	// connection every Reconnect operations — connection churn that stresses
+	// the accept path, the MaxConns slot accounting, and per-connection
+	// worker setup/teardown. Ignored by the direct transport.
+	Reconnect int
 	// Seed makes runs reproducible.
 	Seed uint64
 }
@@ -239,26 +244,26 @@ func RunDirect(c *engine.Cache, cfg Config) Result {
 // the text protocol, or the binary protocol when cfg.Binary is set.
 func RunNetwork(addr string, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
-	clients := make([]executor, cfg.Concurrency)
-	conns := make([]net.Conn, cfg.Concurrency)
+	clients := make([]*reconnExec, cfg.Concurrency)
 	for i := range clients {
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {
-			for _, c := range conns[:i] {
-				c.Close()
+			for _, c := range clients[:i] {
+				c.conn.Close()
 			}
 			return Result{}, err
 		}
-		conns[i] = conn
-		if cfg.Binary {
-			clients[i] = &binClient{r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
-		} else {
-			clients[i] = &textClient{r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+		clients[i] = &reconnExec{
+			addr:   addr,
+			binary: cfg.Binary,
+			every:  cfg.Reconnect,
+			conn:   conn,
+			inner:  newNetExec(conn, cfg.Binary),
 		}
 	}
 	defer func() {
-		for _, c := range conns {
-			c.Close()
+		for _, c := range clients {
+			c.conn.Close()
 		}
 	}()
 
@@ -284,6 +289,55 @@ func RunNetwork(addr string, cfg Config) (Result, error) {
 	res.Duration = time.Since(start)
 	res.Ops = res.Gets + res.Sets
 	return res, nil
+}
+
+func newNetExec(conn net.Conn, binary bool) executor {
+	if binary {
+		return &binClient{r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+	}
+	return &textClient{r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+}
+
+// reconnExec wraps a network executor with the -reconnect behavior: after
+// every N operations the connection is torn down and re-dialed, so a long
+// run continuously exercises the server's accept, registration, and
+// teardown paths instead of settling into long-lived connections.
+type reconnExec struct {
+	addr   string
+	binary bool
+	every  int // 0 = never reconnect
+	ops    int
+	conn   net.Conn
+	inner  executor
+}
+
+func (e *reconnExec) cycle() error {
+	if e.every <= 0 || e.ops < e.every {
+		return nil
+	}
+	e.conn.Close()
+	conn, err := net.Dial("tcp", e.addr)
+	if err != nil {
+		return err
+	}
+	e.conn, e.inner, e.ops = conn, newNetExec(conn, e.binary), 0
+	return nil
+}
+
+func (e *reconnExec) get(k []byte) (bool, error) {
+	if err := e.cycle(); err != nil {
+		return false, err
+	}
+	e.ops++
+	return e.inner.get(k)
+}
+
+func (e *reconnExec) set(k, v []byte) error {
+	if err := e.cycle(); err != nil {
+		return err
+	}
+	e.ops++
+	return e.inner.set(k, v)
 }
 
 // textClient speaks the text protocol.

@@ -102,6 +102,29 @@ func TestRunNetworkBinary(t *testing.T) {
 	}
 }
 
+func TestRunNetworkReconnect(t *testing.T) {
+	c := newCache(t, engine.Semaphore)
+	s, err := server.Listen(c, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Re-dial every 25 ops: 300 ops per client forces ~12 reconnects each,
+	// and the run must stay error-free across every connection cycle.
+	res, err := RunNetwork(s.Addr(), Config{
+		Concurrency: 3, ExecuteNumber: 300, KeySpace: 100, ValueSize: 64, Reconnect: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 900 || res.Errors != 0 {
+		t.Errorf("ops=%d errors=%d", res.Ops, res.Errors)
+	}
+	if res.Hits == 0 {
+		t.Error("no hits across reconnect cycles")
+	}
+}
+
 func TestRunNetworkDialFailure(t *testing.T) {
 	if _, err := RunNetwork("127.0.0.1:1", Config{Concurrency: 1, ExecuteNumber: 1}); err == nil {
 		t.Error("expected dial error")

@@ -2,6 +2,8 @@ package protocol
 
 import (
 	"encoding/binary"
+	"errors"
+	"fmt"
 	"io"
 
 	"repro/internal/engine"
@@ -64,10 +66,23 @@ type binHeader struct {
 func (c *Conn) serveBinaryOne() error {
 	var hdr [24]byte
 	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return fmt.Errorf("%w: truncated binary header: %v", ErrProtocol, err)
+		}
 		return err
 	}
 	if hdr[0] != binMagicReq {
-		return c.binError(binHeader{opcode: hdr[1]}, StatusUnknownCommand, nil)
+		// Malformed magic (a high first byte that is not 0x80): the header
+		// layout is still the only framing we have, so trust its body length
+		// if sane, drain the frame, and refuse it — leaving the connection
+		// aligned on the next frame. An insane length means framing is lost
+		// for good and the connection must die.
+		bl := binary.BigEndian.Uint32(hdr[8:12])
+		if bl > MaxBodyLen {
+			return fmt.Errorf("%w: bad magic 0x%02x with %d-byte body", ErrProtocol, hdr[0], bl)
+		}
+		io.CopyN(io.Discard, c.r, int64(bl))
+		return c.binError(binHeader{opcode: hdr[1]}, StatusUnknownCommand, []byte("Bad magic"))
 	}
 	req := binHeader{
 		opcode:   hdr[1],
@@ -85,10 +100,15 @@ func (c *Conn) serveBinaryOne() error {
 	}
 	body := make([]byte, req.bodyLen)
 	if _, err := io.ReadFull(c.r, body); err != nil {
-		return err
+		return fmt.Errorf("%w: truncated binary body: %v", ErrProtocol, err)
 	}
 	if int(req.extraLen)+int(req.keyLen) > len(body) {
 		return c.binError(req, StatusInvalidArgs, nil)
+	}
+	if req.keyLen > MaxKeyLen {
+		// The frame is consumed, so the protocol's 250-byte key limit is a
+		// per-command refusal, not a connection error.
+		return c.binError(req, StatusInvalidArgs, []byte("Key too long"))
 	}
 	extras := body[:req.extraLen]
 	key := body[req.extraLen : int(req.extraLen)+int(req.keyLen)]

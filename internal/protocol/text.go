@@ -13,6 +13,7 @@ import (
 	"strconv"
 
 	"repro/internal/engine"
+	"repro/internal/mcstats"
 )
 
 // Version is the version string reported to clients; the paper's study uses
@@ -22,6 +23,12 @@ const Version = "1.4.15-tm-repro"
 // ErrQuit reports a clean client-requested shutdown of the connection.
 var ErrQuit = errors.New("protocol: quit")
 
+// ErrProtocol marks connection-fatal framing violations (a frame truncated
+// mid-body, an unparseable binary header): errors the server counts as
+// protocol-caused rather than transport-caused. Recoverable mistakes get a
+// CLIENT_ERROR / status reply instead and never surface here.
+var ErrProtocol = errors.New("protocol: malformed frame")
+
 // MaxKeyLen is the protocol's 250-byte key limit.
 const MaxKeyLen = 250
 
@@ -29,11 +36,28 @@ const MaxKeyLen = 250
 // the 1 MiB slab-page limit); larger claims are drained, not allocated.
 const MaxBodyLen = 8 << 20
 
+// Control lets the transport owner (the server) interpose on command
+// boundaries: arming idle/read deadlines, tracking busy state for graceful
+// drain, refusing new commands at shutdown. All methods run on the
+// connection's own goroutine.
+type Control interface {
+	// BeforeCommand runs before blocking for the next command. A non-nil
+	// error stops serving (Serve returns it).
+	BeforeCommand() error
+	// CommandStarted runs once the first byte of a command has arrived.
+	CommandStarted()
+	// CommandDone runs after the command's reply has been written.
+	CommandDone()
+}
+
 // Conn serves one client connection.
 type Conn struct {
 	worker *engine.Worker
 	r      *bufio.Reader
 	w      *bufio.Writer
+
+	ctl      Control
+	connErrs *mcstats.ConnErrors
 
 	gatActive  bool
 	gatExptime uint64
@@ -44,9 +68,21 @@ func NewConn(worker *engine.Worker, rw io.ReadWriter) *Conn {
 	return &Conn{worker: worker, r: bufio.NewReader(rw), w: bufio.NewWriter(rw)}
 }
 
+// SetControl installs command-boundary hooks (nil disables them).
+func (c *Conn) SetControl(ctl Control) { c.ctl = ctl }
+
+// SetConnErrors supplies the server's connection-error counters for the
+// `stats` command to report (nil omits the lines).
+func (c *Conn) SetConnErrors(e *mcstats.ConnErrors) { c.connErrs = e }
+
 // Serve processes commands until EOF, quit, or a transport error.
 func (c *Conn) Serve() error {
 	for {
+		if c.ctl != nil {
+			if err := c.ctl.BeforeCommand(); err != nil {
+				return err
+			}
+		}
 		first, err := c.r.Peek(1)
 		if err != nil {
 			if errors.Is(err, io.EOF) {
@@ -54,10 +90,19 @@ func (c *Conn) Serve() error {
 			}
 			return err
 		}
-		if first[0] == binMagicReq {
+		if c.ctl != nil {
+			c.ctl.CommandStarted()
+		}
+		if first[0] >= binMagicReq {
+			// Any high first byte is framed as binary; serveBinaryOne rejects
+			// wrong magic with a status reply rather than misparsing the
+			// frame as a text command line.
 			err = c.serveBinaryOne()
 		} else {
 			err = c.serveTextOne()
+		}
+		if c.ctl != nil {
+			c.ctl.CommandDone()
 		}
 		if err != nil {
 			if errors.Is(err, ErrQuit) {
@@ -204,13 +249,18 @@ func (c *Conn) cmdStore(cmd string, args [][]byte) error {
 	}
 	data := make([]byte, nbytes)
 	if _, err := io.ReadFull(c.r, data); err != nil {
-		return err
+		return fmt.Errorf("%w: set data block truncated: %v", ErrProtocol, err)
 	}
-	var crlf [2]byte
-	if _, err := io.ReadFull(c.r, crlf[:]); err != nil {
-		return err
+	// The data block must be terminated by a bare CRLF. Reading to the next
+	// newline (rather than exactly two bytes) means a short or long data
+	// block leaves the reader aligned on a line boundary: the connection
+	// stays usable after the error, as memcached's conn_swallow state
+	// guarantees.
+	term, err := c.readLine()
+	if err != nil {
+		return fmt.Errorf("%w: set data block unterminated: %v", ErrProtocol, err)
 	}
-	if crlf != [2]byte{'\r', '\n'} {
+	if len(term) != 0 {
 		if noreply {
 			return c.w.Flush()
 		}
@@ -320,6 +370,13 @@ func (c *Conn) cmdStats() error {
 	stat("tm_inflight_switch", s.STM.InFlightSwitch)
 	stat("tm_start_serial", s.STM.StartSerial)
 	stat("tm_abort_serial", s.STM.AbortSerial)
+	stat("tm_watchdog_backoff", s.STM.WatchdogBackoffs)
+	stat("tm_watchdog_serialize", s.STM.WatchdogSerializes)
+	if c.connErrs != nil {
+		stat("conn_errors_io", c.connErrs.IO.Load())
+		stat("conn_errors_protocol", c.connErrs.Protocol.Load())
+		stat("conn_errors_timeout", c.connErrs.Timeout.Load())
+	}
 	return c.reply("END\r\n")
 }
 

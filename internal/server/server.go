@@ -4,37 +4,100 @@
 // memcached's libevent worker threads; the synchronization structure under
 // study (worker threads sharing the cache with maintenance threads) is
 // identical.
+//
+// The front end is hardened against the failure modes the torture harness
+// injects: per-connection read/write deadlines, idle-connection reaping, a
+// max-connections limit enforced as accept backpressure (the listener simply
+// stops accepting, as memcached's -c limit does), graceful drain on Close
+// (in-flight commands finish, then connections close), and per-cause
+// connection-error accounting surfaced through the `stats` command.
 package server
 
 import (
 	"errors"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/mcstats"
 	"repro/internal/protocol"
 )
+
+// Config parameterizes a Server. The zero value disables every limit.
+type Config struct {
+	// Addr is the listen address, e.g. "127.0.0.1:0".
+	Addr string
+	// MaxConns bounds concurrent connections; at the limit the accept loop
+	// blocks (backpressure) instead of accepting and failing. 0 = unlimited.
+	MaxConns int
+	// IdleTimeout reaps connections that sit idle between commands.
+	IdleTimeout time.Duration
+	// ReadTimeout bounds reading the remainder of a command once its first
+	// byte has arrived (defeats slow-client trickling of a command body).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each write of a reply.
+	WriteTimeout time.Duration
+	// DrainTimeout is the grace Close gives in-flight commands before their
+	// connections are cut (default 5s).
+	DrainTimeout time.Duration
+	// Fault, when non-nil, injects connection-level faults (drops, short
+	// reads/writes, slow trickling) into every connection's transport.
+	Fault *fault.Injector
+}
+
+func (c Config) withDefaults() Config {
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	return c
+}
 
 // Server is a running memcached front end.
 type Server struct {
 	cache *engine.Cache
+	cfg   Config
 	ln    net.Listener
+	errs  mcstats.ConnErrors
+
+	sem    chan struct{} // MaxConns slots; nil = unlimited
+	stopCh chan struct{}
 
 	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
+	conns  map[*servConn]struct{}
 	closed bool
+
+	draining atomic.Bool
 
 	wg sync.WaitGroup
 }
 
-// Listen starts serving cache on addr (e.g. "127.0.0.1:0"). The cache's
-// maintenance threads must already be started.
+// Listen starts serving cache on addr with default (unlimited) settings. The
+// cache's maintenance threads must already be started.
 func Listen(cache *engine.Cache, addr string) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
+	return ListenConfig(cache, Config{Addr: addr})
+}
+
+// ListenConfig starts serving cache with the given front-end configuration.
+func ListenConfig(cache *engine.Cache, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cache: cache, ln: ln, conns: make(map[net.Conn]struct{})}
+	s := &Server{
+		cache:  cache,
+		cfg:    cfg,
+		ln:     ln,
+		conns:  make(map[*servConn]struct{}),
+		stopCh: make(chan struct{}),
+	}
+	if cfg.MaxConns > 0 {
+		s.sem = make(chan struct{}, cfg.MaxConns)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -43,50 +106,197 @@ func Listen(cache *engine.Cache, addr string) (*Server, error) {
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
+// ConnErrors exposes the per-cause connection-error counters.
+func (s *Server) ConnErrors() *mcstats.ConnErrors { return &s.errs }
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
+		if s.sem != nil {
+			// Take the connection slot before accepting: at MaxConns the
+			// kernel queues further dials and clients feel backpressure
+			// rather than an accept-then-reject.
+			select {
+			case s.sem <- struct{}{}:
+			case <-s.stopCh:
+				return
+			}
+		}
 		conn, err := s.ln.Accept()
 		if err != nil {
+			if s.sem != nil {
+				<-s.sem
+			}
 			return // listener closed
 		}
+		sc := &servConn{Conn: conn, srv: s}
 		s.mu.Lock()
 		if s.closed {
+			// Accepted concurrently with Close after its sweep: tear down
+			// here, never registered.
 			s.mu.Unlock()
 			conn.Close()
+			if s.sem != nil {
+				<-s.sem
+			}
 			return
 		}
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
-
+		// Registration and wg.Add must share one critical section with the
+		// closed check: registering first and Adding after the unlock would
+		// let Close sweep the map and pass wg.Wait before this handler is
+		// counted, leaking the connection past shutdown.
+		s.conns[sc] = struct{}{}
 		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			defer func() {
-				s.mu.Lock()
-				delete(s.conns, conn)
-				s.mu.Unlock()
-				conn.Close()
-			}()
-			worker := s.cache.NewWorker()
-			_ = protocol.NewConn(worker, conn).Serve()
-		}()
+		s.mu.Unlock()
+		go s.handle(sc)
 	}
 }
 
-// Close stops accepting, closes live connections, and waits for handlers.
+func (s *Server) handle(sc *servConn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, sc)
+		s.mu.Unlock()
+		sc.Conn.Close()
+		if s.sem != nil {
+			<-s.sem
+		}
+	}()
+	worker := s.cache.NewWorker()
+	pc := protocol.NewConn(worker, sc)
+	pc.SetControl(sc)
+	pc.SetConnErrors(&s.errs)
+	s.countErr(pc.Serve())
+}
+
+// countErr classifies why a connection's Serve returned, instead of
+// swallowing it: deadline expiries, protocol-fatal framing, transport I/O.
+func (s *Server) countErr(err error) {
+	if err == nil || errors.Is(err, errDraining) {
+		return
+	}
+	if s.draining.Load() {
+		// Teardown deadlines during drain are the server's own doing.
+		return
+	}
+	var ne net.Error
+	switch {
+	case errors.As(err, &ne) && ne.Timeout():
+		s.errs.Timeout.Add(1)
+	case errors.Is(err, protocol.ErrProtocol):
+		s.errs.Protocol.Add(1)
+	default:
+		s.errs.IO.Add(1)
+	}
+}
+
+// Close stops accepting and drains: idle connections close immediately,
+// connections inside a command get DrainTimeout to finish it (and are then
+// refused further commands). Idempotent — a second Close returns nil without
+// waiting again.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return errors.New("server: already closed")
+		return nil
 	}
 	s.closed = true
-	for c := range s.conns {
-		c.Close()
+	s.draining.Store(true)
+	close(s.stopCh)
+	err := s.ln.Close()
+	now := time.Now()
+	for sc := range s.conns {
+		if sc.busy.Load() {
+			sc.Conn.SetDeadline(now.Add(s.cfg.DrainTimeout))
+		} else {
+			// Wake the blocked read-next-command immediately.
+			sc.Conn.SetDeadline(now)
+		}
 	}
 	s.mu.Unlock()
-	err := s.ln.Close()
 	s.wg.Wait()
 	return err
+}
+
+// errDraining stops a connection's serve loop between commands at shutdown.
+var errDraining = errors.New("server: draining")
+
+// servConn wraps a client connection with deadline management, busy-state
+// tracking for graceful drain, and transport-level fault injection. It is the
+// protocol.Control for its own protocol.Conn.
+type servConn struct {
+	net.Conn
+	srv  *Server
+	busy atomic.Bool // inside a command (between CommandStarted and CommandDone)
+}
+
+// BeforeCommand refuses new commands while draining, and otherwise arms the
+// idle deadline the next-command read blocks under.
+func (sc *servConn) BeforeCommand() error {
+	if sc.srv.draining.Load() {
+		return errDraining
+	}
+	if t := sc.srv.cfg.IdleTimeout; t > 0 {
+		sc.Conn.SetReadDeadline(time.Now().Add(t))
+	}
+	return nil
+}
+
+// CommandStarted marks the connection busy and rearms the read deadline for
+// the command body.
+func (sc *servConn) CommandStarted() {
+	sc.busy.Store(true)
+	if sc.srv.draining.Load() {
+		return // keep the drain deadline Close imposed
+	}
+	if t := sc.srv.cfg.ReadTimeout; t > 0 {
+		sc.Conn.SetReadDeadline(time.Now().Add(t))
+	} else if sc.srv.cfg.IdleTimeout > 0 {
+		sc.Conn.SetReadDeadline(time.Time{})
+	}
+}
+
+// CommandDone marks the connection idle again.
+func (sc *servConn) CommandDone() {
+	sc.busy.Store(false)
+}
+
+func (sc *servConn) Read(p []byte) (int, error) {
+	if in := sc.srv.cfg.Fault; in != nil {
+		if in.Fire(fault.ConnDrop) {
+			sc.Conn.Close()
+			return 0, net.ErrClosed
+		}
+		if in.Fire(fault.ConnSlow) {
+			time.Sleep(time.Millisecond)
+		}
+		if len(p) > 1 && in.Fire(fault.ConnShortRead) {
+			p = p[:1]
+		}
+	}
+	return sc.Conn.Read(p)
+}
+
+func (sc *servConn) Write(p []byte) (int, error) {
+	if in := sc.srv.cfg.Fault; in != nil {
+		if in.Fire(fault.ConnDrop) {
+			sc.Conn.Close()
+			return 0, net.ErrClosed
+		}
+		if in.Fire(fault.ConnSlow) {
+			time.Sleep(time.Millisecond)
+		}
+		if len(p) > 1 && in.Fire(fault.ConnShortWrite) {
+			n, err := sc.Conn.Write(p[:len(p)/2])
+			if err != nil {
+				return n, err
+			}
+			return n, io.ErrShortWrite
+		}
+	}
+	if t := sc.srv.cfg.WriteTimeout; t > 0 {
+		sc.Conn.SetWriteDeadline(time.Now().Add(t))
+	}
+	return sc.Conn.Write(p)
 }

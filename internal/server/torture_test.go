@@ -1,0 +1,36 @@
+package server_test
+
+import (
+	"flag"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/torture"
+)
+
+var tortureShort = flag.Bool("torture.short", false, "run shrunken torture schedules")
+
+// TestTortureNetwork is the end-to-end acceptance run: the full fault triad
+// (connection drops, slow clients, slab allocation failures) plus the STM and
+// maintenance schedule, driven through the TCP front end. Zero invariant
+// violations and a clean graceful drain are required.
+func TestTortureNetwork(t *testing.T) {
+	for _, b := range []engine.Branch{engine.Semaphore, engine.IPOnCommit} {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range []uint64{3, 0xFACADE} {
+				rep := torture.RunNetwork(torture.Config{
+					Branch: b,
+					Seed:   seed,
+					Short:  *tortureShort,
+				})
+				if rep.Failed() {
+					t.Errorf("%s", rep)
+				} else {
+					t.Logf("%s", rep)
+				}
+			}
+		})
+	}
+}

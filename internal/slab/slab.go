@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/access"
+	"repro/internal/fault"
 	"repro/internal/stm"
 )
 
@@ -50,6 +51,10 @@ type Allocator struct {
 	// slab_rebalance pthread lock: set while a page move is in flight so
 	// concurrent maintenance backs off (the trylock pattern, §3.1).
 	Rebalance *stm.TWord
+
+	// fault, when set, can force Alloc to report a full cache, driving the
+	// caller onto the eviction path on demand (SlabAllocFail).
+	fault *fault.Injector
 }
 
 // New builds an allocator with chunk sizes growing from MinChunkSize by
@@ -90,6 +95,10 @@ func New(memLimit uint64, factor float64, maxChunk int) *Allocator {
 	return a
 }
 
+// SetFault installs a fault injector (nil disables injection). Call before
+// the allocator is shared between goroutines.
+func (a *Allocator) SetFault(in *fault.Injector) { a.fault = in }
+
 // NumClasses returns the number of size classes.
 func (a *Allocator) NumClasses() int { return len(a.classes) }
 
@@ -112,6 +121,9 @@ func (a *Allocator) ClassFor(size int) (int, error) {
 // memory remains. It reports false when the cache is full and the caller
 // must evict (slabs_alloc returning NULL).
 func (a *Allocator) Alloc(c access.Ctx, cls int) bool {
+	if a.fault.Fire(fault.SlabAllocFail) {
+		return false
+	}
 	cl := &a.classes[cls]
 	if free := c.Word(cl.Free); free > 0 {
 		c.SetWord(cl.Free, free-1)

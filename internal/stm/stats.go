@@ -26,6 +26,12 @@ type Stats struct {
 
 	// Retries counts Tx.Retry condition-synchronization waits.
 	Retries atomic.Uint64
+
+	// Starvation-watchdog actions (see watchdog.go): threads escalated to
+	// randomized backoff, and threads escalated to serial-irrevocable
+	// execution for guaranteed progress.
+	WatchdogBackoffs   atomic.Uint64
+	WatchdogSerializes atomic.Uint64
 }
 
 // Snapshot is a point-in-time copy of Stats plus per-thread breakdowns.
@@ -41,6 +47,9 @@ type Snapshot struct {
 	HTMCapacityAborts uint64
 	HTMFallbacks      uint64
 	Retries           uint64
+
+	WatchdogBackoffs   uint64
+	WatchdogSerializes uint64
 
 	ThreadCommits []uint64
 	ThreadAborts  []uint64
@@ -60,6 +69,9 @@ func (rt *Runtime) Stats() Snapshot {
 		HTMCapacityAborts: rt.stats.HTMCapacityAborts.Load(),
 		HTMFallbacks:      rt.stats.HTMFallbacks.Load(),
 		Retries:           rt.stats.Retries.Load(),
+
+		WatchdogBackoffs:   rt.stats.WatchdogBackoffs.Load(),
+		WatchdogSerializes: rt.stats.WatchdogSerializes.Load(),
 	}
 	rt.mu.Lock()
 	for _, th := range rt.threads {
@@ -82,6 +94,8 @@ func (rt *Runtime) ResetStats() {
 	rt.stats.HTMCapacityAborts.Store(0)
 	rt.stats.HTMFallbacks.Store(0)
 	rt.stats.Retries.Store(0)
+	rt.stats.WatchdogBackoffs.Store(0)
+	rt.stats.WatchdogSerializes.Store(0)
 	rt.mu.Lock()
 	for _, th := range rt.threads {
 		th.commits.Store(0)

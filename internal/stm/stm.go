@@ -37,6 +37,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
 )
 
 // Algorithm selects the concurrency-control protocol used by speculative
@@ -182,12 +185,32 @@ type Config struct {
 	// HTMRetries is how many aborts an emulated hardware transaction takes
 	// before falling back to the serial lock (default 3).
 	HTMRetries int
+
+	// Fault, when non-nil, injects deterministic faults at the STM's named
+	// injection points (forced aborts and delays in the barriers, spurious
+	// validation failures at commit, serial-lock acquisition delays). Serial
+	// transactions are never aborted — irrevocability is preserved.
+	Fault *fault.Injector
+
+	// WatchdogInterval enables the starvation watchdog: a goroutine (started
+	// by StartWatchdog) that scans threads every interval and escalates any
+	// transaction past WatchdogAborts consecutive aborts or WatchdogAge of
+	// retrying through the contention-manager ladder: first randomized
+	// backoff, then serial-irrevocable execution. Zero disables it.
+	WatchdogInterval time.Duration
+	// WatchdogAborts is the consecutive-abort threshold (default 64).
+	WatchdogAborts uint64
+	// WatchdogAge is the source-transaction age threshold (default 50ms).
+	WatchdogAge time.Duration
 }
 
 const (
 	defaultSerializeAfter = 100
 	defaultHourglassAfter = 128
 	defaultOrecBits       = 16
+
+	defaultWatchdogAborts = 64
+	defaultWatchdogAge    = 50 * time.Millisecond
 )
 
 func (c Config) withDefaults() Config {
@@ -210,6 +233,12 @@ func (c Config) withDefaults() Config {
 		// Hardware transactions are defined by their relationship to the
 		// fallback lock; removing it is not meaningful (§5).
 		c.NoSerialLock = false
+	}
+	if c.WatchdogAborts == 0 {
+		c.WatchdogAborts = defaultWatchdogAborts
+	}
+	if c.WatchdogAge <= 0 {
+		c.WatchdogAge = defaultWatchdogAge
 	}
 	return c
 }
@@ -234,6 +263,9 @@ type Runtime struct {
 	stats Stats
 
 	prof atomic.Pointer[SerializationProfile]
+
+	watchStop chan struct{}
+	watchWG   sync.WaitGroup
 
 	mu      sync.Mutex
 	threads []*Thread

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // Kind distinguishes the two transaction declarations of the Draft C++ TM
@@ -93,6 +95,14 @@ type Thread struct {
 
 	commits atomic.Uint64 // per-thread, for abort-rate variance (§4)
 	aborts  atomic.Uint64
+
+	// Watchdog state (see watchdog.go). consecAborts mirrors Run's local
+	// consecutive-abort counter; runSince is the UnixNano timestamp at which
+	// the in-flight source-level transaction entered Run (0 = idle); escalate
+	// is the remedy level the watchdog has imposed.
+	consecAborts atomic.Uint64
+	runSince     atomic.Int64
+	escalate     atomic.Uint32
 }
 
 var threadIDs atomic.Uint64
@@ -233,6 +243,16 @@ func (th *Thread) Run(props Props, fn func(*Tx)) error {
 		rt.profileCause(causeAt("start serial", props.Site))
 	}
 
+	// Publish this source-level transaction to the starvation watchdog; its
+	// escalation (and our abort streak) ends when Run returns, however it
+	// returns.
+	th.runSince.Store(time.Now().UnixNano())
+	defer func() {
+		th.runSince.Store(0)
+		th.consecAborts.Store(0)
+		th.escalate.Store(escalateNone)
+	}()
+
 	consec := 0 // consecutive aborts of this source-level transaction
 	for {
 		if rt.cfg.CM == CMHourglass && !serial {
@@ -274,6 +294,7 @@ func (th *Thread) Run(props Props, fn func(*Tx)) error {
 			th.aborts.Add(1)
 			rt.stats.Aborts.Add(1)
 			consec++
+			th.consecAborts.Store(uint64(consec))
 			th.finish(tx, false)
 			if rt.cfg.Algorithm == HTM && consec >= rt.cfg.HTMRetries {
 				// Lock-elision fallback: take the global lock for real.
@@ -301,6 +322,17 @@ func (th *Thread) Run(props Props, fn func(*Tx)) error {
 				// own cores; a goroutine spin-retrying on a loaded scheduler
 				// would otherwise monopolize its P and livelock.
 				runtime.Gosched()
+			}
+			// Watchdog escalation rides on top of (and past) the configured
+			// CM: level 1 adds backoff where the CM has none, level 2 forces
+			// the next attempt serial-irrevocable for guaranteed progress.
+			switch th.escalate.Load() {
+			case escalateBackoff:
+				if rt.cfg.CM != CMBackoff {
+					th.backoff(consec)
+				}
+			case escalateSerialize:
+				serial = true
 			}
 			continue
 		}
@@ -337,6 +369,12 @@ func (th *Thread) begin(props Props, serial bool) *Tx {
 	tx.redoW, tx.redoA = redoW, redoA
 	rt.stats.Starts.Add(1)
 	if serial {
+		if in := rt.cfg.Fault; in != nil && in.Fire(fault.STMSerialDelay) {
+			// Stretch the window in which the writer side of the serial lock
+			// is being awaited — the regime where reader-side convoying and
+			// privatization races live.
+			runtime.Gosched()
+		}
 		rt.serial.Lock()
 	} else {
 		if rt.cfg.Algorithm == HTM {
@@ -430,7 +468,26 @@ func (tx *Tx) runOnAbort() {
 // ---------------------------------------------------------------------------
 // Read and write barriers
 
+// faultBarrier consults the injector at a barrier. Delay points yield to the
+// scheduler (widening race windows); abort points panic with the ordinary
+// abort signal, but only for speculative attempts — aborting a
+// serial-irrevocable transaction would violate irrevocability, so serial
+// attempts can only be delayed.
+func (tx *Tx) faultBarrier(abortP, delayP fault.Point) {
+	in := tx.rt.cfg.Fault
+	if in == nil {
+		return
+	}
+	if in.Fire(delayP) {
+		runtime.Gosched()
+	}
+	if !tx.serial && in.Fire(abortP) {
+		panic(abortSignal{})
+	}
+}
+
 func (tx *Tx) loadWord(id uint64, p *atomic.Uint64) uint64 {
+	tx.faultBarrier(fault.STMReadAbort, fault.STMReadDelay)
 	if tx.serial {
 		return p.Load()
 	}
@@ -460,6 +517,7 @@ func (tx *Tx) loadWord(id uint64, p *atomic.Uint64) uint64 {
 }
 
 func (tx *Tx) storeWord(id uint64, p *atomic.Uint64, v uint64) {
+	tx.faultBarrier(fault.STMWriteAbort, fault.STMWriteDelay)
 	if tx.serial {
 		// Serial atomic transactions run "instrumented serial": they keep an
 		// undo log because they may still cancel. Serial relaxed transactions
@@ -488,6 +546,7 @@ func (tx *Tx) storeWord(id uint64, p *atomic.Uint64, v uint64) {
 }
 
 func (tx *Tx) loadAny(a *TAny) *box {
+	tx.faultBarrier(fault.STMReadAbort, fault.STMReadDelay)
 	if tx.serial {
 		return a.p.Load()
 	}
@@ -522,6 +581,7 @@ func (tx *Tx) loadAny(a *TAny) *box {
 }
 
 func (tx *Tx) storeAny(a *TAny, b *box) {
+	tx.faultBarrier(fault.STMWriteAbort, fault.STMWriteDelay)
 	if tx.serial {
 		if tx.props.Kind == Atomic {
 			tx.undoA = append(tx.undoA, anySlot{a: a, b: a.p.Load()})
@@ -701,6 +761,17 @@ func (tx *Tx) norecValidate() uint64 {
 // rolls back and retries).
 func (tx *Tx) tryCommit() bool {
 	rt := tx.rt
+	if in := rt.cfg.Fault; in != nil {
+		if in.Fire(fault.STMCommitDelay) {
+			runtime.Gosched()
+		}
+		// A spurious validation failure: the caller rolls back and retries,
+		// the same path a genuine commit-time conflict takes. Never injected
+		// into serial attempts (they are irrevocable and cannot fail).
+		if !tx.serial && in.Fire(fault.STMCommitFail) {
+			return false
+		}
+	}
 	if tx.serial {
 		rt.serial.Unlock()
 		return true

@@ -1,0 +1,381 @@
+// Package torture drives the cache through seeded fault schedules and checks
+// it against a sequential model. A run has two chaos phases and a check
+// phase:
+//
+//   - Phase A churns a small keyspace with the full command mix (get, set,
+//     add, cas, append, delete, incr) while every STM, slab and maintenance
+//     fault point fires at rates drawn from the seed.
+//   - Phase B writes a set of stable keys with key-derived values, sized to
+//     force hash-table expansion while the maintenance faults are still
+//     firing. Slab allocation failure is disabled for this phase so the
+//     stable keys cannot be refused or evicted: once Set returns Stored, the
+//     key must survive.
+//
+// The check phase disarms the injector, waits for expansion to finish, and
+// asserts the invariants: no ACKed stable key lost or corrupted across
+// expansion, stat counters consistent with the harness's own op counts,
+// and — via engine.ValidateQuiescent — balanced refcounts and exact slab
+// byte accounting. Every failure message carries the seed, so any run
+// reproduces from its report alone.
+package torture
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+)
+
+// Config parameterizes one torture run. Zero fields take defaults.
+type Config struct {
+	Branch engine.Branch
+	Seed   uint64
+
+	Workers    int     // concurrent chaos workers (default 4)
+	Ops        int     // phase-A ops per worker (default 1200)
+	StableKeys int     // phase-B keys, sized to force expansion (default 2200)
+	HashPower  uint    // initial table = 2^HashPower buckets (default 8)
+	MemLimit   uint64  // slab budget (default 64 MiB: phase B must not evict)
+	MaxRate    float64 // ceiling for per-point fault rates (default 0.02)
+
+	// Short shrinks the run for -race smoke tests (-torture.short).
+	Short bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Short {
+		if c.Workers == 0 {
+			c.Workers = 2
+		}
+		if c.Ops == 0 {
+			c.Ops = 300
+		}
+		if c.StableKeys == 0 {
+			c.StableKeys = 800
+		}
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.Ops == 0 {
+		c.Ops = 1200
+	}
+	if c.StableKeys == 0 {
+		c.StableKeys = 2200
+	}
+	if c.HashPower == 0 {
+		c.HashPower = 8
+	}
+	if c.MemLimit == 0 {
+		c.MemLimit = 64 << 20
+	}
+	if c.MaxRate == 0 {
+		c.MaxRate = 0.02
+	}
+	return c
+}
+
+// Report is the outcome of a run. Violations is empty on success; every
+// entry embeds the seed so a failing schedule can be replayed exactly.
+type Report struct {
+	Branch      engine.Branch
+	Seed        uint64
+	Violations  []string
+	HashExpands uint64
+	FaultsFired uint64
+	Faults      string // injector summary (point, rate, hits, fires)
+	Elapsed     time.Duration
+}
+
+// Failed reports whether any invariant was violated.
+func (r *Report) Failed() bool { return len(r.Violations) > 0 }
+
+func (r *Report) String() string {
+	if !r.Failed() {
+		return fmt.Sprintf("torture %s seed=%d: ok (%d faults fired, %d hash expansions, %v)",
+			r.Branch, r.Seed, r.FaultsFired, r.HashExpands, r.Elapsed.Round(time.Millisecond))
+	}
+	out := fmt.Sprintf("torture %s seed=%d: %d violation(s):\n", r.Branch, r.Seed, len(r.Violations))
+	for _, v := range r.Violations {
+		out += "  " + v + "\n"
+	}
+	return out + r.Faults
+}
+
+func (r *Report) violatef(format string, args ...interface{}) {
+	r.Violations = append(r.Violations,
+		fmt.Sprintf("[seed=%d] ", r.Seed)+fmt.Sprintf(format, args...))
+}
+
+// opCounts tallies what one worker actually issued, to reconcile against the
+// engine's stat counters in the check phase.
+type opCounts struct {
+	gets, stores, deletes, deltas uint64
+}
+
+func (a *opCounts) add(b opCounts) {
+	a.gets += b.gets
+	a.stores += b.stores
+	a.deletes += b.deletes
+	a.deltas += b.deltas
+}
+
+// Run executes one in-process torture run and returns its report.
+func Run(cfg Config) *Report {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	rep := &Report{Branch: cfg.Branch, Seed: cfg.Seed}
+
+	points := append(fault.StmPoints(), fault.EnginePoints()...)
+	in := fault.RandomSchedule(cfg.Seed, points, cfg.MaxRate)
+	in.Arm()
+
+	cache := engine.New(engine.Config{
+		Branch:    cfg.Branch,
+		MemLimit:  cfg.MemLimit,
+		HashPower: cfg.HashPower,
+		Automove:  true,
+		Fault:     in,
+		Watchdog:  2 * time.Millisecond,
+	})
+	cache.Start()
+
+	issued := runChaos(cache, cfg, in)
+
+	// Check phase: no more faults, let the table settle, then audit.
+	in.Disarm()
+	wk := cache.NewWorker()
+	waitExpansion(wk, rep)
+	checkStats(wk, rep, issued)
+	checkStableKeys(wk, cfg, rep)
+
+	cache.Stop()
+	if err := cache.ValidateQuiescent(); err != nil {
+		rep.violatef("structural validation: %v", err)
+	}
+
+	rep.FaultsFired = in.TotalFired()
+	rep.Faults = in.Summary()
+	rep.Elapsed = time.Since(start)
+	return rep
+}
+
+// runChaos runs phases A and B and returns the totals of what was issued.
+func runChaos(cache *engine.Cache, cfg Config, in *fault.Injector) opCounts {
+	// Phase A: full command mix over a churn keyspace, everything armed.
+	perWorker := make([]opCounts, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			perWorker[id] = chaosWorker(cache.NewWorker(), cfg, id)
+		}(w)
+	}
+	wg.Wait()
+
+	// Phase B: stable keys under expansion. Allocation failure off — an
+	// eviction or refused store here would be indistinguishable from the
+	// lost-key bug this phase exists to catch.
+	in.Set(fault.SlabAllocFail, 0)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			perWorker[id].add(stableWorker(cache.NewWorker(), cfg, id))
+		}(w)
+	}
+	wg.Wait()
+
+	var total opCounts
+	for i := range perWorker {
+		total.add(perWorker[i])
+	}
+	return total
+}
+
+// chaosWorker is one phase-A goroutine: a deterministic op stream from the
+// seed and worker id, aimed at a churn keyspace shared by all workers.
+func chaosWorker(wk *engine.Worker, cfg Config, id int) opCounts {
+	var n opCounts
+	rng := rngState(cfg.Seed, uint64(id))
+	ctr := []byte(fmt.Sprintf("churn-ctr-%d", id))
+	wk.Set(ctr, 0, 0, []byte("0")) // may be refused by an alloc fault; incr then just misses
+	n.stores++
+	for op := 0; op < cfg.Ops; op++ {
+		r := rng.next()
+		key := []byte(fmt.Sprintf("churn-%d", r%191)) // shared hot keyspace
+		val := chaosValue(r)
+		switch r >> 8 % 10 {
+		case 0, 1, 2:
+			wk.Get(key)
+			n.gets++
+		case 3, 4:
+			wk.Set(key, uint32(r), 0, val)
+			n.stores++
+		case 5:
+			wk.Add(key, 0, 0, val)
+			n.stores++
+		case 6:
+			wk.Delete(key)
+			n.deletes++
+		case 7:
+			if r&1 == 0 {
+				wk.Incr(ctr, r%97)
+			} else {
+				wk.Decr(ctr, r%31)
+			}
+			n.deltas++
+		case 8:
+			_, _, cas, ok := wk.Get(key)
+			n.gets++
+			if ok {
+				wk.CAS(key, 0, 0, val, cas)
+				n.stores++
+			}
+		default:
+			wk.Append(key, []byte("+t"))
+			n.stores++
+		}
+	}
+	return n
+}
+
+// stableWorker writes this worker's slice of the stable keyspace, then reads
+// it back once while expansion (and the maintenance faults stalling it) is
+// still in flight. Stores retry until acknowledged: phase B's contract is
+// "ACKed implies present at check time", so refusal by a transient condition
+// may not silently weaken it.
+func stableWorker(wk *engine.Worker, cfg Config, id int) opCounts {
+	var n opCounts
+	lo := id * cfg.StableKeys / cfg.Workers
+	hi := (id + 1) * cfg.StableKeys / cfg.Workers
+	for i := lo; i < hi; i++ {
+		for {
+			n.stores++
+			if wk.Set(stableKey(i), 0, 0, stableValue(cfg.Seed, i)) == engine.Stored {
+				break
+			}
+		}
+	}
+	for i := lo; i < hi; i++ {
+		wk.Get(stableKey(i))
+		n.gets++
+	}
+	return n
+}
+
+func stableKey(i int) []byte {
+	return []byte(fmt.Sprintf("stable-%06d", i))
+}
+
+// stableValue derives the expected value from seed and index alone, so the
+// checker needs no shadow copy of the store.
+func stableValue(seed uint64, i int) []byte {
+	h := (seed ^ uint64(i)*0x9E3779B97F4A7C15) | 1
+	return []byte(fmt.Sprintf("v-%06d-%016x", i, h))
+}
+
+func chaosValue(r uint64) []byte {
+	// 5..~120 bytes so churn spreads across slab classes.
+	n := 5 + int(r>>24%116)
+	return bytes.Repeat([]byte{byte('a' + r%26)}, n)
+}
+
+// waitExpansion lets the hash maintainer finish migrating; the per-key check
+// must run against a settled table or a migration bug could masquerade as a
+// timing flake.
+func waitExpansion(wk *engine.Worker, rep *Report) {
+	deadline := time.Now().Add(10 * time.Second)
+	for wk.Expanding() {
+		if time.Now().After(deadline) {
+			rep.violatef("hash expansion still in flight 10s after faults disarmed")
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// checkStats reconciles the engine's counters against what the harness
+// actually issued. An injected abort that double-counts (or a lost stat
+// transaction) shows up here.
+func checkStats(wk *engine.Worker, rep *Report, issued opCounts) {
+	s := wk.Stats()
+	rep.HashExpands = s.HashExpands
+	if s.GetCmds != issued.gets {
+		rep.violatef("cmd_get=%d, harness issued %d gets", s.GetCmds, issued.gets)
+	}
+	if s.GetHits+s.GetMisses != s.GetCmds {
+		rep.violatef("get_hits(%d)+get_misses(%d) != cmd_get(%d)", s.GetHits, s.GetMisses, s.GetCmds)
+	}
+	if s.SetCmds != issued.stores {
+		rep.violatef("cmd_set=%d, harness issued %d stores", s.SetCmds, issued.stores)
+	}
+	if s.DeleteHits+s.DeleteMiss != issued.deletes {
+		rep.violatef("delete_hits(%d)+delete_misses(%d) != %d deletes issued",
+			s.DeleteHits, s.DeleteMiss, issued.deletes)
+	}
+	if s.IncrHits+s.IncrMiss != issued.deltas {
+		rep.violatef("incr_hits(%d)+incr_misses(%d) != %d incr/decr issued",
+			s.IncrHits, s.IncrMiss, issued.deltas)
+	}
+	if s.CurrItems != s.HashItems {
+		rep.violatef("curr_items=%d but hash table holds %d", s.CurrItems, s.HashItems)
+	}
+	if s.HashExpands == 0 {
+		// Not a cache bug, a harness bug: the run never exercised the
+		// invariant it exists to test.
+		rep.violatef("no hash expansion occurred; run tested nothing (raise StableKeys or lower HashPower)")
+	}
+}
+
+// checkStableKeys is the lost-key check: every ACKed phase-B key must be
+// present with its derived value after expansion.
+func checkStableKeys(wk *engine.Worker, cfg Config, rep *Report) {
+	lost, corrupt := 0, 0
+	for i := 0; i < cfg.StableKeys; i++ {
+		val, _, _, ok := wk.Get(stableKey(i))
+		switch {
+		case !ok:
+			lost++
+			if lost <= 5 {
+				rep.violatef("stable key %q lost across hash expansion", stableKey(i))
+			}
+		case !bytes.Equal(val, stableValue(cfg.Seed, i)):
+			corrupt++
+			if corrupt <= 5 {
+				rep.violatef("stable key %q corrupted: got %q want %q",
+					stableKey(i), val, stableValue(cfg.Seed, i))
+			}
+		}
+	}
+	if lost > 5 {
+		rep.violatef("... and %d more lost keys", lost-5)
+	}
+	if corrupt > 5 {
+		rep.violatef("... and %d more corrupted keys", corrupt-5)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// deterministic per-worker RNG (splitmix64)
+
+type rng struct{ s uint64 }
+
+func rngState(seed, id uint64) rng {
+	return rng{s: seed ^ (id+1)*0x9E3779B97F4A7C15}
+}
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	x := r.s
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
