@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test check torture-smoke torture
+.PHONY: all build vet test check torture-smoke torture profile
 
 all: check
 
@@ -28,3 +28,8 @@ torture-smoke:
 # the end-to-end network runs. Slower; the nightly-CI shape.
 torture:
 	$(GO) test -race -run Torture -count=1 ./internal/engine ./internal/server
+
+# profile runs a short mcbench with transaction observability on and prints
+# the serialization causes, conflict heat map, and latency summary.
+profile:
+	$(GO) run ./cmd/mcbench -profile it-oncommit -ops 2000 -threads 4

@@ -24,7 +24,7 @@ func main() {
 		tableID    = flag.Int("table", 0, "table to reproduce (1-4)")
 		all        = flag.Bool("all", false, "reproduce every figure and table")
 		ratios     = flag.Bool("ratios", false, "report the §4 abort ratios")
-		profBranch = flag.String("profile", "", "run one branch and print the serialization-cause profile (§6 tooling)")
+		profBranch = flag.String("profile", "", "run one branch with tracing on and print the full observability report: causes, conflict heat map, latency (§6 tooling)")
 		ops        = flag.Int("ops", 20000, "operations per thread (paper: 625000)")
 		threads    = flag.String("threads", "1,2,4,8,12", "comma-separated thread counts")
 		trials     = flag.Int("trials", 1, "trials per point, averaged (paper: 5)")

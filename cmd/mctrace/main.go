@@ -146,6 +146,7 @@ func replay(args []string) {
 	var branches branchList
 	fs.Var(&branches, "branch", "branch to replay against (repeatable)")
 	mem := fs.Uint64("m", 64, "memory limit MiB")
+	prof := fs.Bool("txobs", false, "trace each replay and print the per-branch observability report (heat map + latency)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
@@ -161,6 +162,9 @@ func replay(args []string) {
 		}
 		c := engine.New(engine.Config{Branch: b, MemLimit: *mem << 20, Automove: true})
 		c.Start()
+		if *prof {
+			c.EnableTracing()
+		}
 		start := time.Now()
 		res := trace.Replay(c, tr)
 		dur := time.Since(start)
@@ -170,5 +174,10 @@ func replay(args []string) {
 		fmt.Printf("%-14s %8.3fs  %8.0f ops/s  hits=%d errors=%d curr_items=%d tm_serialized=%d\n",
 			b, dur.Seconds(), float64(res.Ops)/dur.Seconds(), res.Hits, res.Errors,
 			snap.CurrItems, snap.STM.InFlightSwitch+snap.STM.StartSerial+snap.STM.AbortSerial)
+		if *prof {
+			if o := c.Observer(); o != nil {
+				fmt.Print(o.Report(10))
+			}
+		}
 	}
 }

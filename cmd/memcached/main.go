@@ -32,6 +32,8 @@ func main() {
 		stmAlg    = flag.String("stm", "", "override STM algorithm (mlwt, lazy, norec, serial)")
 		cmStr     = flag.String("cm", "", "override contention manager (serialize, none, backoff, hourglass)")
 		noLock    = flag.Bool("nolock", false, "override: remove the global serial lock")
+		trace     = flag.Bool("trace", false, "enable transaction observability from startup (stats tm/conflicts/latency)")
+		debugAddr = flag.String("debug-addr", "", "serve the debug HTTP endpoint (/debug/vars, /metrics, /debug/pprof/) on this address")
 	)
 	flag.Parse()
 
@@ -66,16 +68,31 @@ func main() {
 
 	cache := engine.New(conf)
 	cache.Start()
+	if *trace {
+		cache.EnableTracing()
+	}
 	srv, err := server.Listen(cache, *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("tm-memcached serving on %s (branch %s)", srv.Addr(), b)
+	var dbg interface{ Close() error }
+	if *debugAddr != "" {
+		d, bound, err := server.ListenDebug(cache, *debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dbg = d
+		log.Printf("debug endpoint on http://%s/debug/vars (also /metrics, /debug/pprof/, /debug/tm)", bound)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	log.Print("shutting down")
+	if dbg != nil {
+		dbg.Close()
+	}
 	srv.Close()
 	cache.Stop()
 }

@@ -14,6 +14,16 @@ import (
 	"repro/internal/access"
 	"repro/internal/item"
 	"repro/internal/stm"
+	"repro/internal/txobs"
+)
+
+// Observability labels for the conflict heat map: chain heads are the
+// item-lock domain's hottest words, the expansion state is the structure that
+// serializes the hash maintenance thread.
+var (
+	lblHashBucket = txobs.RegisterLabel("hash_bucket")
+	lblHashState  = txobs.RegisterLabel("hash_state")
+	lblHashItems  = txobs.RegisterLabel("hash_items")
 )
 
 // DefaultPowerBits is memcached's initial hash power (16 → 65536 buckets).
@@ -32,7 +42,7 @@ type buckets struct {
 func newBuckets(power uint) *buckets {
 	b := &buckets{arr: make([]*stm.TAny, 1<<power), power: power}
 	for i := range b.arr {
-		b.arr[i] = stm.NewTAny(nil)
+		b.arr[i] = stm.NewTAny(nil).Label(lblHashBucket)
 	}
 	return b
 }
@@ -56,11 +66,11 @@ type Table struct {
 // New creates a table with 2^power buckets.
 func New(power uint) *Table {
 	return &Table{
-		primary:      stm.NewTAny(newBuckets(power)),
-		old:          stm.NewTAny(nil),
-		Expanding:    stm.NewTWord(0),
-		ExpandBucket: stm.NewTWord(0),
-		Count:        stm.NewTWord(0),
+		primary:      stm.NewTAny(newBuckets(power)).Label(lblHashState),
+		old:          stm.NewTAny(nil).Label(lblHashState),
+		Expanding:    stm.NewTWord(0).Label(lblHashState),
+		ExpandBucket: stm.NewTWord(0).Label(lblHashState),
+		Count:        stm.NewTWord(0).Label(lblHashItems),
 	}
 }
 

@@ -357,8 +357,10 @@ func RunTable(id int, o Options) (Table, error) {
 	return runTable(id, title, TableVariants(id), o), nil
 }
 
-// RunProfiled runs one branch with serialization-cause profiling enabled (the
-// §6 execinfo-style tooling) and returns the attribution report.
+// RunProfiled runs one branch with transaction observability enabled (the
+// §6 execinfo-style tooling, now the txobs event pipeline) and returns the
+// attribution report: serialization causes, the conflict heat map by named
+// structure, and the phase/command latency histograms.
 func RunProfiled(b engine.Branch, threads int, o Options) (string, error) {
 	o = o.withDefaults()
 	c := engine.New(engine.Config{
@@ -371,7 +373,7 @@ func RunProfiled(b engine.Branch, threads int, o Options) (string, error) {
 	if rt == nil {
 		return "", fmt.Errorf("bench: branch %s is lock-based; nothing to profile", b)
 	}
-	rt.EnableProfiling()
+	obs := c.EnableTracing()
 	c.Start()
 	res := memslap.RunDirect(c, memslap.Config{
 		Concurrency:   threads,
@@ -383,7 +385,7 @@ func RunProfiled(b engine.Branch, threads int, o Options) (string, error) {
 	s := rt.Stats()
 	head := fmt.Sprintf("%d ops in %.3fs; transactions=%d in-flight=%d start-serial=%d abort-serial=%d\n",
 		res.Ops, res.Duration.Seconds(), s.Commits, s.InFlightSwitch, s.StartSerial, s.AbortSerial)
-	return head + rt.Profile().String(), nil
+	return head + obs.Report(10).String(), nil
 }
 
 // RatioRow is one §4 abort-rate quote.

@@ -3,6 +3,7 @@ package engine
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/access"
@@ -14,6 +15,15 @@ import (
 	"repro/internal/sem"
 	"repro/internal/slab"
 	"repro/internal/stm"
+	"repro/internal/txobs"
+)
+
+// Heat-map labels for the engine's own shared words.
+var (
+	lblCurrentTime = txobs.RegisterLabel("current_time")
+	lblMaintFlags  = txobs.RegisterLabel("maint_flags")
+	lblCasCounter  = txobs.RegisterLabel("cas_counter")
+	lblItemStripe  = txobs.RegisterLabel("item_lock_stripe")
 )
 
 // Config parameterizes a Cache.
@@ -127,6 +137,11 @@ type Cache struct {
 
 	casCounter *stm.TWord // CAS id source (cache-lock domain)
 
+	// obs is the standalone observer for lock branches (command latency only;
+	// there is no runtime to emit transaction events). Transactional branches
+	// store their observer on the runtime instead.
+	obs atomic.Pointer[txobs.Observer]
+
 	mu      sync.Mutex // registration of worker stat blocks
 	tblocks []*mcstats.Thread
 
@@ -147,12 +162,12 @@ func New(conf Config) *Cache {
 		slabs:       slab.New(conf.MemLimit, conf.GrowthFactor, 0),
 		hashSem:     sem.New(0),
 		slabSem:     sem.New(0),
-		CurrentTime: stm.NewTWord(uint64(time.Now().Unix())),
-		MxCanRun:    stm.NewTWord(1),
-		hashRunning: stm.NewTWord(0),
-		slabRunning: stm.NewTWord(0),
-		flushBefore: stm.NewTWord(0),
-		casCounter:  stm.NewTWord(0),
+		CurrentTime: stm.NewTWord(uint64(time.Now().Unix())).Label(lblCurrentTime),
+		MxCanRun:    stm.NewTWord(1).Label(lblMaintFlags),
+		hashRunning: stm.NewTWord(0).Label(lblMaintFlags),
+		slabRunning: stm.NewTWord(0).Label(lblMaintFlags),
+		flushBefore: stm.NewTWord(0).Label(lblMaintFlags),
+		casCounter:  stm.NewTWord(0).Label(lblCasCounter),
 		stopCh:      make(chan struct{}),
 		stripeMask:  uint64(conf.Stripes) - 1,
 	}
@@ -173,7 +188,7 @@ func New(conf Config) *Cache {
 		c.tm = core.New(c.rt)
 		c.itemFlags = make([]*stm.TWord, conf.Stripes)
 		for i := range c.itemFlags {
-			c.itemFlags[i] = stm.NewTWord(0)
+			c.itemFlags[i] = stm.NewTWord(0).Label(lblItemStripe)
 		}
 	} else {
 		c.itemMus = make([]sync.Mutex, conf.Stripes)
@@ -188,6 +203,46 @@ func (c *Cache) Branch() Branch { return c.conf.Branch }
 
 // Runtime returns the STM runtime, or nil for lock branches.
 func (c *Cache) Runtime() *stm.Runtime { return c.rt }
+
+// EnableTracing turns on the transaction observability layer and returns its
+// observer. On transactional branches the runtime records begin/abort/
+// serialize/commit events with conflict attribution; on lock branches only
+// command latency is collected (there are no transactions to trace). Safe to
+// call repeatedly; the same observer is returned each time.
+func (c *Cache) EnableTracing() *txobs.Observer {
+	if c.rt != nil {
+		return c.rt.EnableTracing()
+	}
+	o := c.obs.Load()
+	if o == nil {
+		o = txobs.New(txobs.Options{})
+		if !c.obs.CompareAndSwap(nil, o) {
+			o = c.obs.Load()
+		}
+	}
+	o.Enable()
+	return o
+}
+
+// DisableTracing stops event recording; collected data stays queryable.
+func (c *Cache) DisableTracing() {
+	if c.rt != nil {
+		c.rt.DisableTracing()
+		return
+	}
+	if o := c.obs.Load(); o != nil {
+		o.Disable()
+	}
+}
+
+// Observer returns the observability collector, or nil if tracing was never
+// enabled on this cache.
+func (c *Cache) Observer() *txobs.Observer {
+	if c.rt != nil {
+		return c.rt.TracingObserver()
+	}
+	return c.obs.Load()
+}
 
 // newAgent creates an execution principal (worker or maintenance thread).
 func (c *Cache) newAgent() *agent {

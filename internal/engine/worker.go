@@ -9,6 +9,7 @@ import (
 	"repro/internal/mcstats"
 	"repro/internal/slab"
 	"repro/internal/stm"
+	"repro/internal/txobs"
 )
 
 // StoreMode selects the storage-command semantics.
@@ -698,9 +699,16 @@ func (w *Worker) ResetStats() {
 	w.gstat(func(g access.Ctx) {
 		g.SetWord(w.c.gstats.Evictions, 0)
 		g.SetWord(w.c.gstats.Expired, 0)
+		g.SetWord(w.c.gstats.TotalItems, 0)
+		g.SetWord(w.c.gstats.Reassigned, 0)
+		g.SetWord(w.c.gstats.HashExpands, 0)
+		// Gauges (CurrItems, CurrBytes) survive reset, as in memcached.
 	})
 	if w.c.rt != nil {
 		w.c.rt.ResetStats()
+	}
+	if o := w.c.Observer(); o != nil {
+		o.Reset()
 	}
 }
 
@@ -737,6 +745,10 @@ func (w *Worker) SlabStats() []SlabClassStat {
 	})
 	return out
 }
+
+// Observer exposes the cache's observability collector to the protocol
+// layer, or nil when tracing was never enabled.
+func (w *Worker) Observer() *txobs.Observer { return w.c.Observer() }
 
 // Stats aggregates per-thread blocks (taking each per-thread lock, or one
 // transaction) and reads the global counters under the stats lock.

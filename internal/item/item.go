@@ -17,6 +17,20 @@ package item
 import (
 	"repro/internal/access"
 	"repro/internal/stm"
+	"repro/internal/txobs"
+)
+
+// Observability labels: every shared word allocated here is tagged with the
+// data structure it belongs to, so the conflict heat map (`stats conflicts`)
+// can attribute aborts to "item header" vs "LRU head" instead of a bare orec
+// index.
+var (
+	lblItemData     = txobs.RegisterLabel("item_data")
+	lblItemHeader   = txobs.RegisterLabel("item_header")
+	lblItemRefcount = txobs.RegisterLabel("item_refcount")
+	lblHashChain    = txobs.RegisterLabel("hash_chain")
+	lblLRULink      = txobs.RegisterLabel("lru_link")
+	lblLRUHead      = txobs.RegisterLabel("lru_head")
 )
 
 // ItFlags bits (memcached's it_flags).
@@ -65,24 +79,24 @@ const suffixCap = 48 // " 4294967295 <len>\r\n" fits comfortably
 // direct, exactly as uninstrumented GCC stores to fresh allocations.
 func New(key []byte, hash uint64, flags uint32, exptime uint64, nbytes int, class int) *Item {
 	it := &Item{
-		Key:       stm.NewTBytesFrom(key),
+		Key:       stm.NewTBytesFrom(key).Label(lblItemData),
 		KeyLen:    len(key),
 		Hash:      hash,
 		Class:     class,
 		Flags:     flags,
-		Data:      stm.NewTBytes(nbytes),
-		NBytes:    stm.NewTWord(uint64(nbytes)),
+		Data:      stm.NewTBytes(nbytes).Label(lblItemData),
+		NBytes:    stm.NewTWord(uint64(nbytes)).Label(lblItemHeader),
 		CapBytes:  nbytes,
-		Suffix:    stm.NewTBytes(suffixCap),
-		SuffixLen: stm.NewTWord(0),
-		Refcount:  stm.NewTWord(0),
-		ItFlags:   stm.NewTWord(0),
-		Exptime:   stm.NewTWord(exptime),
-		Time:      stm.NewTWord(0),
-		CasID:     stm.NewTWord(0),
-		HNext:     stm.NewTAny(nil),
-		Prev:      stm.NewTAny(nil),
-		Next:      stm.NewTAny(nil),
+		Suffix:    stm.NewTBytes(suffixCap).Label(lblItemData),
+		SuffixLen: stm.NewTWord(0).Label(lblItemHeader),
+		Refcount:  stm.NewTWord(0).Label(lblItemRefcount),
+		ItFlags:   stm.NewTWord(0).Label(lblItemHeader),
+		Exptime:   stm.NewTWord(exptime).Label(lblItemHeader),
+		Time:      stm.NewTWord(0).Label(lblItemHeader),
+		CasID:     stm.NewTWord(0).Label(lblItemHeader),
+		HNext:     stm.NewTAny(nil).Label(lblHashChain),
+		Prev:      stm.NewTAny(nil).Label(lblLRULink),
+		Next:      stm.NewTAny(nil).Label(lblLRULink),
 	}
 	return it
 }
@@ -155,9 +169,9 @@ func NewLRU(n int) *LRU {
 		sizes: make([]*stm.TWord, n),
 	}
 	for i := range l.heads {
-		l.heads[i] = stm.NewTAny(nil)
-		l.tails[i] = stm.NewTAny(nil)
-		l.sizes[i] = stm.NewTWord(0)
+		l.heads[i] = stm.NewTAny(nil).Label(lblLRUHead)
+		l.tails[i] = stm.NewTAny(nil).Label(lblLRUHead)
+		l.sizes[i] = stm.NewTWord(0).Label(lblLRUHead)
 	}
 	return l
 }

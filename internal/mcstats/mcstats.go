@@ -11,6 +11,15 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/stm"
+	"repro/internal/txobs"
+)
+
+// Observability labels: the paper's mutrace profile ranks the stats lock
+// second-most contended, so being able to see "stats_global" atop `stats
+// conflicts` is exactly the diagnosis §6 wanted.
+var (
+	lblStatsGlobal = txobs.RegisterLabel("stats_global")
+	lblStatsThread = txobs.RegisterLabel("stats_thread")
 )
 
 // ConnErrors counts connection teardowns by cause at the server front end.
@@ -38,13 +47,13 @@ type Global struct {
 // NewGlobal allocates zeroed global counters.
 func NewGlobal() *Global {
 	return &Global{
-		TotalItems:  stm.NewTWord(0),
-		CurrItems:   stm.NewTWord(0),
-		CurrBytes:   stm.NewTWord(0),
-		Evictions:   stm.NewTWord(0),
-		Expired:     stm.NewTWord(0),
-		Reassigned:  stm.NewTWord(0),
-		HashExpands: stm.NewTWord(0),
+		TotalItems:  stm.NewTWord(0).Label(lblStatsGlobal),
+		CurrItems:   stm.NewTWord(0).Label(lblStatsGlobal),
+		CurrBytes:   stm.NewTWord(0).Label(lblStatsGlobal),
+		Evictions:   stm.NewTWord(0).Label(lblStatsGlobal),
+		Expired:     stm.NewTWord(0).Label(lblStatsGlobal),
+		Reassigned:  stm.NewTWord(0).Label(lblStatsGlobal),
+		HashExpands: stm.NewTWord(0).Label(lblStatsGlobal),
 	}
 }
 
@@ -68,19 +77,19 @@ type Thread struct {
 // NewThread allocates zeroed per-thread counters.
 func NewThread() *Thread {
 	return &Thread{
-		GetCmds:    stm.NewTWord(0),
-		GetHits:    stm.NewTWord(0),
-		GetMisses:  stm.NewTWord(0),
-		SetCmds:    stm.NewTWord(0),
-		DeleteHits: stm.NewTWord(0),
-		DeleteMiss: stm.NewTWord(0),
-		IncrHits:   stm.NewTWord(0),
-		IncrMiss:   stm.NewTWord(0),
-		CasHits:    stm.NewTWord(0),
-		CasMiss:    stm.NewTWord(0),
-		CasBadval:  stm.NewTWord(0),
-		TouchCmds:  stm.NewTWord(0),
-		Expired:    stm.NewTWord(0),
+		GetCmds:    stm.NewTWord(0).Label(lblStatsThread),
+		GetHits:    stm.NewTWord(0).Label(lblStatsThread),
+		GetMisses:  stm.NewTWord(0).Label(lblStatsThread),
+		SetCmds:    stm.NewTWord(0).Label(lblStatsThread),
+		DeleteHits: stm.NewTWord(0).Label(lblStatsThread),
+		DeleteMiss: stm.NewTWord(0).Label(lblStatsThread),
+		IncrHits:   stm.NewTWord(0).Label(lblStatsThread),
+		IncrMiss:   stm.NewTWord(0).Label(lblStatsThread),
+		CasHits:    stm.NewTWord(0).Label(lblStatsThread),
+		CasMiss:    stm.NewTWord(0).Label(lblStatsThread),
+		CasBadval:  stm.NewTWord(0).Label(lblStatsThread),
+		TouchCmds:  stm.NewTWord(0).Label(lblStatsThread),
+		Expired:    stm.NewTWord(0).Label(lblStatsThread),
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/engine"
 )
@@ -114,6 +115,58 @@ func (c *Conn) serveBinaryOne() error {
 	key := body[req.extraLen : int(req.extraLen)+int(req.keyLen)]
 	value := body[int(req.extraLen)+int(req.keyLen):]
 
+	if o := c.worker.Observer(); o != nil && o.Enabled() {
+		t0 := time.Now()
+		err := c.dispatchBinary(req, extras, key, value)
+		o.ObserveCommand(binOpName(req.opcode), time.Since(t0))
+		return err
+	}
+	return c.dispatchBinary(req, extras, key, value)
+}
+
+// binOpName maps an opcode to the command-latency histogram key, matching the
+// text protocol's command names where the semantics match.
+func binOpName(op byte) string {
+	switch op {
+	case OpGet, OpGetQ, OpGetK, OpGetKQ:
+		return "get"
+	case OpSet:
+		return "set"
+	case OpAdd:
+		return "add"
+	case OpReplace:
+		return "replace"
+	case OpAppend:
+		return "append"
+	case OpPrepend:
+		return "prepend"
+	case OpDelete:
+		return "delete"
+	case OpIncrement:
+		return "incr"
+	case OpDecrement:
+		return "decr"
+	case OpTouch:
+		return "touch"
+	case OpGAT:
+		return "gat"
+	case OpFlush:
+		return "flush_all"
+	case OpStat:
+		return "stats"
+	case OpNoop:
+		return "noop"
+	case OpVersion:
+		return "version"
+	case OpQuit:
+		return "quit"
+	default:
+		return fmt.Sprintf("op_0x%02x", op)
+	}
+}
+
+// dispatchBinary routes one parsed binary frame.
+func (c *Conn) dispatchBinary(req binHeader, extras, key, value []byte) error {
 	switch req.opcode {
 	case OpGet, OpGetQ, OpGetK, OpGetKQ:
 		quiet := req.opcode == OpGetQ || req.opcode == OpGetKQ

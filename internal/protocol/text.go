@@ -10,10 +10,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/mcstats"
+	"repro/internal/txobs"
 )
 
 // Version is the version string reported to clients; the paper's study uses
@@ -129,6 +132,19 @@ func (c *Conn) serveTextOne() error {
 	cmd := string(fields[0])
 	args := fields[1:]
 
+	// Per-command latency: one observer load when tracing was never enabled,
+	// one timestamp pair per command when it is on.
+	if o := c.worker.Observer(); o != nil && o.Enabled() {
+		t0 := time.Now()
+		err := c.dispatchText(cmd, args)
+		o.ObserveCommand(cmd, time.Since(t0))
+		return err
+	}
+	return c.dispatchText(cmd, args)
+}
+
+// dispatchText routes one parsed text command.
+func (c *Conn) dispatchText(cmd string, args [][]byte) error {
 	switch cmd {
 	case "get", "gets":
 		return c.cmdGet(args, cmd == "gets", false)
@@ -150,6 +166,12 @@ func (c *Conn) serveTextOne() error {
 				return c.reply("RESET\r\n")
 			case "slabs":
 				return c.cmdStatsSlabs()
+			case "tm":
+				return c.cmdStatsTM()
+			case "conflicts":
+				return c.cmdStatsConflicts()
+			case "latency":
+				return c.cmdStatsLatency()
 			}
 		}
 		return c.cmdStats()
@@ -372,12 +394,105 @@ func (c *Conn) cmdStats() error {
 	stat("tm_abort_serial", s.STM.AbortSerial)
 	stat("tm_watchdog_backoff", s.STM.WatchdogBackoffs)
 	stat("tm_watchdog_serialize", s.STM.WatchdogSerializes)
+	stat("tm_htm_capacity_aborts", s.STM.HTMCapacityAborts)
+	stat("tm_htm_fallbacks", s.STM.HTMFallbacks)
 	if c.connErrs != nil {
 		stat("conn_errors_io", c.connErrs.IO.Load())
 		stat("conn_errors_protocol", c.connErrs.Protocol.Load())
 		stat("conn_errors_timeout", c.connErrs.Timeout.Load())
 	}
 	return c.reply("END\r\n")
+}
+
+// obsReport fetches the observability report, or replies with a bare
+// "STAT tracing 0" block when tracing was never enabled on this cache.
+func (c *Conn) obsReport(topOrecs int) (txobs.Report, bool, error) {
+	o := c.worker.Observer()
+	if o == nil {
+		fmt.Fprintf(c.w, "STAT tracing 0\r\n")
+		return txobs.Report{}, false, c.reply("END\r\n")
+	}
+	return o.Report(topOrecs), true, nil
+}
+
+// cmdStatsTM reports event-kind counts and attributed serialization/abort
+// causes (`stats tm`). Cause strings contain spaces, so they ride in the
+// value position after their count.
+func (c *Conn) cmdStatsTM() error {
+	r, ok, err := c.obsReport(0)
+	if !ok {
+		return err
+	}
+	fmt.Fprintf(c.w, "STAT tracing %d\r\n", boolInt(r.Enabled))
+	fmt.Fprintf(c.w, "STAT events %d\r\n", r.Events)
+	for _, k := range sortedKeys(r.Kinds) {
+		fmt.Fprintf(c.w, "STAT events_%s %d\r\n", k, r.Kinds[k])
+	}
+	for i, cc := range r.SerialCauses {
+		fmt.Fprintf(c.w, "STAT serial_cause_%d %d %s\r\n", i, cc.Count, cc.Cause)
+	}
+	for i, cc := range r.AbortCauses {
+		fmt.Fprintf(c.w, "STAT abort_cause_%d %d %s\r\n", i, cc.Count, cc.Cause)
+	}
+	return c.reply("END\r\n")
+}
+
+// cmdStatsConflicts reports the conflict heat map (`stats conflicts`):
+// aborts and abort-serial escalations by named structure, then the hottest
+// ownership records.
+func (c *Conn) cmdStatsConflicts() error {
+	r, ok, err := c.obsReport(16)
+	if !ok {
+		return err
+	}
+	fmt.Fprintf(c.w, "STAT tracing %d\r\n", boolInt(r.Enabled))
+	for _, l := range r.ConflictLabels {
+		fmt.Fprintf(c.w, "STAT conflicts_%s %d\r\n", l.Label, l.Count)
+	}
+	for _, l := range r.SerialLabels {
+		fmt.Fprintf(c.w, "STAT abort_serial_%s %d\r\n", l.Label, l.Count)
+	}
+	for _, oc := range r.HotOrecs {
+		fmt.Fprintf(c.w, "STAT orec_%d %d %s\r\n", oc.Orec, oc.Count, oc.LastLabel)
+	}
+	return c.reply("END\r\n")
+}
+
+// cmdStatsLatency reports the phase and per-command latency histograms
+// (`stats latency`), one line per histogram, quantiles in nanoseconds.
+func (c *Conn) cmdStatsLatency() error {
+	r, ok, err := c.obsReport(0)
+	if !ok {
+		return err
+	}
+	fmt.Fprintf(c.w, "STAT tracing %d\r\n", boolInt(r.Enabled))
+	hist := func(prefix string, m map[string]txobs.HistSnapshot) {
+		for _, k := range sortedKeys(m) {
+			s := m[k]
+			fmt.Fprintf(c.w, "STAT %s_%s count=%d mean_ns=%d p50_ns=%d p95_ns=%d p99_ns=%d max_ns=%d\r\n",
+				prefix, k, s.Count, s.Mean, s.P50, s.P95, s.P99, s.Max)
+		}
+	}
+	hist("phase", r.Phases)
+	hist("cmd", r.Commands)
+	return c.reply("END\r\n")
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// sortedKeys returns m's keys sorted (deterministic STAT ordering).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func (c *Conn) cmdStatsSlabs() error {

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestDebugEndpoint drives the debug handler against a live cache: expvar
+// JSON, Prometheus text, the pprof index, and the tracing toggle.
+func TestDebugEndpoint(t *testing.T) {
+	c := engine.New(engine.Config{Branch: engine.ITOnCommit, HashPower: 8})
+	c.Start()
+	defer c.Stop()
+	ts := httptest.NewServer(NewDebugHandler(c))
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	// Seed some traffic with tracing on.
+	if _, err := http.Post(ts.URL+"/debug/tm?enable=1", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	w := c.NewWorker()
+	w.Set([]byte("k"), 0, 0, []byte("v"))
+	w.Get([]byte("k"))
+
+	code, body := get("/debug/vars")
+	if code != 200 {
+		t.Fatalf("/debug/vars = %d", code)
+	}
+	var vars struct {
+		Branch string `json:"branch"`
+		TM     struct {
+			Enabled bool              `json:"enabled"`
+			Kinds   map[string]uint64 `json:"kinds"`
+		} `json:"tm"`
+	}
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v\n%s", err, body)
+	}
+	if vars.Branch != "it-oncommit" || !vars.TM.Enabled || vars.TM.Kinds["commit"] == 0 {
+		t.Fatalf("/debug/vars content: %+v\n%s", vars, body)
+	}
+
+	code, body = get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"mc_curr_items 1",
+		"tm_tracing_enabled 1",
+		`tm_events_total{kind="commit"}`,
+		"# TYPE tm_phase_latency_seconds histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get("/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d:\n%.200s", code, body)
+	}
+
+	code, body = get("/debug/tm")
+	if code != 200 || !strings.Contains(body, "enabled=true") ||
+		!strings.Contains(body, "tx observability report") {
+		t.Fatalf("/debug/tm = %d:\n%s", code, body)
+	}
+
+	// Toggle off, then reset: recording stops, aggregates clear.
+	if _, err := http.Post(ts.URL+"/debug/tm?enable=0&reset=1", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	_, body = get("/debug/tm")
+	if !strings.Contains(body, "enabled=false") {
+		t.Fatalf("tracing still enabled:\n%s", body)
+	}
+	_, body = get("/debug/vars")
+	if strings.Contains(body, `"commit"`) {
+		t.Fatalf("kind counters survived reset:\n%s", body)
+	}
+}

@@ -17,7 +17,13 @@ import (
 	"repro/internal/access"
 	"repro/internal/fault"
 	"repro/internal/stm"
+	"repro/internal/txobs"
 )
+
+// lblSlabState covers allocator-global words (mem_allocated, the rebalance
+// flag); each class's freelist counters get a per-class label so the heat map
+// can single out the contended size class.
+var lblSlabState = txobs.RegisterLabel("slab_state")
 
 // PageSize is the memcached slab page size (1 MiB).
 const PageSize = 1 << 20
@@ -67,17 +73,18 @@ func New(memLimit uint64, factor float64, maxChunk int) *Allocator {
 		maxChunk = PageSize / 2
 	}
 	a := &Allocator{
-		MemAllocated: stm.NewTWord(0),
+		MemAllocated: stm.NewTWord(0).Label(lblSlabState),
 		MemLimit:     memLimit,
-		Rebalance:    stm.NewTWord(0),
+		Rebalance:    stm.NewTWord(0).Label(lblSlabState),
 	}
 	size := MinChunkSize
 	for size < maxChunk {
+		lbl := txobs.RegisterLabelf("slab_class_%d", len(a.classes))
 		a.classes = append(a.classes, Class{
 			ChunkSize: size,
 			PerPage:   PageSize / size,
-			Free:      stm.NewTWord(0),
-			Pages:     stm.NewTWord(0),
+			Free:      stm.NewTWord(0).Label(lbl),
+			Pages:     stm.NewTWord(0).Label(lbl),
 		})
 		next := int(float64(size) * factor)
 		if next <= size {
@@ -86,11 +93,12 @@ func New(memLimit uint64, factor float64, maxChunk int) *Allocator {
 		size = (next + 7) &^ 7 // 8-byte alignment, as memcached does
 	}
 	// Final class at maxChunk.
+	lbl := txobs.RegisterLabelf("slab_class_%d", len(a.classes))
 	a.classes = append(a.classes, Class{
 		ChunkSize: maxChunk,
 		PerPage:   PageSize / maxChunk,
-		Free:      stm.NewTWord(0),
-		Pages:     stm.NewTWord(0),
+		Free:      stm.NewTWord(0).Label(lbl),
+		Pages:     stm.NewTWord(0).Label(lbl),
 	})
 	return a
 }

@@ -44,6 +44,7 @@ func (tx *Tx) htmFootprint() int {
 func (tx *Tx) htmCheckCapacity() {
 	if tx.htmFootprint() > tx.rt.cfg.HTMCapacity {
 		tx.rt.stats.HTMCapacityAborts.Add(1)
+		tx.noteConflict("htm capacity overflow", 0)
 		panic(htmCapacitySignal{})
 	}
 }

@@ -1,0 +1,93 @@
+package stm
+
+import (
+	"repro/internal/txobs"
+)
+
+// Observability integration. The runtime holds two observer pointers: obsAll
+// is the persistent observer (created on first enable, survives disable so
+// collected data can still be queried), and obs is the active pointer the hot
+// paths consult — nil while tracing is disabled. Every event site in the
+// runtime therefore costs exactly one atomic pointer load when tracing is
+// off.
+
+// EnableTracing activates transaction event tracing, creating the observer
+// (sized to the orec table) on first use, and returns it.
+func (rt *Runtime) EnableTracing() *txobs.Observer {
+	rt.mu.Lock()
+	o := rt.obsAll.Load()
+	if o == nil {
+		o = txobs.New(txobs.Options{Orecs: len(rt.orecs)})
+		rt.obsAll.Store(o)
+	}
+	rt.mu.Unlock()
+	o.Enable()
+	rt.obs.Store(o)
+	return o
+}
+
+// DisableTracing stops event recording. The observer (and everything it has
+// collected) remains reachable through TracingObserver.
+func (rt *Runtime) DisableTracing() {
+	if o := rt.obsAll.Load(); o != nil {
+		o.Disable()
+	}
+	rt.obs.Store(nil)
+}
+
+// TracingObserver returns the runtime's observer, or nil if tracing was never
+// enabled.
+func (rt *Runtime) TracingObserver() *txobs.Observer { return rt.obsAll.Load() }
+
+// orecIndex maps a location id to its orec-table index (the same hash
+// orecFor uses), for conflict-event attribution.
+func (rt *Runtime) orecIndex(id uint64) int32 {
+	return int32((id * 0x9E3779B97F4A7C15) >> 32 & rt.omask)
+}
+
+// obsEvent records a runtime-scoped event (no thread context, e.g. watchdog
+// escalations). The tracing-disabled cost is the single obs load.
+func (rt *Runtime) obsEvent(k txobs.Kind, cause string) {
+	if o := rt.obs.Load(); o != nil {
+		o.Record(&txobs.Event{Kind: k, Cause: cause, Orec: -1})
+	}
+}
+
+// sink returns the thread's recording sink for o, creating it on first use
+// (or when tracing was re-enabled with a different observer).
+func (th *Thread) sink(o *txobs.Observer) *txobs.Sink {
+	if th.obsSinkFor != o {
+		th.obsSink = o.NewSink()
+		th.obsSinkFor = o
+	}
+	return th.obsSink
+}
+
+// noteConflict stashes the abort cause and the conflicting location id on the
+// attempt; the run loop reads them when it records the abort event. Called on
+// abort paths only (never on the hot path), so it is unconditional.
+func (tx *Tx) noteConflict(cause string, id uint64) {
+	tx.abortCause = cause
+	tx.conflictID = id
+}
+
+// obsRecord builds and records an event carrying the attempt's current
+// context: site, serial mode, retry ordinal, read/write-set sizes, and the
+// conflicting orec/label when one was noted.
+func (tx *Tx) obsRecord(o *txobs.Observer, k txobs.Kind, cause string) {
+	ev := &txobs.Event{
+		Kind:   k,
+		Cause:  cause,
+		Site:   tx.props.Site,
+		Serial: tx.serial,
+		Retry:  uint32(tx.th.consecAborts.Load()),
+		Reads:  uint32(len(tx.reads) + len(tx.nReadsW) + len(tx.nReadsA)),
+		Writes: uint32(len(tx.undoW) + len(tx.undoA) + len(tx.redoW) + len(tx.redoA)),
+		Orec:   -1,
+	}
+	if tx.conflictID != 0 {
+		ev.Orec = tx.rt.orecIndex(tx.conflictID)
+		ev.Label = labelOf(tx.conflictID)
+	}
+	tx.th.sink(o).Record(ev)
+}

@@ -26,8 +26,11 @@ type ownedOrec struct {
 	prev uint64
 }
 
-// orecRead is a read-set entry for orec-based algorithms.
+// orecRead is a read-set entry for orec-based algorithms. The location id is
+// kept so a validation failure can be attributed (orec index, label) by the
+// observability layer.
 type orecRead struct {
 	o   *orec
 	ver uint64 // version word observed at read time (always even)
+	id  uint64
 }

@@ -2,8 +2,8 @@ package stm
 
 import (
 	"fmt"
-	"sort"
-	"sync"
+
+	"repro/internal/txobs"
 )
 
 // SerializationProfile attributes serialization events to their causes — the
@@ -12,31 +12,35 @@ import (
 // was challenging, and we eventually extended the GCC TM library ... to
 // provide more meaningful profiling data", §6).
 //
-// Profiling is off by default; enable it with Runtime.EnableProfiling. Each
-// in-flight switch is attributed to the unsafe operation that forced it (the
-// string passed to Tx.Unsafe), and abort-serial events to the contention
-// manager.
+// It is now a compatibility view over the txobs observability layer: cause
+// attribution and the conflict heat map share one collection path (the event
+// pipeline), and this type merely reads the serialization-cause aggregate
+// back out in the legacy shape.
+//
+// Profiling is off by default; enable it with Runtime.EnableProfiling (which
+// enables tracing). Each in-flight switch is attributed to the unsafe
+// operation that forced it (the string passed to Tx.Unsafe), and abort-serial
+// events to the contention manager.
 type SerializationProfile struct {
-	mu     sync.Mutex
-	causes map[string]uint64
+	obs *txobs.Observer
 }
 
-// EnableProfiling turns on serialization-cause attribution.
+// EnableProfiling turns on serialization-cause attribution (by enabling the
+// observability layer's event tracing).
 func (rt *Runtime) EnableProfiling() {
-	rt.prof.CompareAndSwap(nil, &SerializationProfile{causes: make(map[string]uint64)})
+	o := rt.EnableTracing()
+	rt.prof.CompareAndSwap(nil, &SerializationProfile{obs: o})
 }
 
 // Profile returns the current profile, or nil when profiling is disabled.
 func (rt *Runtime) Profile() *SerializationProfile { return rt.prof.Load() }
 
+// profileCause counts a serialization cause through the shared pipeline.
+// Retained for callers without an event context.
 func (rt *Runtime) profileCause(cause string) {
-	p := rt.prof.Load()
-	if p == nil {
-		return
+	if o := rt.obs.Load(); o != nil {
+		o.RecordSerialCause(cause)
 	}
-	p.mu.Lock()
-	p.causes[cause]++
-	p.mu.Unlock()
 }
 
 // CauseCount is one attributed serialization cause.
@@ -47,18 +51,11 @@ type CauseCount struct {
 
 // Causes returns the attributed events, most frequent first.
 func (p *SerializationProfile) Causes() []CauseCount {
-	p.mu.Lock()
-	out := make([]CauseCount, 0, len(p.causes))
-	for c, n := range p.causes {
-		out = append(out, CauseCount{Cause: c, Count: n})
+	cs := p.obs.SerialCauses()
+	out := make([]CauseCount, len(cs))
+	for i, c := range cs {
+		out[i] = CauseCount{Cause: c.Cause, Count: c.Count}
 	}
-	p.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count > out[j].Count
-		}
-		return out[i].Cause < out[j].Cause
-	})
 	return out
 }
 

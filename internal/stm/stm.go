@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/txobs"
 )
 
 // Algorithm selects the concurrency-control protocol used by speculative
@@ -263,6 +264,12 @@ type Runtime struct {
 	stats Stats
 
 	prof atomic.Pointer[SerializationProfile]
+
+	// obs is the active observability sink (nil = tracing disabled; the hot
+	// paths pay one atomic load to find out). obsAll is the persistent
+	// observer, kept across DisableTracing. See obs.go.
+	obs    atomic.Pointer[txobs.Observer]
+	obsAll atomic.Pointer[txobs.Observer]
 
 	watchStop chan struct{}
 	watchWG   sync.WaitGroup

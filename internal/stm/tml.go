@@ -29,6 +29,7 @@ func (tx *Tx) tmlBegin() {
 func (tx *Tx) tmlLoad(read func() uint64) uint64 {
 	v := read()
 	if !tx.tmlWriter && tx.rt.nseq.Load() != tx.start {
+		tx.noteConflict("conflict: global sequence lock (read)", 0)
 		panic(abortSignal{})
 	}
 	return v
@@ -40,6 +41,7 @@ func (tx *Tx) tmlAcquire() {
 		return
 	}
 	if !tx.rt.nseq.CompareAndSwap(tx.start, tx.start+1) {
+		tx.noteConflict("conflict: global sequence lock (write)", 0)
 		panic(abortSignal{})
 	}
 	tx.tmlWriter = true

@@ -1,6 +1,10 @@
 package stm
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"repro/internal/txobs"
+)
 
 // ids numbers transactional locations. Location ids, not addresses, feed the
 // orec hash; this sidesteps Go's lack of stable addresses-as-integers without
@@ -9,6 +13,39 @@ var ids atomic.Uint64
 
 func nextID() uint64          { return ids.Add(1) }
 func reserveIDs(n int) uint64 { return ids.Add(uint64(n)) - uint64(n) + 1 }
+
+// Location ids carry an optional txobs label in their high bits: the low 48
+// bits are the allocation counter, the top 16 a Label naming the data
+// structure the location belongs to. An aborting transaction can then
+// attribute the conflicting access to a named structure from the id alone —
+// no map lookup, no pointer chasing, nothing on the commit fast path.
+const (
+	labelShift = 48
+	labelMask  = uint64(1)<<labelShift - 1
+)
+
+func labelOf(id uint64) txobs.Label { return txobs.Label(id >> labelShift) }
+
+// Label tags the location for conflict attribution in the observability
+// layer. Call it at creation, before the location is shared; it returns the
+// receiver so constructors chain: stm.NewTWord(0).Label(refcountLabel).
+func (t *TWord) Label(l txobs.Label) *TWord {
+	t.id = t.id&labelMask | uint64(l)<<labelShift
+	return t
+}
+
+// Label tags the location for conflict attribution (see TWord.Label).
+func (t *TAny) Label(l txobs.Label) *TAny {
+	t.id = t.id&labelMask | uint64(l)<<labelShift
+	return t
+}
+
+// Label tags every word of the buffer for conflict attribution (see
+// TWord.Label).
+func (t *TBytes) Label(l txobs.Label) *TBytes {
+	t.baseID = t.baseID&labelMask | uint64(l)<<labelShift
+	return t
+}
 
 // TWord is a word-sized transactional location (counters, booleans, sizes,
 // reference counts). The zero value is not usable; create with NewTWord.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/txobs"
 )
 
 // Kind distinguishes the two transaction declarations of the Draft C++ TM
@@ -103,6 +104,11 @@ type Thread struct {
 	consecAborts atomic.Uint64
 	runSince     atomic.Int64
 	escalate     atomic.Uint32
+
+	// Observability sink, cached per observer (see obs.go). Only touched
+	// while tracing is enabled.
+	obsSink    *txobs.Sink
+	obsSinkFor *txobs.Observer
 }
 
 var threadIDs atomic.Uint64
@@ -162,6 +168,13 @@ type Tx struct {
 	onAbort  []func()
 
 	attempts int
+
+	// Conflict attribution for the observability layer (see obs.go): the
+	// cause of the pending abort and the id of the location whose orec
+	// conflicted (0 = none). Set on abort paths, read by the run loop when it
+	// records the abort event, cleared by begin.
+	abortCause string
+	conflictID uint64
 }
 
 var lockWords atomic.Uint64
@@ -195,7 +208,10 @@ func (tx *Tx) Cancel() {
 
 // Abort requests an explicit retry of the transaction (used by tests and by
 // condition-synchronization experiments).
-func (tx *Tx) Abort() { panic(abortSignal{}) }
+func (tx *Tx) Abort() {
+	tx.noteConflict("explicit abort", 0)
+	panic(abortSignal{})
+}
 
 // Unsafe marks the execution of an operation the TM system cannot undo (I/O,
 // a volatile/atomic access, inline assembly, an un-annotated library call).
@@ -210,7 +226,9 @@ func (tx *Tx) Unsafe(op string) {
 	if tx.props.Kind == Atomic {
 		panic(fmt.Errorf("%w: %s", ErrUnsafeInAtomic, op))
 	}
-	tx.rt.profileCause(causeAt("in-flight switch: "+op, tx.props.Site))
+	if o := tx.rt.obs.Load(); o != nil {
+		tx.obsRecord(o, txobs.KInFlightSwitch, causeAt("in-flight switch: "+op, tx.props.Site))
+	}
 	panic(switchSerialSignal{op: op})
 }
 
@@ -240,7 +258,19 @@ func (th *Thread) Run(props Props, fn func(*Tx)) error {
 	if props.StartSerial {
 		serial = true
 		rt.stats.StartSerial.Add(1)
-		rt.profileCause(causeAt("start serial", props.Site))
+		if o := rt.obs.Load(); o != nil {
+			th.sink(o).Record(&txobs.Event{
+				Kind: txobs.KStartSerial, Serial: true, Orec: -1,
+				Site: props.Site, Cause: causeAt("start serial", props.Site),
+			})
+		}
+	}
+
+	// Source-transaction entry time, for the begin→first-abort phase
+	// histogram; sampled only while tracing is on.
+	var runT0 time.Time
+	if rt.obs.Load() != nil {
+		runT0 = time.Now()
 	}
 
 	// Publish this source-level transaction to the starvation watchdog; its
@@ -270,6 +300,9 @@ func (th *Thread) Run(props Props, fn func(*Tx)) error {
 			if rt.cfg.CM == CMHourglass {
 				th.gateRelease()
 			}
+			if o := rt.obs.Load(); o != nil {
+				tx.obsRecord(o, txobs.KCommit, "")
+			}
 			th.finish(tx, true)
 			return nil
 		case resCancel:
@@ -287,6 +320,9 @@ func (th *Thread) Run(props Props, fn func(*Tx)) error {
 			// dirtied by another commit, then re-run. Not an abort for
 			// contention-management purposes.
 			rt.stats.Retries.Add(1)
+			if o := rt.obs.Load(); o != nil {
+				tx.obsRecord(o, txobs.KRetryWait, "retry: read-set wait")
+			}
 			th.finish(tx, false)
 			tx.waitReadSetChange()
 			continue
@@ -295,11 +331,23 @@ func (th *Thread) Run(props Props, fn func(*Tx)) error {
 			rt.stats.Aborts.Add(1)
 			consec++
 			th.consecAborts.Store(uint64(consec))
+			if o := rt.obs.Load(); o != nil {
+				cause := tx.abortCause
+				if cause == "" {
+					cause = "conflict: commit validation"
+				}
+				tx.obsRecord(o, txobs.KAbort, cause)
+				if consec == 1 && !runT0.IsZero() {
+					o.ObservePhase(txobs.PhaseFirstAbort, time.Since(runT0))
+				}
+			}
 			th.finish(tx, false)
 			if rt.cfg.Algorithm == HTM && consec >= rt.cfg.HTMRetries {
 				// Lock-elision fallback: take the global lock for real.
 				rt.stats.HTMFallbacks.Add(1)
-				rt.profileCause(causeAt("htm fallback: retry limit", props.Site))
+				if o := rt.obs.Load(); o != nil {
+					tx.obsRecord(o, txobs.KHTMFallback, causeAt("htm fallback: retry limit", props.Site))
+				}
 				serial = true
 				continue
 			}
@@ -307,7 +355,12 @@ func (th *Thread) Run(props Props, fn func(*Tx)) error {
 			case CMSerialize:
 				if consec >= rt.cfg.SerializeAfter {
 					rt.stats.AbortSerial.Add(1)
-					rt.profileCause(causeAt("abort serial: consecutive-abort limit", props.Site))
+					// The abort-serial event inherits the conflict that pushed
+					// the attempt over the limit, so serialization-for-progress
+					// is attributed to a named structure.
+					if o := rt.obs.Load(); o != nil {
+						tx.obsRecord(o, txobs.KAbortSerial, causeAt("abort serial: consecutive-abort limit", props.Site))
+					}
 					serial = true
 				}
 			case CMBackoff:
@@ -375,7 +428,13 @@ func (th *Thread) begin(props Props, serial bool) *Tx {
 			// privatization races live.
 			runtime.Gosched()
 		}
-		rt.serial.Lock()
+		if o := rt.obs.Load(); o != nil {
+			t0 := time.Now()
+			rt.serial.Lock()
+			o.ObservePhase(txobs.PhaseSerialWait, time.Since(t0))
+		} else {
+			rt.serial.Lock()
+		}
 	} else {
 		if rt.cfg.Algorithm == HTM {
 			// Hardware transactions subscribe to the lock instead of taking
@@ -402,6 +461,12 @@ func (th *Thread) begin(props Props, serial bool) *Tx {
 				clear(tx.redoA)
 			}
 		}
+	}
+	if o := rt.obs.Load(); o != nil {
+		th.sink(o).Record(&txobs.Event{
+			Kind: txobs.KBegin, Serial: serial, Site: props.Site,
+			Retry: uint32(th.consecAborts.Load()), Orec: -1,
+		})
 	}
 	th.cur = tx
 	return tx
@@ -482,6 +547,7 @@ func (tx *Tx) faultBarrier(abortP, delayP fault.Point) {
 		runtime.Gosched()
 	}
 	if !tx.serial && in.Fire(abortP) {
+		tx.noteConflict("fault injection", 0)
 		panic(abortSignal{})
 	}
 }
@@ -617,6 +683,7 @@ func (tx *Tx) orecLoad(id uint64, read func() uint64) uint64 {
 				// We own the orec (write-through): the in-place value is ours.
 				return read()
 			}
+			tx.noteConflict("conflict: location locked (read)", id)
 			panic(abortSignal{})
 		}
 		v := read()
@@ -626,7 +693,7 @@ func (tx *Tx) orecLoad(id uint64, read func() uint64) uint64 {
 		if orecVersion(w1) > tx.start {
 			tx.extend()
 		}
-		tx.reads = append(tx.reads, orecRead{o: o, ver: w1})
+		tx.reads = append(tx.reads, orecRead{o: o, ver: w1, id: id})
 		return v
 	}
 }
@@ -640,6 +707,7 @@ func (tx *Tx) orecAcquire(id uint64) {
 			return
 		}
 		if orecLocked(w) {
+			tx.noteConflict("conflict: location locked (write)", id)
 			panic(abortSignal{})
 		}
 		if orecVersion(w) > tx.start {
@@ -663,7 +731,8 @@ func (tx *Tx) extend() {
 }
 
 // validateReads checks every read-set entry is still at its observed version
-// (or locked by us, with the pre-lock version matching).
+// (or locked by us, with the pre-lock version matching). On failure it notes
+// the failing location for conflict attribution.
 func (tx *Tx) validateReads() bool {
 	for _, r := range tx.reads {
 		cur := r.o.v.Load()
@@ -675,6 +744,7 @@ func (tx *Tx) validateReads() bool {
 				continue
 			}
 		}
+		tx.noteConflict("conflict: read validation", r.id)
 		return false
 	}
 	return true
@@ -746,6 +816,7 @@ func (tx *Tx) norecValidate() uint64 {
 			}
 		}
 		if !ok {
+			tx.noteConflict("conflict: value validation", 0)
 			panic(abortSignal{})
 		}
 		if tx.rt.nseq.Load() == t {
@@ -758,8 +829,22 @@ func (tx *Tx) norecValidate() uint64 {
 // Commit and rollback
 
 // tryCommit attempts to commit; returns false if validation fails (the caller
-// rolls back and retries).
+// rolls back and retries). It times the commit protocol for the phase
+// histogram; when tracing is disabled the only extra cost is the obs load.
 func (tx *Tx) tryCommit() bool {
+	o := tx.rt.obs.Load()
+	if o == nil {
+		return tx.commitProtocol()
+	}
+	t0 := time.Now()
+	ok := tx.commitProtocol()
+	if ok {
+		o.ObservePhase(txobs.PhaseCommit, time.Since(t0))
+	}
+	return ok
+}
+
+func (tx *Tx) commitProtocol() bool {
 	rt := tx.rt
 	if in := rt.cfg.Fault; in != nil {
 		if in.Fire(fault.STMCommitDelay) {
@@ -769,6 +854,7 @@ func (tx *Tx) tryCommit() bool {
 		// the same path a genuine commit-time conflict takes. Never injected
 		// into serial attempts (they are irrevocable and cannot fail).
 		if !tx.serial && in.Fire(fault.STMCommitFail) {
+			tx.noteConflict("fault injection (commit)", 0)
 			return false
 		}
 	}
@@ -781,6 +867,7 @@ func (tx *Tx) tryCommit() bool {
 		// The lock subscription stands in for real HTM's cache-line
 		// monitoring: any serial acquisition since begin aborts us.
 		if !rt.serial.stillSubscribed(tx.htmSeq) {
+			tx.noteConflict("conflict: serial-lock subscription", 0)
 			return false
 		}
 		wrote := len(tx.owned) > 0
@@ -789,6 +876,7 @@ func (tx *Tx) tryCommit() bool {
 				return false
 			}
 			if !rt.serial.stillSubscribed(tx.htmSeq) {
+				tx.noteConflict("conflict: serial-lock subscription", 0)
 				return false
 			}
 			nv := versionWord(rt.clock.Add(1))
@@ -904,6 +992,7 @@ func (tx *Tx) lazyAcquire(id uint64) bool {
 			return true
 		}
 		if orecLocked(w) {
+			tx.noteConflict("conflict: commit-time lock acquisition", id)
 			return false
 		}
 		if o.v.CompareAndSwap(w, tx.lockWord) {
@@ -998,6 +1087,10 @@ func (th *Thread) gateRelease() {
 // use the OS timer, which is exactly the preemption exposure the paper blames
 // for backoff's poor behaviour at high thread counts.
 func (th *Thread) backoff(consec int) {
+	if o := th.rt.obs.Load(); o != nil {
+		t0 := time.Now()
+		defer func() { o.ObservePhase(txobs.PhaseBackoff, time.Since(t0)) }()
+	}
 	shift := consec
 	if shift > 12 {
 		shift = 12

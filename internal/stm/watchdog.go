@@ -2,6 +2,8 @@ package stm
 
 import (
 	"time"
+
+	"repro/internal/txobs"
 )
 
 // Starvation watchdog.
@@ -96,11 +98,11 @@ func (rt *Runtime) watchdogScan(now time.Time) {
 		case escalateNone:
 			th.escalate.Store(escalateBackoff)
 			rt.stats.WatchdogBackoffs.Add(1)
-			rt.profileCause("watchdog: backoff")
+			rt.obsEvent(txobs.KWatchdogBackoff, "watchdog: backoff")
 		case escalateBackoff:
 			th.escalate.Store(escalateSerialize)
 			rt.stats.WatchdogSerializes.Add(1)
-			rt.profileCause("watchdog: serialize")
+			rt.obsEvent(txobs.KWatchdogSerialize, "watchdog: serialize")
 		}
 	}
 }

@@ -7,7 +7,16 @@
 // against the transactional API rather than retrofitting locks.
 package tmds
 
-import "repro/internal/stm"
+import (
+	"repro/internal/stm"
+	"repro/internal/txobs"
+)
+
+// Heat-map labels for the transactional data structures.
+var (
+	lblList  = txobs.RegisterLabel("tmds_list")
+	lblQueue = txobs.RegisterLabel("tmds_queue")
+)
 
 // listNode is a sorted singly-linked list node. Key is immutable; Next is
 // transactional.
@@ -34,7 +43,7 @@ type List struct {
 
 // NewList creates an empty list.
 func NewList() *List {
-	return &List{head: stm.NewTAny(nil), size: stm.NewTWord(0)}
+	return &List{head: stm.NewTAny(nil).Label(lblList), size: stm.NewTWord(0).Label(lblList)}
 }
 
 // locate returns the first node with node.key >= key and its predecessor
@@ -56,7 +65,7 @@ func (l *List) Insert(tx *stm.Tx, key uint64, val any) bool {
 	if node != nil && node.key == key {
 		return false
 	}
-	n := &listNode{key: key, val: stm.NewTAny(val), next: stm.NewTAny(node)}
+	n := &listNode{key: key, val: stm.NewTAny(val).Label(lblList), next: stm.NewTAny(node).Label(lblList)}
 	link.Store(tx, n)
 	l.size.Add(tx, 1)
 	return true
@@ -171,12 +180,12 @@ func asQueueNode(v any) *queueNode {
 
 // NewQueue creates an empty queue.
 func NewQueue() *Queue {
-	return &Queue{head: stm.NewTAny(nil), tail: stm.NewTAny(nil), size: stm.NewTWord(0)}
+	return &Queue{head: stm.NewTAny(nil).Label(lblQueue), tail: stm.NewTAny(nil).Label(lblQueue), size: stm.NewTWord(0).Label(lblQueue)}
 }
 
 // Push appends val.
 func (q *Queue) Push(tx *stm.Tx, val any) {
-	n := &queueNode{val: val, next: stm.NewTAny(nil)}
+	n := &queueNode{val: val, next: stm.NewTAny(nil).Label(lblQueue)}
 	if t := asQueueNode(q.tail.Load(tx)); t != nil {
 		t.next.Store(tx, n)
 	} else {

@@ -1,6 +1,12 @@
 package tmds
 
-import "repro/internal/stm"
+import (
+	"repro/internal/stm"
+	"repro/internal/txobs"
+)
+
+// lblSkip tags skip-list words for the conflict heat map.
+var lblSkip = txobs.RegisterLabel("tmds_skiplist")
 
 // SkipList is a transactional skip list set: sorted, with expected
 // logarithmic search via express lanes. Like the treap, node heights derive
@@ -34,10 +40,10 @@ func NewSkipList(maxLevel int) *SkipList {
 	if maxLevel <= 0 {
 		maxLevel = 16
 	}
-	s := &SkipList{maxLevel: maxLevel, size: stm.NewTWord(0)}
+	s := &SkipList{maxLevel: maxLevel, size: stm.NewTWord(0).Label(lblSkip)}
 	s.head = make([]*stm.TAny, maxLevel)
 	for i := range s.head {
-		s.head[i] = stm.NewTAny(nil)
+		s.head[i] = stm.NewTAny(nil).Label(lblSkip)
 	}
 	return s
 }
@@ -97,7 +103,7 @@ func (s *SkipList) Insert(tx *stm.Tx, key uint64) bool {
 	h := s.heightFor(key)
 	node := &skipNode{key: key, next: make([]*stm.TAny, h)}
 	for lvl := 0; lvl < h; lvl++ {
-		node.next[lvl] = stm.NewTAny(preds[lvl].Load(tx))
+		node.next[lvl] = stm.NewTAny(preds[lvl].Load(tx)).Label(lblSkip)
 		preds[lvl].Store(tx, node)
 	}
 	s.size.Add(tx, 1)

@@ -1,6 +1,12 @@
 package tmds
 
-import "repro/internal/stm"
+import (
+	"repro/internal/stm"
+	"repro/internal/txobs"
+)
+
+// lblTreap tags treap words for the conflict heat map.
+var lblTreap = txobs.RegisterLabel("tmds_treap")
 
 // Treap is a transactional ordered map implemented as a treap (a binary
 // search tree ordered by key, heap-ordered by a per-key pseudo-random
@@ -39,7 +45,7 @@ func prioFor(key uint64) uint64 {
 
 // NewTreap creates an empty tree.
 func NewTreap() *Treap {
-	return &Treap{root: stm.NewTAny(nil), size: stm.NewTWord(0)}
+	return &Treap{root: stm.NewTAny(nil).Label(lblTreap), size: stm.NewTWord(0).Label(lblTreap)}
 }
 
 // Get returns the value at key.
@@ -84,9 +90,9 @@ func (t *Treap) insert(tx *stm.Tx, n *treapNode, key uint64, val any, added *boo
 		return &treapNode{
 			key:  key,
 			prio: prioFor(key),
-			val:  stm.NewTAny(val),
-			l:    stm.NewTAny(nil),
-			r:    stm.NewTAny(nil),
+			val:  stm.NewTAny(val).Label(lblTreap),
+			l:    stm.NewTAny(nil).Label(lblTreap),
+			r:    stm.NewTAny(nil).Label(lblTreap),
 		}
 	}
 	switch {

@@ -1,0 +1,148 @@
+package txobs
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two latency buckets. Bucket b counts
+// observations with bits.Len64(ns) == b, i.e. durations in [2^(b-1), 2^b)
+// nanoseconds; bucket 0 is exactly zero. 48 buckets reach ~78 hours.
+const histBuckets = 48
+
+// Histogram is a log-bucketed latency histogram safe for concurrent Observe
+// and read. Quantiles are resolved to a bucket's upper bound, so they are
+// upper estimates with at most 2x resolution — the trade that makes recording
+// three atomic adds.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+	max     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	b := bits.Len64(ns)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// bucketUpper returns the exclusive upper bound of bucket b in nanoseconds.
+func bucketUpper(b int) uint64 {
+	if b == 0 {
+		return 1
+	}
+	return uint64(1) << b
+}
+
+// HistSnapshot is a point-in-time copy of a histogram with derived quantiles.
+type HistSnapshot struct {
+	Count   uint64          `json:"count"`
+	Mean    time.Duration   `json:"mean_ns"`
+	P50     time.Duration   `json:"p50_ns"`
+	P95     time.Duration   `json:"p95_ns"`
+	P99     time.Duration   `json:"p99_ns"`
+	Max     time.Duration   `json:"max_ns"`
+	Buckets [histBuckets]uint64 `json:"-"`
+}
+
+// Snapshot copies the histogram and computes p50/p95/p99/max. The copy is not
+// atomic with respect to concurrent Observe calls; each field is individually
+// consistent.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Count = h.count.Load()
+	s.Max = time.Duration(h.max.Load())
+	if s.Count > 0 {
+		s.Mean = time.Duration(h.sum.Load() / s.Count)
+	}
+	var total uint64
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+		total += s.Buckets[i]
+	}
+	q := func(p float64) time.Duration {
+		if total == 0 {
+			return 0
+		}
+		want := uint64(p * float64(total))
+		if want == 0 {
+			want = 1
+		}
+		var cum uint64
+		for b := 0; b < histBuckets; b++ {
+			cum += s.Buckets[b]
+			if cum >= want {
+				up := bucketUpper(b)
+				if m := h.max.Load(); up > m {
+					up = m // never report past the observed max
+				}
+				return time.Duration(up)
+			}
+		}
+		return s.Max
+	}
+	s.P50, s.P95, s.P99 = q(0.50), q(0.95), q(0.99)
+	return s
+}
+
+// String renders the snapshot as a one-line summary.
+func (s HistSnapshot) String() string {
+	return fmt.Sprintf("n=%d p50=%v p95=%v p99=%v max=%v mean=%v",
+		s.Count, s.P50, s.P95, s.P99, s.Max, s.Mean)
+}
+
+// Phase identifies an STM latency phase.
+type Phase uint8
+
+const (
+	// PhaseFirstAbort measures source-transaction entry to its first abort.
+	PhaseFirstAbort Phase = iota
+	// PhaseBackoff measures one contention-manager backoff wait.
+	PhaseBackoff
+	// PhaseSerialWait measures waiting to acquire the serial lock's write side.
+	PhaseSerialWait
+	// PhaseCommit measures a successful commit's validation+publish protocol.
+	PhaseCommit
+
+	phaseN
+)
+
+var phaseNames = [phaseN]string{"first_abort", "backoff", "serial_wait", "commit"}
+
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return "unknown"
+}

@@ -1,0 +1,491 @@
+package txobs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options parameterizes an Observer.
+type Options struct {
+	// Orecs sizes the per-orec conflict heat map (the runtime's orec-table
+	// size). 0 disables orec-level aggregation (labels still work).
+	Orecs int
+	// RingCapacity is the per-sink event ring size (default 4096).
+	RingCapacity int
+}
+
+// heatCell is one orec's aggregate: abort count plus the label of the last
+// conflicting location that hashed there (label+1; 0 = none seen).
+type heatCell struct {
+	n    atomic.Uint64
+	last atomic.Uint32
+}
+
+// Observer owns the aggregation state of the observability layer: per-kind
+// event counters, the conflict heat map, serialization/abort cause maps, and
+// the phase and command latency histograms. One Observer serves one cache
+// (runtime); it persists across Enable/Disable so collected data survives
+// turning tracing off.
+type Observer struct {
+	enabled atomic.Bool
+	seq     atomic.Uint64
+	ringCap int
+
+	kinds [kindN]atomic.Uint64
+
+	orecHeat      []heatCell
+	labelAborts   [MaxLabels]atomic.Uint64
+	serialByLabel [MaxLabels]atomic.Uint64
+
+	causeMu      sync.Mutex
+	serialCauses map[string]uint64
+	abortCauses  map[string]uint64
+
+	phases [phaseN]Histogram
+	cmds   sync.Map // command name -> *Histogram
+
+	mu     sync.Mutex
+	sinks  []*Sink
+	global *Sink
+}
+
+// New creates a disabled Observer.
+func New(opts Options) *Observer {
+	if opts.RingCapacity <= 0 {
+		opts.RingCapacity = 4096
+	}
+	o := &Observer{
+		ringCap:      opts.RingCapacity,
+		serialCauses: make(map[string]uint64),
+		abortCauses:  make(map[string]uint64),
+	}
+	if opts.Orecs > 0 {
+		o.orecHeat = make([]heatCell, opts.Orecs)
+	}
+	o.global = &Sink{obs: o, ring: NewRing(opts.RingCapacity), id: -1}
+	return o
+}
+
+// Enable turns event recording on.
+func (o *Observer) Enable() { o.enabled.Store(true) }
+
+// Disable turns event recording off; collected data is retained.
+func (o *Observer) Disable() { o.enabled.Store(false) }
+
+// Enabled reports whether events are being recorded.
+func (o *Observer) Enabled() bool { return o.enabled.Load() }
+
+// NewSink registers a new per-thread recording sink with its own event ring.
+func (o *Observer) NewSink() *Sink {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s := &Sink{obs: o, ring: NewRing(o.ringCap), id: int32(len(o.sinks))}
+	o.sinks = append(o.sinks, s)
+	return s
+}
+
+// Record records a runtime-global event (watchdog escalations and other
+// events without a thread context). No-op while disabled.
+func (o *Observer) Record(ev *Event) { o.global.Record(ev) }
+
+// aggregate folds one recorded event into the counters, cause maps, and the
+// conflict heat map. Called from Sink.Record (enabled path only).
+func (o *Observer) aggregate(ev *Event) {
+	o.kinds[ev.Kind].Add(1)
+	switch {
+	case ev.Kind == KAbort:
+		if ev.Orec >= 0 && int(ev.Orec) < len(o.orecHeat) {
+			c := &o.orecHeat[ev.Orec]
+			c.n.Add(1)
+			c.last.Store(uint32(ev.Label) + 1)
+		}
+		if int(ev.Label) < MaxLabels {
+			o.labelAborts[ev.Label].Add(1)
+		}
+		if ev.Cause != "" {
+			o.addCause(&o.abortCauses, ev.Cause)
+		}
+	case ev.Kind == KAbortSerial:
+		if int(ev.Label) < MaxLabels {
+			o.serialByLabel[ev.Label].Add(1)
+		}
+		if ev.Cause != "" {
+			o.addCause(&o.serialCauses, ev.Cause)
+		}
+	case ev.Kind.serializes():
+		if ev.Cause != "" {
+			o.addCause(&o.serialCauses, ev.Cause)
+		}
+	}
+}
+
+func (o *Observer) addCause(m *map[string]uint64, cause string) {
+	o.causeMu.Lock()
+	(*m)[cause]++
+	o.causeMu.Unlock()
+}
+
+// RecordSerialCause counts a serialization cause without an event (the
+// compatibility path for stm.SerializationProfile callers). No-op while
+// disabled.
+func (o *Observer) RecordSerialCause(cause string) {
+	if !o.enabled.Load() {
+		return
+	}
+	o.addCause(&o.serialCauses, cause)
+}
+
+// KindCount returns the number of events of kind k recorded.
+func (o *Observer) KindCount(k Kind) uint64 { return o.kinds[k].Load() }
+
+// ObservePhase records one STM phase latency.
+func (o *Observer) ObservePhase(p Phase, d time.Duration) {
+	if !o.enabled.Load() {
+		return
+	}
+	o.phases[p].Observe(d)
+}
+
+// ObserveCommand records one server-command latency.
+func (o *Observer) ObserveCommand(cmd string, d time.Duration) {
+	if !o.enabled.Load() {
+		return
+	}
+	h, ok := o.cmds.Load(cmd)
+	if !ok {
+		h, _ = o.cmds.LoadOrStore(cmd, &Histogram{})
+	}
+	h.(*Histogram).Observe(d)
+}
+
+// SerialCauses returns the serialization causes, most frequent first (ties
+// broken by cause name). This is the collection the legacy
+// stm.SerializationProfile reads through.
+func (o *Observer) SerialCauses() []CauseCount {
+	o.causeMu.Lock()
+	out := make([]CauseCount, 0, len(o.serialCauses))
+	for c, n := range o.serialCauses {
+		out = append(out, CauseCount{Cause: c, Count: n})
+	}
+	o.causeMu.Unlock()
+	sortCauses(out)
+	return out
+}
+
+// SerialAttribution returns how many abort-serial events carried a named
+// label versus the total recorded — the attribution rate of the conflict
+// heat map.
+func (o *Observer) SerialAttribution() (named, total uint64) {
+	for i := range o.serialByLabel {
+		n := o.serialByLabel[i].Load()
+		total += n
+		if i != int(NoLabel) {
+			named += n
+		}
+	}
+	return named, total
+}
+
+// Events merges every ring's current contents, oldest first.
+func (o *Observer) Events() []Event {
+	o.mu.Lock()
+	sinks := append([]*Sink(nil), o.sinks...)
+	o.mu.Unlock()
+	sinks = append(sinks, o.global)
+	var out []Event
+	for _, s := range sinks {
+		out = append(out, s.ring.Snapshot()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Reset zeroes every resettable aggregate: kind counters, heat map, cause
+// maps, histograms, and the ring contents. The event sequence keeps counting
+// so post-reset events still order after pre-reset ones.
+func (o *Observer) Reset() {
+	for i := range o.kinds {
+		o.kinds[i].Store(0)
+	}
+	for i := range o.orecHeat {
+		o.orecHeat[i].n.Store(0)
+		o.orecHeat[i].last.Store(0)
+	}
+	for i := range o.labelAborts {
+		o.labelAborts[i].Store(0)
+		o.serialByLabel[i].Store(0)
+	}
+	o.causeMu.Lock()
+	clear(o.serialCauses)
+	clear(o.abortCauses)
+	o.causeMu.Unlock()
+	for i := range o.phases {
+		o.phases[i].Reset()
+	}
+	o.cmds.Range(func(_, v any) bool {
+		v.(*Histogram).Reset()
+		return true
+	})
+	o.mu.Lock()
+	sinks := append([]*Sink(nil), o.sinks...)
+	o.mu.Unlock()
+	sinks = append(sinks, o.global)
+	for _, s := range sinks {
+		for i := range s.ring.slots {
+			s.ring.slots[i].Store(nil)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Reporting
+
+// CauseCount is one attributed cause.
+type CauseCount struct {
+	Cause string `json:"cause"`
+	Count uint64 `json:"count"`
+}
+
+// LabelCount is one label's aggregate.
+type LabelCount struct {
+	Label string `json:"label"`
+	Count uint64 `json:"count"`
+}
+
+// OrecCount is one hot ownership record.
+type OrecCount struct {
+	Orec      int    `json:"orec"`
+	Count     uint64 `json:"count"`
+	LastLabel string `json:"last_label"`
+}
+
+// Report is a point-in-time structured view of everything the observer has
+// collected; it marshals directly to JSON for the debug endpoint.
+type Report struct {
+	Enabled        bool                    `json:"enabled"`
+	Events         uint64                  `json:"events"`
+	Kinds          map[string]uint64       `json:"kinds"`
+	SerialCauses   []CauseCount            `json:"serial_causes"`
+	AbortCauses    []CauseCount            `json:"abort_causes"`
+	ConflictLabels []LabelCount            `json:"conflict_labels"`
+	SerialLabels   []LabelCount            `json:"serial_labels"`
+	HotOrecs       []OrecCount             `json:"hot_orecs"`
+	Phases         map[string]HistSnapshot `json:"phases"`
+	Commands       map[string]HistSnapshot `json:"commands"`
+}
+
+func sortCauses(cs []CauseCount) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Count != cs[j].Count {
+			return cs[i].Count > cs[j].Count
+		}
+		return cs[i].Cause < cs[j].Cause
+	})
+}
+
+func sortLabels(ls []LabelCount) {
+	sort.Slice(ls, func(i, j int) bool {
+		if ls[i].Count != ls[j].Count {
+			return ls[i].Count > ls[j].Count
+		}
+		return ls[i].Label < ls[j].Label
+	})
+}
+
+// Report builds a Report, keeping the topOrecs hottest ownership records
+// (0 = all non-zero).
+func (o *Observer) Report(topOrecs int) Report {
+	r := Report{
+		Enabled:  o.enabled.Load(),
+		Events:   o.seq.Load(),
+		Kinds:    make(map[string]uint64, kindN),
+		Phases:   make(map[string]HistSnapshot, phaseN),
+		Commands: make(map[string]HistSnapshot),
+	}
+	for k := Kind(0); k < kindN; k++ {
+		if n := o.kinds[k].Load(); n > 0 {
+			r.Kinds[k.String()] = n
+		}
+	}
+	r.SerialCauses = o.SerialCauses()
+	o.causeMu.Lock()
+	for c, n := range o.abortCauses {
+		r.AbortCauses = append(r.AbortCauses, CauseCount{Cause: c, Count: n})
+	}
+	o.causeMu.Unlock()
+	sortCauses(r.AbortCauses)
+	for i := 0; i < NumLabels(); i++ {
+		if n := o.labelAborts[i].Load(); n > 0 {
+			r.ConflictLabels = append(r.ConflictLabels, LabelCount{Label: Label(i).String(), Count: n})
+		}
+		if n := o.serialByLabel[i].Load(); n > 0 {
+			r.SerialLabels = append(r.SerialLabels, LabelCount{Label: Label(i).String(), Count: n})
+		}
+	}
+	sortLabels(r.ConflictLabels)
+	sortLabels(r.SerialLabels)
+	for i := range o.orecHeat {
+		if n := o.orecHeat[i].n.Load(); n > 0 {
+			lc := "(unlabeled)"
+			if l := o.orecHeat[i].last.Load(); l > 0 {
+				lc = Label(l - 1).String()
+			}
+			r.HotOrecs = append(r.HotOrecs, OrecCount{Orec: i, Count: n, LastLabel: lc})
+		}
+	}
+	sort.Slice(r.HotOrecs, func(i, j int) bool {
+		if r.HotOrecs[i].Count != r.HotOrecs[j].Count {
+			return r.HotOrecs[i].Count > r.HotOrecs[j].Count
+		}
+		return r.HotOrecs[i].Orec < r.HotOrecs[j].Orec
+	})
+	if topOrecs > 0 && len(r.HotOrecs) > topOrecs {
+		r.HotOrecs = r.HotOrecs[:topOrecs]
+	}
+	for p := Phase(0); p < phaseN; p++ {
+		if s := o.phases[p].Snapshot(); s.Count > 0 {
+			r.Phases[p.String()] = s
+		}
+	}
+	o.cmds.Range(func(k, v any) bool {
+		if s := v.(*Histogram).Snapshot(); s.Count > 0 {
+			r.Commands[k.(string)] = s
+		}
+		return true
+	})
+	return r
+}
+
+// String renders the report as a human-readable summary (mcbench -profile,
+// make profile, mctrace replay).
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tx observability report (%d events):\n", r.Events)
+	if len(r.Kinds) > 0 {
+		keys := make([]string, 0, len(r.Kinds))
+		for k := range r.Kinds {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("  event counts:\n")
+		for _, k := range keys {
+			fmt.Fprintf(&b, "    %10d  %s\n", r.Kinds[k], k)
+		}
+	}
+	if len(r.SerialCauses) > 0 {
+		b.WriteString("  serialization causes:\n")
+		for _, c := range r.SerialCauses {
+			fmt.Fprintf(&b, "    %10d  %s\n", c.Count, c.Cause)
+		}
+	}
+	if len(r.AbortCauses) > 0 {
+		b.WriteString("  abort causes:\n")
+		for _, c := range r.AbortCauses {
+			fmt.Fprintf(&b, "    %10d  %s\n", c.Count, c.Cause)
+		}
+	}
+	if len(r.ConflictLabels) > 0 {
+		b.WriteString("  conflict heat by structure:\n")
+		for _, l := range r.ConflictLabels {
+			fmt.Fprintf(&b, "    %10d  %s\n", l.Count, l.Label)
+		}
+	}
+	if len(r.SerialLabels) > 0 {
+		b.WriteString("  abort-serial by structure:\n")
+		for _, l := range r.SerialLabels {
+			fmt.Fprintf(&b, "    %10d  %s\n", l.Count, l.Label)
+		}
+	}
+	if len(r.HotOrecs) > 0 {
+		b.WriteString("  hottest orecs:\n")
+		for _, oc := range r.HotOrecs {
+			fmt.Fprintf(&b, "    %10d  orec %-8d (%s)\n", oc.Count, oc.Orec, oc.LastLabel)
+		}
+	}
+	if len(r.Phases) > 0 {
+		b.WriteString("  phase latency:\n")
+		for _, p := range sortedHistKeys(r.Phases) {
+			fmt.Fprintf(&b, "    %-12s %s\n", p, r.Phases[p])
+		}
+	}
+	if len(r.Commands) > 0 {
+		b.WriteString("  command latency:\n")
+		for _, c := range sortedHistKeys(r.Commands) {
+			fmt.Fprintf(&b, "    %-12s %s\n", c, r.Commands[c])
+		}
+	}
+	return b.String()
+}
+
+func sortedHistKeys(m map[string]HistSnapshot) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePrometheus renders the report in the Prometheus text exposition
+// format. Every metric is prefixed "tm_".
+func (r Report) WritePrometheus(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE tm_tracing_enabled gauge\ntm_tracing_enabled %d\n", b2i(r.Enabled))
+	fmt.Fprintf(w, "# TYPE tm_events_total counter\n")
+	for _, k := range sortedCountKeys(r.Kinds) {
+		fmt.Fprintf(w, "tm_events_total{kind=%q} %d\n", k, r.Kinds[k])
+	}
+	fmt.Fprintf(w, "# TYPE tm_serializations_total counter\n")
+	for _, c := range r.SerialCauses {
+		fmt.Fprintf(w, "tm_serializations_total{cause=%q} %d\n", c.Cause, c.Count)
+	}
+	fmt.Fprintf(w, "# TYPE tm_conflicts_total counter\n")
+	for _, l := range r.ConflictLabels {
+		fmt.Fprintf(w, "tm_conflicts_total{structure=%q} %d\n", l.Label, l.Count)
+	}
+	fmt.Fprintf(w, "# TYPE tm_abort_serial_total counter\n")
+	for _, l := range r.SerialLabels {
+		fmt.Fprintf(w, "tm_abort_serial_total{structure=%q} %d\n", l.Label, l.Count)
+	}
+	writePromHist := func(name, labelKey string, hists map[string]HistSnapshot) {
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		for _, k := range sortedHistKeys(hists) {
+			h := hists[k]
+			var cum uint64
+			for b := 0; b < histBuckets; b++ {
+				if h.Buckets[b] == 0 {
+					continue
+				}
+				cum += h.Buckets[b]
+				fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n",
+					name, labelKey, k, fmt.Sprintf("%g", float64(bucketUpper(b))/1e9), cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, labelKey, k, h.Count)
+			fmt.Fprintf(w, "%s_sum{%s=%q} %g\n", name, labelKey, k,
+				float64(h.Mean)*float64(h.Count)/1e9)
+			fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, labelKey, k, h.Count)
+		}
+	}
+	writePromHist("tm_phase_latency_seconds", "phase", r.Phases)
+	writePromHist("tm_command_latency_seconds", "command", r.Commands)
+}
+
+func sortedCountKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
