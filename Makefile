@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test check torture-smoke torture profile
+.PHONY: all build vet test check batch-race torture-smoke torture profile bench-smoke
 
 all: check
 
@@ -14,9 +14,15 @@ test:
 	$(GO) test ./...
 
 # check is the tier-1 gate plus the robustness smoke: everything builds, vets
-# clean, passes its tests, and survives shrunken fault schedules under the
-# race detector.
-check: build vet test torture-smoke
+# clean, passes its tests, survives shrunken fault schedules under the race
+# detector, and keeps the batched multi-get pipeline race-clean.
+check: build vet test batch-race torture-smoke
+
+# batch-race runs the multi-get / read-only fast-path tests under the race
+# detector: batch snapshot isolation against concurrent writers, the quiet-get
+# pipeline, and the RO upgrade path.
+batch-race:
+	$(GO) test -race -count=1 -run 'MultiGet|ReadOnly|QuietGet|BatchPipeline' ./internal/stm ./internal/engine ./internal/protocol
 
 # torture-smoke runs the seeded fault-injection harness in its shrunken
 # (-torture.short) form. The flag is registered per test package, so only the
@@ -28,6 +34,12 @@ torture-smoke:
 # the end-to-end network runs. Slower; the nightly-CI shape.
 torture:
 	$(GO) test -race -run Torture -count=1 ./internal/engine ./internal/server
+
+# bench-smoke is the 10-second read-only fast-path benchmark: the same
+# GET-heavy (~9:1) workload through per-key transactions and batched
+# read-only multi-gets, written to BENCH_ro_fastpath.json.
+bench-smoke:
+	$(GO) run ./cmd/mcbench -ro-smoke -ops 80000 -threads 4 -ro-out BENCH_ro_fastpath.json
 
 # profile runs a short mcbench with transaction observability on and prints
 # the serialization causes, conflict heat map, and latency summary.

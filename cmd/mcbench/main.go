@@ -4,13 +4,16 @@
 //	mcbench -fig 9               # one figure
 //	mcbench -table 1             # one table
 //	mcbench -ratios              # the §4 abort-ratio quotes
+//	mcbench -ro-smoke            # read-only fast-path smoke benchmark (JSON)
 //	mcbench -all -ops 625000 -threads 1,2,4,8,12 -trials 5   # paper scale
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 
@@ -31,6 +34,9 @@ func main() {
 		keyspace   = flag.Int("keyspace", 4096, "distinct keys")
 		vsize      = flag.Int("value-size", 1024, "value size")
 		zipf       = flag.Bool("zipf", false, "Zipf-skewed key popularity (exploratory; the paper is uniform)")
+		roSmoke    = flag.Bool("ro-smoke", false, "run the read-only fast-path smoke benchmark (per-key GETs vs batched multi-get at ~9:1 GET:SET) and write -ro-out")
+		roBranch   = flag.String("ro-branch", "it-oncommit", "branch for -ro-smoke")
+		roOut      = flag.String("ro-out", "BENCH_ro_fastpath.json", "output file for -ro-smoke")
 	)
 	flag.Parse()
 
@@ -96,6 +102,24 @@ func main() {
 	if *ratios && !*all {
 		ran = true
 		showRatios()
+	}
+	if *roSmoke {
+		ran = true
+		b, err := engine.ParseBranch(*roBranch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := bench.RunROFastpath(b, ths[len(ths)-1], o)
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(*roOut, out, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ro fast path on %s at %d threads: per-key %.0f keys/s, batched %.0f keys/s (%.2fx), %d ro_fast_commits, %d ro_upgrades -> %s\n",
+			res.Branch, res.Threads, res.PerKeyKeysPerS, res.BatchedKeysPerS, res.Speedup, res.ROFastCommits, res.ROUpgrades, *roOut)
 	}
 	if *profBranch != "" {
 		ran = true

@@ -65,6 +65,11 @@ func main() {
 		}
 		conf.STM = &sc
 	}
+	// Validate refuses flag combinations New would otherwise clamp silently
+	// or panic on, with the offending field in the message.
+	if err := conf.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	cache := engine.New(conf)
 	cache.Start()

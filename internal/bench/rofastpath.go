@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// ROFastpathResult is the outcome of the read-only fast-path smoke benchmark:
+// the same GET-heavy workload (roughly 9:1 GET:SET, the classic memcached
+// mix) driven once through per-key Get transactions and once through batched
+// GetMulti groups, on the same branch. The claim under test: a batch of
+// MultiGetBatch lookups committing as ONE read-only transaction (zero orec
+// acquisitions, zero serial-lock round trips, no clock bump, no quiescence
+// wait) beats the same lookups paying per-key begin/validate/commit.
+type ROFastpathResult struct {
+	Branch  string  `json:"branch"`
+	Threads int     `json:"threads"`
+	Keys    uint64  `json:"keys_per_phase"` // key lookups per phase
+	Sets    uint64  `json:"sets_per_phase"`
+	GetSet  float64 `json:"get_set_ratio"`
+
+	PerKeySeconds  float64 `json:"per_key_seconds"`
+	PerKeyKeysPerS float64 `json:"per_key_keys_per_sec"`
+
+	BatchedSeconds  float64 `json:"batched_seconds"`
+	BatchedKeysPerS float64 `json:"batched_keys_per_sec"`
+
+	// Speedup is batched throughput over per-key throughput (>1 means the
+	// batch wins).
+	Speedup float64 `json:"speedup"`
+
+	// Fast-path counters accumulated during the batched phase only: the
+	// zero-orec commits the batch achieved and the clean upgrades where a
+	// deferred touch/unlink made a "read-only" section write after all.
+	ROFastCommits uint64 `json:"ro_fast_commits"`
+	ROUpgrades    uint64 `json:"ro_upgrades"`
+}
+
+// RunROFastpath runs the two phases back to back on a fresh cache and reports
+// both rates plus the fast-path counter deltas for the batched phase.
+// OpsPerThread is interpreted as key-group count per thread (each group is
+// engine.MultiGetBatch keys); the same prepopulated keyspace serves both
+// phases so hit rates match.
+func RunROFastpath(b engine.Branch, threads int, o Options) ROFastpathResult {
+	o = o.withDefaults()
+	c := engine.New(engine.Config{
+		Branch:    b,
+		MemLimit:  256 << 20, // no eviction: both phases see identical residency
+		HashPower: o.HashPower,
+	})
+	c.Start()
+	defer c.Stop()
+
+	// Prepopulate so the GET phases run at full hit rate.
+	val := make([]byte, o.ValueSize)
+	w0 := c.NewWorker()
+	kbuf := make([]byte, 0, 32)
+	for i := 0; i < o.KeySpace; i++ {
+		w0.Set(benchKey(kbuf, i), 0, 0, val)
+	}
+
+	groups := o.OpsPerThread / engine.MultiGetBatch
+	if groups == 0 {
+		groups = 1
+	}
+
+	// phase drives every worker through `groups` groups of MultiGetBatch key
+	// lookups with one SET per group and a second SET every fourth group:
+	// 16 gets to 1.75 sets ≈ 9:1.
+	phase := func(batched bool) (time.Duration, uint64, uint64) {
+		workers := make([]*engine.Worker, threads)
+		for i := range workers {
+			workers[i] = c.NewWorker()
+		}
+		var keys, sets uint64
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		start := time.Now()
+		for t := 0; t < threads; t++ {
+			t := t
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r := rngState(uint64(t) + 1)
+				group := make([][]byte, engine.MultiGetBatch)
+				var k, s uint64
+				for g := 0; g < groups; g++ {
+					for i := range group {
+						group[i] = benchKey(nil, int(nextRand(&r)%uint64(o.KeySpace)))
+					}
+					if batched {
+						workers[t].GetMulti(group)
+					} else {
+						for _, gk := range group {
+							workers[t].Get(gk)
+						}
+					}
+					k += uint64(len(group))
+					workers[t].Set(group[0], 0, 0, val)
+					s++
+					if g%4 == 0 {
+						workers[t].Set(group[len(group)-1], 0, 0, val)
+						s++
+					}
+				}
+				mu.Lock()
+				keys += k
+				sets += s
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		return time.Since(start), keys, sets
+	}
+
+	res := ROFastpathResult{Branch: b.String(), Threads: threads}
+
+	perKeyDur, keys, sets := phase(false)
+	res.Keys, res.Sets = keys, sets
+	res.GetSet = float64(keys) / float64(sets)
+	res.PerKeySeconds = perKeyDur.Seconds()
+	res.PerKeyKeysPerS = float64(keys) / perKeyDur.Seconds()
+
+	var before, after uint64
+	if rt := c.Runtime(); rt != nil {
+		before = rt.Stats().ROFastCommits
+	}
+	batchedDur, keys2, _ := phase(true)
+	if rt := c.Runtime(); rt != nil {
+		s := rt.Stats()
+		after = s.ROFastCommits
+		res.ROUpgrades = s.ROUpgrades
+	}
+	res.ROFastCommits = after - before
+	res.BatchedSeconds = batchedDur.Seconds()
+	res.BatchedKeysPerS = float64(keys2) / batchedDur.Seconds()
+	if res.PerKeyKeysPerS > 0 {
+		res.Speedup = res.BatchedKeysPerS / res.PerKeyKeysPerS
+	}
+	return res
+}
+
+// benchKey matches memslap's key format so prepopulation and lookups agree.
+func benchKey(buf []byte, n int) []byte {
+	return fmt.Appendf(buf[:0], "memslap-key-%08d", n)
+}
+
+// rngState / nextRand: the same splitmix-style generator memslap uses,
+// duplicated here so the benchmark does not reach into memslap internals.
+func rngState(seed uint64) uint64 { return seed*0x9E3779B97F4A7C15 + 1 }
+
+func nextRand(s *uint64) uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

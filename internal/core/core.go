@@ -30,6 +30,7 @@ import (
 	"fmt"
 
 	"repro/internal/stm"
+	"repro/internal/tm"
 )
 
 // TM is a transactional-memory domain bound to an stm.Runtime.
@@ -65,22 +66,31 @@ func (c *Ctx) InTransaction() bool { return c.th.InTx() }
 // Atomic executes fn as a __transaction_atomic block. An unsafe operation
 // inside fn panics (the analogue of GCC's compile-time rejection). Returns
 // stm.ErrCanceled if fn cancels.
+//
+// Deprecated: use tm.Atomic(c.Thread(), tm.Options{}, fn); this wrapper
+// remains for one release.
 func (c *Ctx) Atomic(fn func(*stm.Tx)) error {
-	return c.th.Run(stm.Props{Kind: stm.Atomic}, fn)
+	return tm.Atomic(c.th, tm.Options{}, fn)
 }
 
 // Relaxed executes fn as a __transaction_relaxed block: unsafe operations
 // trigger the in-flight switch to serial-irrevocable execution.
+//
+// Deprecated: use tm.Relaxed(c.Thread(), tm.Options{}, fn); this wrapper
+// remains for one release.
 func (c *Ctx) Relaxed(fn func(*stm.Tx)) error {
-	return c.th.Run(stm.Props{Kind: stm.Relaxed}, fn)
+	return tm.Relaxed(c.th, tm.Options{}, fn)
 }
 
 // RelaxedStartSerial executes fn as a relaxed transaction that the compiler
 // determined performs an unsafe operation on every code path, so it begins
 // serially instead of paying for instrumentation up to the switch point
 // (the "Start Serial" column of the paper's tables).
+//
+// Deprecated: use tm.Relaxed(c.Thread(), tm.With(tm.StartSerial()), fn); this
+// wrapper remains for one release.
 func (c *Ctx) RelaxedStartSerial(fn func(*stm.Tx)) error {
-	return c.th.Run(stm.Props{Kind: stm.Relaxed, StartSerial: true}, fn)
+	return tm.Relaxed(c.th, tm.Options{StartSerial: true}, fn)
 }
 
 // Expr evaluates fn as a transaction expression (the specification's
@@ -98,20 +108,26 @@ func Expr[T any](c *Ctx, fn func(*stm.Tx) T) T {
 // LoadWord reads a transactional word via a transaction expression — the
 // replacement for reading a volatile variable (§3.3). Its ordering guarantees
 // subsume a seq_cst atomic load, as the specification requires.
+//
+// Deprecated: use tm.LoadWord(c.Thread(), w).
 func (c *Ctx) LoadWord(w *stm.TWord) uint64 {
-	return Expr(c, func(tx *stm.Tx) uint64 { return w.Load(tx) })
+	return tm.LoadWord(c.th, w)
 }
 
 // StoreWord writes a transactional word via a mini-transaction — the
 // replacement for writing a volatile variable.
+//
+// Deprecated: use tm.StoreWord(c.Thread(), w, v).
 func (c *Ctx) StoreWord(w *stm.TWord, v uint64) {
-	_ = c.Atomic(func(tx *stm.Tx) { w.Store(tx, v) })
+	tm.StoreWord(c.th, w, v)
 }
 
 // AddWord atomically adds delta to w and returns the new value — the
 // replacement for a lock incr reference-count update (§3.3).
+//
+// Deprecated: use tm.AddWord(c.Thread(), w, delta).
 func (c *Ctx) AddWord(w *stm.TWord, delta uint64) uint64 {
-	return Expr(c, func(tx *stm.Tx) uint64 { return w.Add(tx, delta) })
+	return tm.AddWord(c.th, w, delta)
 }
 
 // AfterCommit runs fn when the current transaction (if any) commits, or

@@ -15,6 +15,7 @@ import (
 	"repro/internal/sem"
 	"repro/internal/slab"
 	"repro/internal/stm"
+	"repro/internal/tm"
 	"repro/internal/txobs"
 )
 
@@ -273,8 +274,7 @@ func (c *Cache) Stop() {
 	if c.retryCondSync() {
 		// Retry waiters wake on orec changes, so the shutdown flag must be
 		// written transactionally.
-		ctx := c.tm.NewContext()
-		ctx.StoreWord(c.MxCanRun, 0)
+		tm.StoreWord(c.tm.NewContext().Thread(), c.MxCanRun, 0)
 	}
 	c.MxCanRun.StoreDirect(0)
 	close(c.stopCh)

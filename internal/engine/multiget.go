@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"repro/internal/access"
+	"repro/internal/assoc"
+	"repro/internal/item"
+)
+
+// GetResult is one key's outcome in a batched multi-get.
+type GetResult struct {
+	Value []byte
+	Flags uint32
+	CAS   uint64
+	Found bool
+}
+
+// MultiGetBatch bounds how many keys share one read-only batch transaction.
+// Larger batches amortize begin/validate/commit further but lengthen the
+// window a concurrent writer can invalidate; 16 keeps the read set around the
+// size of one text-protocol pipeline line.
+const MultiGetBatch = 16
+
+// GetMulti looks up keys and returns a result per key, in order.
+//
+// On the IT branches (the item critical section is a transaction) keys are
+// processed in groups of at most MultiGetBatch, each group as ONE read-only
+// transaction: per-key GETs pay one serial-lock round trip, one begin, one
+// validate and one commit each, while a batch pays them once for the whole
+// group and — on the branches whose get path is otherwise write-free —
+// commits on the read-only fast path with zero orec acquisitions. The group
+// also gives the memcached multi-get its snapshot isolation: a concurrent SET
+// either fully precedes or fully follows the group's validation point.
+//
+// Lock and IP branches have no cross-key section to share (item stripes are
+// per-key), so they fall back to the per-key path.
+func (w *Worker) GetMulti(keys [][]byte) []GetResult {
+	out := make([]GetResult, len(keys))
+	if !w.c.cfg.itemTx {
+		for i, k := range keys {
+			out[i].Value, out[i].Flags, out[i].CAS, out[i].Found = w.get(k, false, 0)
+		}
+		return out
+	}
+	for start := 0; start < len(keys); start += MultiGetBatch {
+		end := min(start+MultiGetBatch, len(keys))
+		w.getBatch(keys[start:end], out[start:end])
+	}
+	return out
+}
+
+// getBatch runs one bounded group of lookups as a single read-only item
+// transaction and handles the deferred write work afterwards.
+func (w *Worker) getBatch(keys [][]byte, out []GetResult) {
+	now := w.volatileLoad(w.c.CurrentTime)
+	flushAt := w.volatileLoad(w.c.flushBefore)
+	hvs := make([]uint64, len(keys))
+	for i, k := range keys {
+		hvs[i] = assoc.Hash(k)
+	}
+
+	hits := make([]*item.Item, len(keys))
+	needTouch := make([]bool, len(keys))
+	var stale []*item.Item
+
+	body := func(ctx access.Ctx) {
+		// Reset all outputs: a transactional context may retry this closure.
+		for i := range out {
+			out[i] = GetResult{}
+			hits[i] = nil
+			needTouch[i] = false
+		}
+		stale = stale[:0]
+		for i, k := range keys {
+			it := w.c.tab.Find(ctx, hvs[i], k)
+			if it == nil {
+				continue
+			}
+			if w.expired(ctx, it, now, flushAt) {
+				// The per-key path unlinks in place; here the unlink is
+				// deferred past the batch commit so the batch itself stays
+				// read-only. An expired item is a miss either way.
+				stale = append(stale, it)
+				continue
+			}
+			// No RefIncr: inside one transaction the refcount round trip is
+			// pure overhead (the §5 TxRefOpt observation) and it would
+			// upgrade the batch off the read-only fast path. Conflict
+			// detection protects the reads; the deferred touch/unlink
+			// sections below re-check Linked before dereferencing state.
+			n := int(ctx.Word(it.NBytes))
+			buf := make([]byte, n)
+			ctx.MemcpyOut(buf, it.Data, 0, n)
+			out[i] = GetResult{Value: buf, Flags: it.Flags, CAS: ctx.Word(it.CasID), Found: true}
+			needTouch[i] = now-ctx.Word(it.Time) >= touchInterval
+			hits[i] = it
+		}
+	}
+
+	// Same unsafe profile as the per-key item_get section — Find reads the
+	// volatile expansion flag first, values are copied out with memcpy — plus
+	// the read-only hint. Pre-Lib stages will therefore start serial or
+	// switch in flight exactly as before; on Lib and later the whole batch
+	// commits on the read-only fast path.
+	w.section(domains{cache: true}, profile{volatiles: true, volatileFirst: true, libc: true, ro: true, site: "item_get_multi"}, body)
+
+	for _, it := range stale {
+		reclaimed := false
+		w.section(domains{cache: true}, profile{volatiles: true, libc: true, site: "do_item_unlink"}, func(cctx access.Ctx) {
+			reclaimed = it.Linked(cctx)
+			if reclaimed {
+				w.unlinkLocked(cctx, it)
+			}
+		})
+		if reclaimed {
+			w.gstat(func(g access.Ctx) { g.AddWord(w.c.gstats.Expired, 1) })
+		}
+	}
+	for i, it := range hits {
+		if it == nil || !needTouch[i] {
+			continue
+		}
+		it := it
+		w.section(domains{cache: true}, profile{site: "item_update"}, func(ctx access.Ctx) {
+			if it.Linked(ctx) {
+				w.c.lru.Touch(ctx, it, now)
+			}
+		})
+	}
+
+	w.tstat(func(ctx access.Ctx) {
+		ctx.AddWord(w.stats.GetCmds, uint64(len(keys)))
+		var h uint64
+		for i := range out {
+			if out[i].Found {
+				h++
+			}
+		}
+		ctx.AddWord(w.stats.GetHits, h)
+		ctx.AddWord(w.stats.GetMisses, uint64(len(keys))-h)
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/core"
 	"repro/internal/stm"
+	"repro/internal/tm"
 )
 
 // domains names the lock domains a critical section needs, in memcached's
@@ -33,6 +34,10 @@ type profile struct {
 	libc bool
 	// io: the section may fprintf or sem_post on some path.
 	io bool
+	// ro: the section does not write on its expected hot path, so attempt the
+	// read-only fast-path commit; the first write barrier upgrades cleanly to
+	// the normal path (batched multi-get is the motivating user).
+	ro bool
 	// site names the source-level critical section for serialization-cause
 	// profiling (§6's execinfo-style attribution).
 	site string
@@ -99,13 +104,15 @@ func (a *agent) section(d domains, p profile, fn func(access.Ctx)) {
 		(p.libc && !prof.SafeLibc) ||
 		(p.io && !prof.OnCommitIO)
 	th := a.tctx.Thread()
+	o := tm.Options{Site: p.site, ReadOnly: p.ro}
 	switch {
 	case !unsafePossible:
-		_ = th.Run(stm.Props{Kind: stm.Atomic, Site: p.site}, run)
+		_ = tm.Atomic(th, o, run)
 	case p.volatileFirst && !prof.TxVolatiles:
-		_ = th.Run(stm.Props{Kind: stm.Relaxed, StartSerial: true, Site: p.site}, run)
+		o.StartSerial = true
+		_ = tm.Relaxed(th, o, run)
 	default:
-		_ = th.Run(stm.Props{Kind: stm.Relaxed, Site: p.site}, run)
+		_ = tm.Relaxed(th, o, run)
 	}
 }
 
@@ -129,7 +136,9 @@ func (a *agent) gstat(fn func(access.Ctx)) {
 		fn(access.TxCtx{T: tx, Profile: a.c.cfg.profile})
 		return
 	}
-	_ = a.tctx.Atomic(func(tx *stm.Tx) { fn(access.TxCtx{T: tx, Profile: a.c.cfg.profile}) })
+	_ = tm.Atomic(a.tctx.Thread(), tm.Options{Site: "stats"}, func(tx *stm.Tx) {
+		fn(access.TxCtx{T: tx, Profile: a.c.cfg.profile})
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -139,14 +148,14 @@ func (a *agent) gstat(fn func(access.Ctx)) {
 
 func (a *agent) volatileLoad(w *stm.TWord) uint64 {
 	if a.c.cfg.tm && a.c.cfg.profile.TxVolatiles {
-		return a.tctx.LoadWord(w)
+		return tm.LoadWord(a.tctx.Thread(), w)
 	}
 	return w.LoadDirect()
 }
 
 func (a *agent) volatileStore(w *stm.TWord, v uint64) {
 	if a.c.cfg.tm && a.c.cfg.profile.TxVolatiles {
-		a.tctx.StoreWord(w, v)
+		tm.StoreWord(a.tctx.Thread(), w, v)
 		return
 	}
 	w.StoreDirect(v)
@@ -154,7 +163,7 @@ func (a *agent) volatileStore(w *stm.TWord, v uint64) {
 
 func (a *agent) volatileAdd(w *stm.TWord, delta uint64) uint64 {
 	if a.c.cfg.tm && a.c.cfg.profile.TxVolatiles {
-		return a.tctx.AddWord(w, delta)
+		return tm.AddWord(a.tctx.Thread(), w, delta)
 	}
 	return w.AddDirect(delta)
 }
@@ -209,13 +218,15 @@ func (a *agent) itemUnlock(hv uint64) {
 		a.c.itemMus[s].Unlock()
 		return
 	}
-	_ = a.tctx.Atomic(func(tx *stm.Tx) { a.c.itemFlags[s].Store(tx, 0) })
+	_ = tm.Atomic(a.tctx.Thread(), tm.Options{Site: "item_lock"}, func(tx *stm.Tx) {
+		a.c.itemFlags[s].Store(tx, 0)
+	})
 }
 
 // itemTryLockTM is the mini-transaction acquire of Figure 1a's tm_trylock.
 func (a *agent) itemTryLockTM(s int) bool {
 	ok := false
-	_ = a.tctx.Atomic(func(tx *stm.Tx) {
+	_ = tm.Atomic(a.tctx.Thread(), tm.Options{Site: "item_lock"}, func(tx *stm.Tx) {
 		ok = false
 		if a.c.itemFlags[s].Load(tx) == 0 {
 			a.c.itemFlags[s].Store(tx, 1)

@@ -30,6 +30,16 @@ type ConnErrors struct {
 	IO       atomic.Uint64 // transport failures: resets, short writes, unexpected close
 	Protocol atomic.Uint64 // malformed framing that forced a disconnect
 	Timeout  atomic.Uint64 // read/write/idle deadline expiries
+
+	// Reply-batching effectiveness at the protocol layer (not errors, but the
+	// same nontransactional per-server home): Flushes counts actual writes of
+	// buffered replies to the transport, BatchedReplies counts replies whose
+	// flush was deferred because more pipelined input was already readable,
+	// and WritevBatches counts multi-get responses handed to the transport as
+	// one gathered writev-style write.
+	Flushes        atomic.Uint64
+	BatchedReplies atomic.Uint64
+	WritevBatches  atomic.Uint64
 }
 
 // Global is the stats-lock domain (stats.c globals that never moved to

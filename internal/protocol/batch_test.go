@@ -1,0 +1,326 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/mcstats"
+)
+
+func newBatchCache(t *testing.T, b engine.Branch) *engine.Cache {
+	t.Helper()
+	c := engine.New(engine.Config{Branch: b, HashPower: 8})
+	c.Start()
+	t.Cleanup(c.Stop)
+	return c
+}
+
+// TestTextMultiGetPresentMissingExpired drives the batched text multi-get on
+// an IT branch (one read-only transaction per group) and the per-key fallback
+// on baseline, asserting identical wire behavior.
+func TestTextMultiGetPresentMissingExpired(t *testing.T) {
+	for _, b := range []engine.Branch{engine.ITOnCommit, engine.Baseline} {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			c := newBatchCache(t, b)
+			now := c.CurrentTime.LoadDirect()
+			setup := "set a 1 0 2\r\nva\r\n" +
+				fmt.Sprintf("set gone 0 %d 4\r\ndead\r\n", now+5) +
+				"set b 2 0 2\r\nvb\r\n"
+			if out := runTextOn(t, c, setup); strings.Count(out, "STORED\r\n") != 3 {
+				t.Fatalf("setup replies: %q", out)
+			}
+			c.SetTime(now + 10) // expire "gone"
+			out := runTextOn(t, c, "get a missing gone b\r\n")
+			want := "VALUE a 1 2\r\nva\r\nVALUE b 2 2\r\nvb\r\nEND\r\n"
+			if out != want {
+				t.Errorf("multi-get = %q, want %q", out, want)
+			}
+		})
+	}
+}
+
+// TestTextMultiGetsCAS: the gets form of the batched path carries CAS tokens.
+func TestTextMultiGetsCAS(t *testing.T) {
+	c := newBatchCache(t, engine.ITOnCommit)
+	runTextOn(t, c, "set a 0 0 1\r\nx\r\nset b 0 0 1\r\ny\r\n")
+	out := runTextOn(t, c, "gets a b\r\n")
+	if strings.Count(out, "VALUE ") != 2 || !strings.HasSuffix(out, "END\r\n") {
+		t.Fatalf("gets a b = %q", out)
+	}
+	for _, line := range strings.Split(out, "\r\n") {
+		if strings.HasPrefix(line, "VALUE ") && len(strings.Fields(line)) != 5 {
+			t.Errorf("gets VALUE line lacks cas: %q", line)
+		}
+	}
+}
+
+func runBinaryOn(t *testing.T, c *engine.Cache, frames ...[]byte) []binRes {
+	t.Helper()
+	in := &bytes.Buffer{}
+	for _, f := range frames {
+		in.Write(f)
+	}
+	d := &duplex{in: in, out: &bytes.Buffer{}}
+	if err := NewConn(c.NewWorker(), d).Serve(); err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	return parseBinStream(t, d.out.Bytes())
+}
+
+// TestQuietGetPipeline: the canonical binary multiget — a run of GETKQ/GETQ
+// closed by NOOP — answers hits in order, stays silent on misses, and the
+// NOOP terminator still arrives last.
+func TestQuietGetPipeline(t *testing.T) {
+	for _, b := range []engine.Branch{engine.ITOnCommit, engine.IPOnCommit} {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			c := newBatchCache(t, b)
+			extras := make([]byte, 8)
+			res := runBinaryOn(t, c,
+				binFrame(OpSet, extras, []byte("k1"), []byte("v1"), 0),
+				binFrame(OpSet, extras, []byte("k3"), []byte("v3"), 0),
+				binFrame(OpGetKQ, nil, []byte("k1"), nil, 0),
+				binFrame(OpGetKQ, nil, []byte("k2"), nil, 0), // miss: no reply
+				binFrame(OpGetQ, nil, []byte("k3"), nil, 0),
+				binFrame(OpNoop, nil, nil, nil, 0),
+			)
+			if len(res) != 5 {
+				t.Fatalf("%d responses, want 5 (2 sets, 2 hits, noop)", len(res))
+			}
+			if res[2].opcode != OpGetKQ || string(res[2].key) != "k1" || string(res[2].value) != "v1" {
+				t.Errorf("GETKQ hit = %+v", res[2])
+			}
+			if res[2].cas == 0 {
+				t.Error("GETKQ reply lacks cas")
+			}
+			if res[3].opcode != OpGetQ || len(res[3].key) != 0 || string(res[3].value) != "v3" {
+				t.Errorf("GETQ hit = %+v", res[3])
+			}
+			if res[4].opcode != OpNoop || res[4].status != StatusOK {
+				t.Errorf("terminator = %+v", res[4])
+			}
+		})
+	}
+}
+
+// TestQuietGetRunSpansBatchBound: a quiet-get pipeline longer than
+// engine.MultiGetBatch splits into several runs and still answers every hit
+// exactly once, in order.
+func TestQuietGetRunSpansBatchBound(t *testing.T) {
+	c := newBatchCache(t, engine.ITOnCommit)
+	extras := make([]byte, 8)
+	n := 2*engine.MultiGetBatch + 3
+	var frames [][]byte
+	for i := 0; i < n; i++ {
+		frames = append(frames, binFrame(OpSet, extras, fmt.Appendf(nil, "key%03d", i), fmt.Appendf(nil, "val%03d", i), 0))
+	}
+	for i := 0; i < n; i++ {
+		frames = append(frames, binFrame(OpGetKQ, nil, fmt.Appendf(nil, "key%03d", i), nil, 0))
+	}
+	frames = append(frames, binFrame(OpNoop, nil, nil, nil, 0))
+	res := runBinaryOn(t, c, frames...)
+	if len(res) != 2*n+1 {
+		t.Fatalf("%d responses, want %d", len(res), 2*n+1)
+	}
+	for i := 0; i < n; i++ {
+		r := res[n+i]
+		if string(r.key) != fmt.Sprintf("key%03d", i) || string(r.value) != fmt.Sprintf("val%03d", i) {
+			t.Fatalf("hit %d out of order: key %q value %q", i, r.key, r.value)
+		}
+	}
+	if res[2*n].opcode != OpNoop {
+		t.Fatalf("last reply = %+v, want noop", res[2*n])
+	}
+}
+
+// TestQuietGetRunStopsAtMalformedFrame: a malformed quiet get (nonzero
+// extras) must not be swallowed by run extension — the main loop refuses it
+// with a proper error status.
+func TestQuietGetRunStopsAtMalformedFrame(t *testing.T) {
+	c := newBatchCache(t, engine.ITOnCommit)
+	extras := make([]byte, 8)
+	bad := binFrame(OpGetQ, []byte{1, 2, 3, 4}, []byte("k1"), nil, 0)
+	res := runBinaryOn(t, c,
+		binFrame(OpSet, extras, []byte("k1"), []byte("v1"), 0),
+		binFrame(OpGetQ, nil, []byte("k1"), nil, 0),
+		bad,
+		binFrame(OpNoop, nil, nil, nil, 0),
+	)
+	if len(res) != 4 {
+		t.Fatalf("%d responses, want 4 (set, hit, error, noop)", len(res))
+	}
+	if res[1].status != StatusOK || string(res[1].value) != "v1" {
+		t.Errorf("quiet hit = %+v", res[1])
+	}
+	if res[2].status == StatusOK {
+		t.Errorf("malformed quiet get accepted: %+v", res[2])
+	}
+	if res[3].opcode != OpNoop {
+		t.Errorf("terminator = %+v", res[3])
+	}
+}
+
+// countingConn counts transport writes; chunks feed the reader one element
+// per Read call so tests control exactly what is "already buffered".
+type countingConn struct {
+	chunks [][]byte
+	out    bytes.Buffer
+	writes int
+}
+
+func (cc *countingConn) Read(p []byte) (int, error) {
+	if len(cc.chunks) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, cc.chunks[0])
+	if n < len(cc.chunks[0]) {
+		cc.chunks[0] = cc.chunks[0][n:]
+	} else {
+		cc.chunks = cc.chunks[1:]
+	}
+	return n, nil
+}
+
+func (cc *countingConn) Write(p []byte) (int, error) {
+	cc.writes++
+	return cc.out.Write(p)
+}
+
+// TestBatchPipelineSingleWrite: a fully pipelined batch of commands produces
+// ONE transport write (replies gather until the pipeline drains), while the
+// same commands sent one at a time produce one write each (flush-on-idle
+// never withholds a reply from a waiting client).
+func TestBatchPipelineSingleWrite(t *testing.T) {
+	c := newBatchCache(t, engine.ITOnCommit)
+	cmds := []string{
+		"set a 0 0 1\r\nx\r\n",
+		"set b 0 0 1\r\ny\r\n",
+		"get a b\r\n",
+		"get a\r\n",
+	}
+
+	pipelined := &countingConn{chunks: [][]byte{[]byte(strings.Join(cmds, ""))}}
+	if err := NewConn(c.NewWorker(), pipelined).Serve(); err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if pipelined.writes != 1 {
+		t.Errorf("pipelined batch: %d transport writes, want 1 (output %q)", pipelined.writes, pipelined.out.String())
+	}
+	want := "STORED\r\nSTORED\r\nVALUE a 0 1\r\nx\r\nVALUE b 0 1\r\ny\r\nEND\r\nVALUE a 0 1\r\nx\r\nEND\r\n"
+	if pipelined.out.String() != want {
+		t.Errorf("pipelined output = %q, want %q", pipelined.out.String(), want)
+	}
+
+	chunks := make([][]byte, len(cmds))
+	for i, s := range cmds {
+		chunks[i] = []byte(s)
+	}
+	sequential := &countingConn{chunks: chunks}
+	if err := NewConn(c.NewWorker(), sequential).Serve(); err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if sequential.writes != len(cmds) {
+		t.Errorf("sequential commands: %d transport writes, want %d", sequential.writes, len(cmds))
+	}
+	if sequential.out.String() != want {
+		t.Errorf("sequential output = %q, want %q", sequential.out.String(), want)
+	}
+}
+
+// gatherConn is a countingConn that also implements the writev-style
+// interface the protocol probes for.
+type gatherConn struct {
+	countingConn
+	gathered int
+}
+
+func (gc *gatherConn) WriteBuffers(bufs net.Buffers) (int64, error) {
+	gc.gathered++
+	var n int64
+	for _, b := range bufs {
+		m, err := gc.out.Write(b)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// TestMultiGetWritevPath: a multi-get response past the writev threshold goes
+// out through WriteBuffers as one gathered write; small responses keep using
+// the buffered path.
+func TestMultiGetWritevPath(t *testing.T) {
+	c := newBatchCache(t, engine.ITOnCommit)
+	big := strings.Repeat("z", 3000)
+	setup := fmt.Sprintf("set big1 0 0 %d\r\n%s\r\nset big2 0 0 %d\r\n%s\r\n", len(big), big, len(big), big)
+	runTextOn(t, c, setup)
+
+	gc := &gatherConn{countingConn: countingConn{chunks: [][]byte{[]byte("get big1 big2\r\n")}}}
+	if err := NewConn(c.NewWorker(), gc).Serve(); err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if gc.gathered != 1 {
+		t.Errorf("gathered writes = %d, want 1", gc.gathered)
+	}
+	out := gc.out.String()
+	if strings.Count(out, "VALUE ") != 2 || !strings.HasSuffix(out, "END\r\n") {
+		t.Errorf("writev multi-get output = %q", out)
+	}
+
+	small := &gatherConn{countingConn: countingConn{chunks: [][]byte{[]byte("get big1\r\nquit\r\n")}}}
+	// One hit under the threshold? big1 is 3000 bytes — still under 4096.
+	if err := NewConn(c.NewWorker(), small).Serve(); err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if small.gathered != 0 {
+		t.Errorf("small response used writev (%d gathered writes)", small.gathered)
+	}
+}
+
+// TestBatchPipelineCounters: the flush/batch counters move the right way.
+func TestBatchPipelineCounters(t *testing.T) {
+	c := newBatchCache(t, engine.ITOnCommit)
+	var errs mcstats.ConnErrors
+	cc := &countingConn{chunks: [][]byte{[]byte("set a 0 0 1\r\nx\r\nget a\r\nget a\r\n")}}
+	conn := NewConn(c.NewWorker(), cc)
+	conn.SetConnErrors(&errs)
+	if err := conn.Serve(); err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if got := errs.BatchedReplies.Load(); got != 2 {
+		t.Errorf("BatchedReplies = %d, want 2 (all but the final reply deferred)", got)
+	}
+	if got := errs.Flushes.Load(); got != 1 {
+		t.Errorf("Flushes = %d, want 1", got)
+	}
+}
+
+// TestBinaryPipelineSingleWrite: the binary protocol batches the same way.
+func TestBinaryPipelineSingleWrite(t *testing.T) {
+	c := newBatchCache(t, engine.ITOnCommit)
+	extras := make([]byte, 8)
+	var in bytes.Buffer
+	in.Write(binFrame(OpSet, extras, []byte("k"), []byte("v"), 0))
+	in.Write(binFrame(OpGetQ, nil, []byte("k"), nil, 0))
+	in.Write(binFrame(OpNoop, nil, nil, nil, 0))
+	cc := &countingConn{chunks: [][]byte{in.Bytes()}}
+	if err := NewConn(c.NewWorker(), cc).Serve(); err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if cc.writes != 1 {
+		t.Errorf("binary pipeline: %d transport writes, want 1", cc.writes)
+	}
+	res := parseBinStream(t, cc.out.Bytes())
+	if len(res) != 3 {
+		t.Fatalf("%d responses, want 3", len(res))
+	}
+	_ = binary.BigEndian // keep import balanced with binFrame usage
+}

@@ -168,20 +168,27 @@ func binOpName(op byte) string {
 // dispatchBinary routes one parsed binary frame.
 func (c *Conn) dispatchBinary(req binHeader, extras, key, value []byte) error {
 	switch req.opcode {
-	case OpGet, OpGetQ, OpGetK, OpGetKQ:
-		quiet := req.opcode == OpGetQ || req.opcode == OpGetKQ
-		withKey := req.opcode == OpGetK || req.opcode == OpGetKQ
+	case OpGetQ, OpGetKQ:
+		if len(extras) != 0 {
+			// Get carries no extras; enforcing this here keeps the main
+			// path's acceptance aligned with the run-extension filter in
+			// takeBufferedQuietGet, which skips such frames.
+			return c.binError(req, StatusInvalidArgs, []byte("Get takes no extras"))
+		}
+		return c.serveQuietGetRun(req, key)
+
+	case OpGet, OpGetK:
+		if len(extras) != 0 {
+			return c.binError(req, StatusInvalidArgs, []byte("Get takes no extras"))
+		}
 		val, flags, cas, ok := c.worker.Get(key)
 		if !ok {
-			if quiet {
-				return nil // quiet miss: no reply at all
-			}
 			return c.binError(req, StatusKeyNotFound, []byte("Not found"))
 		}
 		var fx [4]byte
 		binary.BigEndian.PutUint32(fx[:], flags)
 		replyKey := []byte(nil)
-		if withKey {
+		if req.opcode == OpGetK {
 			replyKey = key
 		}
 		return c.binReply(req, StatusOK, fx[:], replyKey, val, cas)
@@ -327,6 +334,85 @@ func (c *Conn) dispatchBinary(req binHeader, extras, key, value []byte) error {
 	}
 }
 
+// quietGet is one frame of a pipelined quiet-get run.
+type quietGet struct {
+	req binHeader
+	key []byte
+}
+
+// serveQuietGetRun handles a GetQ/GetKQ frame plus any directly following
+// quiet-get frames already sitting in the read buffer as ONE batched
+// read-only multi-get: the idiomatic pipelined multiget (GETKQ ... GETKQ,
+// NOOP) becomes one engine transaction per bounded group instead of one
+// transaction per key. Only fully buffered frames join the run — extension
+// never blocks on the transport — so the terminating NOOP (or any non-quiet
+// opcode, or a frame still in flight) is simply left for the main loop.
+func (c *Conn) serveQuietGetRun(first binHeader, firstKey []byte) error {
+	run := []quietGet{{req: first, key: firstKey}}
+	for len(run) < engine.MultiGetBatch {
+		req, key, ok := c.takeBufferedQuietGet()
+		if !ok {
+			break
+		}
+		run = append(run, quietGet{req: req, key: key})
+	}
+	keys := make([][]byte, len(run))
+	for i := range run {
+		keys[i] = run[i].key
+	}
+	results := c.worker.GetMulti(keys)
+	for i := range run {
+		r := &results[i]
+		if !r.Found {
+			continue // quiet miss: no reply at all
+		}
+		var fx [4]byte
+		binary.BigEndian.PutUint32(fx[:], r.Flags)
+		replyKey := []byte(nil)
+		if run[i].req.opcode == OpGetKQ {
+			replyKey = run[i].key
+		}
+		if err := c.binReplyNoFlush(run[i].req, StatusOK, fx[:], replyKey, r.Value, r.CAS); err != nil {
+			return err
+		}
+	}
+	return c.flushIfIdle()
+}
+
+// takeBufferedQuietGet consumes and returns the next request frame iff it is
+// a complete, well-formed quiet get already held in the read buffer. Any
+// other frame — including a malformed quiet get, which the main loop's
+// validation must refuse with a proper error reply — is left untouched.
+func (c *Conn) takeBufferedQuietGet() (binHeader, []byte, bool) {
+	if c.r.Buffered() < 24 {
+		return binHeader{}, nil, false
+	}
+	hdr, err := c.r.Peek(24)
+	if err != nil || hdr[0] != binMagicReq || (hdr[1] != OpGetQ && hdr[1] != OpGetKQ) {
+		return binHeader{}, nil, false
+	}
+	keyLen := binary.BigEndian.Uint16(hdr[2:4])
+	extraLen := hdr[4]
+	bodyLen := binary.BigEndian.Uint32(hdr[8:12])
+	if extraLen != 0 || keyLen == 0 || keyLen > MaxKeyLen || uint32(keyLen) != bodyLen {
+		return binHeader{}, nil, false
+	}
+	if c.r.Buffered() < 24+int(bodyLen) {
+		return binHeader{}, nil, false // body not fully pipelined yet: don't block
+	}
+	req := binHeader{
+		opcode:  hdr[1],
+		keyLen:  keyLen,
+		bodyLen: bodyLen,
+		opaque:  binary.BigEndian.Uint32(hdr[12:16]),
+		cas:     binary.BigEndian.Uint64(hdr[16:24]),
+	}
+	c.r.Discard(24)
+	key := make([]byte, bodyLen)
+	io.ReadFull(c.r, key) // fully buffered above; cannot fail or block
+	return req, key, true
+}
+
 func appendUintBin(dst []byte, v uint64) []byte {
 	if v == 0 {
 		return append(dst, '0')
@@ -345,7 +431,7 @@ func (c *Conn) binReply(req binHeader, status uint16, extras, key, value []byte,
 	if err := c.binReplyNoFlush(req, status, extras, key, value, cas); err != nil {
 		return err
 	}
-	return c.w.Flush()
+	return c.flushIfIdle()
 }
 
 func (c *Conn) binReplyNoFlush(req binHeader, status uint16, extras, key, value []byte, cas uint64) error {

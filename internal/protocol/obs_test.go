@@ -85,16 +85,27 @@ func TestStatsTMSubcommands(t *testing.T) {
 	c.Start()
 	defer c.Stop()
 
-	// Tracing never enabled: all three reply a bare disabled marker.
-	for _, sub := range []string{"tm", "conflicts", "latency"} {
+	// Tracing never enabled: conflicts and latency reply a bare disabled
+	// marker; stats tm still reports the runtime counters (the read-only
+	// fast-path numbers must be observable without tracing).
+	for _, sub := range []string{"conflicts", "latency"} {
 		out := runTextOn(t, c, "stats "+sub+"\r\n")
 		if out != "STAT tracing 0\r\nEND\r\n" {
 			t.Fatalf("stats %s with tracing off = %q", sub, out)
 		}
 	}
+	out := runTextOn(t, c, "stats tm\r\n")
+	for _, key := range []string{"ro_fast_commit", "ro_upgrade", "tracing"} {
+		if statValue(out, key) == "" {
+			t.Fatalf("stats tm with tracing off missing %s:\n%s", key, out)
+		}
+	}
+	if !strings.HasSuffix(out, "STAT tracing 0\r\nEND\r\n") {
+		t.Fatalf("stats tm with tracing off should end with disabled marker:\n%s", out)
+	}
 
 	c.EnableTracing()
-	out := runTextOn(t, c, "set foo 0 0 3\r\nbar\r\nget foo\r\nstats tm\r\n")
+	out = runTextOn(t, c, "set foo 0 0 3\r\nbar\r\nget foo\r\nstats tm\r\n")
 	if statValue(out, "tracing") != "1" {
 		t.Fatalf("stats tm tracing line:\n%s", out)
 	}

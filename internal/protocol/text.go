@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"sort"
 	"strconv"
 	"time"
@@ -53,11 +54,19 @@ type Control interface {
 	CommandDone()
 }
 
+// buffersWriter is implemented by transports (the server's connection
+// wrapper) that can put a gathered response on the wire as one writev-style
+// write, without copying the slices together first.
+type buffersWriter interface {
+	WriteBuffers(bufs net.Buffers) (int64, error)
+}
+
 // Conn serves one client connection.
 type Conn struct {
 	worker *engine.Worker
 	r      *bufio.Reader
 	w      *bufio.Writer
+	bw     buffersWriter // non-nil when the transport supports gathered writes
 
 	ctl      Control
 	connErrs *mcstats.ConnErrors
@@ -67,8 +76,37 @@ type Conn struct {
 }
 
 // NewConn wraps a transport with a protocol handler bound to a worker.
+//
+// Replies are batched: they accumulate in the write buffer while further
+// pipelined commands are already readable and go to the transport in one
+// write when the pipeline drains (see flushBeforeRead), when the buffer
+// fills, or — for large multi-get responses on capable transports — as one
+// gathered writev-style write.
 func NewConn(worker *engine.Worker, rw io.ReadWriter) *Conn {
-	return &Conn{worker: worker, r: bufio.NewReader(rw), w: bufio.NewWriter(rw)}
+	c := &Conn{worker: worker, w: bufio.NewWriter(rw)}
+	if bw, ok := rw.(buffersWriter); ok {
+		c.bw = bw
+	}
+	c.r = bufio.NewReader(&flushBeforeRead{c: c, r: rw})
+	return c
+}
+
+// flushBeforeRead interposes on the read side's buffer refills. The
+// bufio.Reader pulls from the transport only when its buffer cannot satisfy a
+// request — i.e. exactly when the connection is about to block waiting for
+// the client — so flushing pending replies here turns per-command flushes
+// into one gathered write per pipelined batch while making it impossible to
+// block against a client that is itself waiting for a reply.
+type flushBeforeRead struct {
+	c *Conn
+	r io.Reader
+}
+
+func (f *flushBeforeRead) Read(p []byte) (int, error) {
+	if err := f.c.flushNow(); err != nil {
+		return 0, err
+	}
+	return f.r.Read(p)
 }
 
 // SetControl installs command-boundary hooks (nil disables them).
@@ -78,8 +116,17 @@ func (c *Conn) SetControl(ctl Control) { c.ctl = ctl }
 // `stats` command to report (nil omits the lines).
 func (c *Conn) SetConnErrors(e *mcstats.ConnErrors) { c.connErrs = e }
 
-// Serve processes commands until EOF, quit, or a transport error.
+// Serve processes commands until EOF, quit, or a transport error. Any
+// buffered replies are flushed before it returns.
 func (c *Conn) Serve() error {
+	err := c.serveLoop()
+	if ferr := c.flushNow(); err == nil {
+		err = ferr
+	}
+	return err
+}
+
+func (c *Conn) serveLoop() error {
 	for {
 		if c.ctl != nil {
 			if err := c.ctl.BeforeCommand(); err != nil {
@@ -205,6 +252,15 @@ func (c *Conn) cmdGat(args [][]byte, withCAS bool) error {
 	return c.cmdGet(args[1:], withCAS, true)
 }
 
+var (
+	crlf    = []byte("\r\n")
+	endLine = []byte("END\r\n")
+)
+
+// writevThreshold: gathered multi-get responses at least this large skip the
+// bufio copy and go to the transport as a single writev-style write.
+const writevThreshold = 4096
+
 func (c *Conn) cmdGet(args [][]byte, withCAS, touch bool) error {
 	if len(args) == 0 {
 		return c.clientError("get requires a key")
@@ -213,27 +269,60 @@ func (c *Conn) cmdGet(args [][]byte, withCAS, touch bool) error {
 		if len(key) > MaxKeyLen {
 			return c.clientError("key too long")
 		}
-		var val []byte
-		var flags uint32
-		var cas uint64
-		var ok bool
-		if touch && c.gatActive {
-			val, flags, cas, ok = c.worker.GetAndTouch(key, c.gatExptime)
-		} else {
-			val, flags, cas, ok = c.worker.Get(key)
+	}
+	if touch && c.gatActive {
+		// gat updates expiries — a writing command — so it keeps the per-key
+		// item sections.
+		for _, key := range args {
+			val, flags, cas, ok := c.worker.GetAndTouch(key, c.gatExptime)
+			if !ok {
+				continue
+			}
+			if withCAS {
+				fmt.Fprintf(c.w, "VALUE %s %d %d %d\r\n", key, flags, len(val), cas)
+			} else {
+				fmt.Fprintf(c.w, "VALUE %s %d %d\r\n", key, flags, len(val))
+			}
+			c.w.Write(val)
+			c.w.Write(crlf)
 		}
-		if !ok {
+		return c.reply("END\r\n")
+	}
+	// get k1 k2 ...: one batched read-only transaction per bounded key group
+	// (engine.MultiGetBatch) instead of one transaction per key, and one
+	// gathered response instead of one write per VALUE line.
+	results := c.worker.GetMulti(args)
+	bufs := make(net.Buffers, 0, 3*len(args)+1)
+	total := 0
+	for i, key := range args {
+		r := &results[i]
+		if !r.Found {
 			continue
 		}
+		var hdr []byte
 		if withCAS {
-			fmt.Fprintf(c.w, "VALUE %s %d %d %d\r\n", key, flags, len(val), cas)
+			hdr = fmt.Appendf(nil, "VALUE %s %d %d %d\r\n", key, r.Flags, len(r.Value), r.CAS)
 		} else {
-			fmt.Fprintf(c.w, "VALUE %s %d %d\r\n", key, flags, len(val))
+			hdr = fmt.Appendf(nil, "VALUE %s %d %d\r\n", key, r.Flags, len(r.Value))
 		}
-		c.w.Write(val)
-		c.w.WriteString("\r\n")
+		bufs = append(bufs, hdr, r.Value, crlf)
+		total += len(hdr) + len(r.Value) + 2
 	}
-	return c.reply("END\r\n")
+	bufs = append(bufs, endLine)
+	if c.bw != nil && total >= writevThreshold {
+		if err := c.flushNow(); err != nil {
+			return err
+		}
+		if c.connErrs != nil {
+			c.connErrs.WritevBatches.Add(1)
+		}
+		_, err := c.bw.WriteBuffers(bufs)
+		return err
+	}
+	for _, b := range bufs {
+		c.w.Write(b)
+	}
+	return c.flushIfIdle()
 }
 
 func (c *Conn) cmdStore(cmd string, args [][]byte) error {
@@ -265,7 +354,7 @@ func (c *Conn) cmdStore(cmd string, args [][]byte) error {
 			c.discard(nbytes + 2)
 		}
 		if noreply {
-			return c.w.Flush()
+			return c.flushIfIdle()
 		}
 		return c.clientError("bad command line format")
 	}
@@ -284,7 +373,7 @@ func (c *Conn) cmdStore(cmd string, args [][]byte) error {
 	}
 	if len(term) != 0 {
 		if noreply {
-			return c.w.Flush()
+			return c.flushIfIdle()
 		}
 		return c.clientError("bad data chunk")
 	}
@@ -307,7 +396,7 @@ func (c *Conn) cmdStore(cmd string, args [][]byte) error {
 		res = c.worker.CAS(key, uint32(flags), exptime, data, casUnique)
 	}
 	if noreply {
-		return c.w.Flush()
+		return c.flushIfIdle()
 	}
 	return c.reply(res.String() + "\r\n")
 }
@@ -396,10 +485,15 @@ func (c *Conn) cmdStats() error {
 	stat("tm_watchdog_serialize", s.STM.WatchdogSerializes)
 	stat("tm_htm_capacity_aborts", s.STM.HTMCapacityAborts)
 	stat("tm_htm_fallbacks", s.STM.HTMFallbacks)
+	stat("tm_ro_fast_commit", s.STM.ROFastCommits)
+	stat("tm_ro_upgrade", s.STM.ROUpgrades)
 	if c.connErrs != nil {
 		stat("conn_errors_io", c.connErrs.IO.Load())
 		stat("conn_errors_protocol", c.connErrs.Protocol.Load())
 		stat("conn_errors_timeout", c.connErrs.Timeout.Load())
+		stat("conn_flushes", c.connErrs.Flushes.Load())
+		stat("conn_batched_replies", c.connErrs.BatchedReplies.Load())
+		stat("conn_writev_batches", c.connErrs.WritevBatches.Load())
 	}
 	return c.reply("END\r\n")
 }
@@ -419,6 +513,16 @@ func (c *Conn) obsReport(topOrecs int) (txobs.Report, bool, error) {
 // causes (`stats tm`). Cause strings contain spaces, so they ride in the
 // value position after their count.
 func (c *Conn) cmdStatsTM() error {
+	// Core transaction counters come from the runtime stats, not the tracer,
+	// so "stats tm" answers the read-only fast-path questions (§5 experiment
+	// methodology) even with event tracing off.
+	s := c.worker.Stats().STM
+	fmt.Fprintf(c.w, "STAT commits %d\r\n", s.Commits)
+	fmt.Fprintf(c.w, "STAT aborts %d\r\n", s.Aborts)
+	fmt.Fprintf(c.w, "STAT ro_fast_commit %d\r\n", s.ROFastCommits)
+	fmt.Fprintf(c.w, "STAT ro_upgrade %d\r\n", s.ROUpgrades)
+	fmt.Fprintf(c.w, "STAT start_serial %d\r\n", s.StartSerial)
+	fmt.Fprintf(c.w, "STAT inflight_switch %d\r\n", s.InFlightSwitch)
 	r, ok, err := c.obsReport(0)
 	if !ok {
 		return err
@@ -539,13 +643,37 @@ func (c *Conn) discard(n int) {
 
 func (c *Conn) reply(s string) error {
 	c.w.WriteString(s)
+	return c.flushIfIdle()
+}
+
+// flushIfIdle flushes buffered replies unless more pipelined input is already
+// readable, in which case replies keep gathering and leave in one write when
+// the pipeline drains (flushBeforeRead) or the write buffer fills.
+func (c *Conn) flushIfIdle() error {
+	if c.r.Buffered() > 0 {
+		if c.connErrs != nil {
+			c.connErrs.BatchedReplies.Add(1)
+		}
+		return nil
+	}
+	return c.flushNow()
+}
+
+// flushNow writes any buffered replies to the transport.
+func (c *Conn) flushNow() error {
+	if c.w.Buffered() == 0 {
+		return nil
+	}
+	if c.connErrs != nil {
+		c.connErrs.Flushes.Add(1)
+	}
 	return c.w.Flush()
 }
 
 // replyMaybe suppresses the reply when the trailing argument is "noreply".
 func (c *Conn) replyMaybe(rest [][]byte, s string) error {
 	if len(rest) > 0 && string(rest[len(rest)-1]) == "noreply" {
-		return c.w.Flush()
+		return c.flushIfIdle()
 	}
 	return c.reply(s)
 }

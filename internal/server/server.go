@@ -300,3 +300,33 @@ func (sc *servConn) Write(p []byte) (int, error) {
 	}
 	return sc.Conn.Write(p)
 }
+
+// WriteBuffers writes a gathered response in one writev-style call
+// (net.Buffers uses writev on platforms that have it), arming the write
+// deadline and consulting fault injection once for the whole batch rather
+// than once per slice. The protocol layer discovers this method by interface
+// assertion and uses it for large multi-get responses.
+func (sc *servConn) WriteBuffers(bufs net.Buffers) (int64, error) {
+	if in := sc.srv.cfg.Fault; in != nil {
+		if in.Fire(fault.ConnDrop) {
+			sc.Conn.Close()
+			return 0, net.ErrClosed
+		}
+		if in.Fire(fault.ConnSlow) {
+			time.Sleep(time.Millisecond)
+		}
+		if len(bufs) > 1 && in.Fire(fault.ConnShortWrite) {
+			// Deliver only the first slice of the batch, then fail the write:
+			// the torture harness's short-write fault, batch flavored.
+			n, err := sc.Conn.Write(bufs[0])
+			if err != nil {
+				return int64(n), err
+			}
+			return int64(n), io.ErrShortWrite
+		}
+	}
+	if t := sc.srv.cfg.WriteTimeout; t > 0 {
+		sc.Conn.SetWriteDeadline(time.Now().Add(t))
+	}
+	return bufs.WriteTo(sc.Conn)
+}

@@ -27,6 +27,12 @@ type Stats struct {
 	// Retries counts Tx.Retry condition-synchronization waits.
 	Retries atomic.Uint64
 
+	// Read-only fast path (Props.ReadOnly): commits that validated by
+	// timestamp extension with zero orec acquisitions, and attempts that hit a
+	// write barrier and upgraded to the normal path.
+	ROFastCommits atomic.Uint64
+	ROUpgrades    atomic.Uint64
+
 	// Starvation-watchdog actions (see watchdog.go): threads escalated to
 	// randomized backoff, and threads escalated to serial-irrevocable
 	// execution for guaranteed progress.
@@ -47,6 +53,9 @@ type Snapshot struct {
 	HTMCapacityAborts uint64
 	HTMFallbacks      uint64
 	Retries           uint64
+
+	ROFastCommits uint64
+	ROUpgrades    uint64
 
 	WatchdogBackoffs   uint64
 	WatchdogSerializes uint64
@@ -69,6 +78,9 @@ func (rt *Runtime) Stats() Snapshot {
 		HTMCapacityAborts: rt.stats.HTMCapacityAborts.Load(),
 		HTMFallbacks:      rt.stats.HTMFallbacks.Load(),
 		Retries:           rt.stats.Retries.Load(),
+
+		ROFastCommits: rt.stats.ROFastCommits.Load(),
+		ROUpgrades:    rt.stats.ROUpgrades.Load(),
 
 		WatchdogBackoffs:   rt.stats.WatchdogBackoffs.Load(),
 		WatchdogSerializes: rt.stats.WatchdogSerializes.Load(),
@@ -94,6 +106,8 @@ func (rt *Runtime) ResetStats() {
 	rt.stats.HTMCapacityAborts.Store(0)
 	rt.stats.HTMFallbacks.Store(0)
 	rt.stats.Retries.Store(0)
+	rt.stats.ROFastCommits.Store(0)
+	rt.stats.ROUpgrades.Store(0)
 	rt.stats.WatchdogBackoffs.Store(0)
 	rt.stats.WatchdogSerializes.Store(0)
 	rt.mu.Lock()
@@ -115,6 +129,8 @@ func (s Snapshot) Sub(base Snapshot) Snapshot {
 		StartSerial:    s.StartSerial - base.StartSerial,
 		AbortSerial:    s.AbortSerial - base.AbortSerial,
 		SerialCommits:  s.SerialCommits - base.SerialCommits,
+		ROFastCommits:  s.ROFastCommits - base.ROFastCommits,
+		ROUpgrades:     s.ROUpgrades - base.ROUpgrades,
 	}
 }
 

@@ -44,6 +44,20 @@ type Props struct {
 	// Site labels the source-level transaction for serialization-cause
 	// profiling (the execinfo-style attribution of §6). Optional.
 	Site string
+	// ReadOnly declares that the transaction is expected not to write. For the
+	// orec-based algorithms (MLWT, Lazy) the attempt then runs on the read-only
+	// fast path: it subscribes to the serial lock instead of taking its read
+	// side and commits by revalidating its read set against the global
+	// timestamp — zero orec acquisitions, zero serial-lock traffic. A write
+	// barrier upgrades cleanly: the attempt is discarded (it has no effects)
+	// and the body restarts on the normal path. The flag is a hint, never a
+	// contract — other algorithms and serial execution simply ignore it.
+	ReadOnly bool
+	// MaxRetries, when positive, bounds the consecutive speculative aborts of
+	// this source-level transaction: once the bound is reached Run gives up and
+	// returns ErrRetryLimit instead of escalating further. Zero means retry
+	// forever (the libitm behaviour).
+	MaxRetries int
 }
 
 // ErrUnsafeInAtomic reports an unsafe operation attempted inside an atomic
@@ -58,10 +72,20 @@ var ErrCanceled = errors.New("stm: transaction canceled")
 // transaction, which the specification forbids.
 var ErrCancelRelaxed = errors.New("stm: cancel inside relaxed transaction")
 
+// ErrRetryLimit is returned by Run when Props.MaxRetries consecutive
+// speculative aborts have been consumed without a commit.
+var ErrRetryLimit = errors.New("stm: consecutive-abort retry limit exceeded")
+
 // control-flow signals thrown by barrier code and recovered by the run loop.
 type abortSignal struct{}
 type switchSerialSignal struct{ op string }
 type cancelSignal struct{}
+
+// roUpgradeSignal is thrown by a write barrier reached under Props.ReadOnly:
+// the attempt has no effects to undo, so the run loop simply restarts the body
+// on the normal (writer-capable) path. Not an abort for contention-management
+// purposes, mirroring the in-flight serial switch.
+type roUpgradeSignal struct{}
 
 type wordSlot struct {
 	p *atomic.Uint64
@@ -148,9 +172,11 @@ type Tx struct {
 	props Props
 
 	serial    bool
+	ro        bool   // read-only fast path attempt (orec algorithms only)
 	lockWord  uint64 // odd; unique per attempt
 	start     uint64 // clock snapshot (MLWT/Lazy) or sequence snapshot (NOrec/TML)
 	htmSeq    uint64 // serial-lock subscription sequence (HTM)
+	roSeq     uint64 // serial-lock subscription sequence (read-only fast path)
 	tmlWriter bool   // TML: holding the global sequence lock
 
 	reads []orecRead
@@ -184,6 +210,10 @@ func (tx *Tx) Kind() Kind { return tx.props.Kind }
 
 // Serial reports whether the attempt is executing in serial-irrevocable mode.
 func (tx *Tx) Serial() bool { return tx.serial }
+
+// ReadOnly reports whether the attempt is executing on the read-only fast
+// path (it has not upgraded or serialized).
+func (tx *Tx) ReadOnly() bool { return tx.ro }
 
 // Thread returns the owning thread descriptor.
 func (tx *Tx) Thread() *Thread { return tx.th }
@@ -255,6 +285,11 @@ func (th *Thread) Run(props Props, fn func(*Tx)) error {
 	}
 
 	serial := rt.cfg.Algorithm == SerialAlg
+	// The read-only fast path exists for the orec-based algorithms, where a
+	// reader otherwise pays serial-lock read acquisition and release on every
+	// attempt. NOrec's read-only commit is already free, HTM already
+	// subscribes, and TML/serial have nothing to skip.
+	ro := props.ReadOnly && (rt.cfg.Algorithm == MLWT || rt.cfg.Algorithm == LazyAlg)
 	if props.StartSerial {
 		serial = true
 		rt.stats.StartSerial.Add(1)
@@ -288,7 +323,7 @@ func (th *Thread) Run(props Props, fn func(*Tx)) error {
 		if rt.cfg.CM == CMHourglass && !serial {
 			th.gateWait()
 		}
-		tx := th.begin(props, serial)
+		tx := th.begin(props, serial, ro && !serial)
 		res := tx.execute(fn)
 		switch res {
 		case resCommit:
@@ -313,6 +348,17 @@ func (th *Thread) Run(props Props, fn func(*Tx)) error {
 			// contention-management purposes.
 			rt.stats.InFlightSwitch.Add(1)
 			serial = true
+			th.finish(tx, false)
+			continue
+		case resROUpgrade:
+			// A write barrier fired under Props.ReadOnly. The attempt wrote
+			// nothing and read consistently, so restarting on the
+			// writer-capable path is a clean upgrade, not a contention event.
+			rt.stats.ROUpgrades.Add(1)
+			if o := rt.obs.Load(); o != nil {
+				tx.obsRecord(o, txobs.KROUpgrade, causeAt("ro upgrade: write in read-only transaction", props.Site))
+			}
+			ro = false
 			th.finish(tx, false)
 			continue
 		case resRetry:
@@ -342,6 +388,9 @@ func (th *Thread) Run(props Props, fn func(*Tx)) error {
 				}
 			}
 			th.finish(tx, false)
+			if props.MaxRetries > 0 && consec >= props.MaxRetries {
+				return ErrRetryLimit
+			}
 			if rt.cfg.Algorithm == HTM && consec >= rt.cfg.HTMRetries {
 				// Lock-elision fallback: take the global lock for real.
 				rt.stats.HTMFallbacks.Add(1)
@@ -398,9 +447,10 @@ const (
 	resSwitchSerial
 	resCancel
 	resRetry
+	resROUpgrade
 )
 
-func (th *Thread) begin(props Props, serial bool) *Tx {
+func (th *Thread) begin(props Props, serial, ro bool) *Tx {
 	rt := th.rt
 	tx := &th.tx
 	redoW, redoA := tx.redoW, tx.redoA
@@ -409,6 +459,7 @@ func (th *Thread) begin(props Props, serial bool) *Tx {
 		rt:       rt,
 		props:    props,
 		serial:   serial,
+		ro:       ro,
 		lockWord: lockWords.Add(1)<<1 | 1,
 		reads:    tx.reads[:0],
 		owned:    tx.owned[:0],
@@ -436,13 +487,23 @@ func (th *Thread) begin(props Props, serial bool) *Tx {
 			rt.serial.Lock()
 		}
 	} else {
-		if rt.cfg.Algorithm == HTM {
+		switch {
+		case ro:
+			// Read-only fast path: subscribe to the serial lock (loads only —
+			// zero serial-lock traffic) the way HTM elision does. Commit
+			// re-checks the subscription, so a serial writer's uninstrumented
+			// stores can never leak into a committed read-only snapshot.
+			tx.roSeq = rt.serial.subscribe()
+		case rt.cfg.Algorithm == HTM:
 			// Hardware transactions subscribe to the lock instead of taking
 			// its read side (lock elision).
 			tx.htmSeq = rt.serial.subscribe()
-		} else {
+		default:
 			rt.serial.RLock()
 		}
+		// Read-only attempts still publish activeSince: it is a private-line
+		// store, and it is what keeps writers' privatization-safety quiescence
+		// covering fast-path readers too.
 		th.activeSince.Store(rt.txSeq.Add(1))
 		switch rt.cfg.Algorithm {
 		case MLWT, HTM, LazyAlg:
@@ -452,7 +513,9 @@ func (th *Thread) begin(props Props, serial bool) *Tx {
 		case TML:
 			tx.tmlBegin()
 		}
-		if rt.cfg.Algorithm == LazyAlg || rt.cfg.Algorithm == NOrec {
+		// A read-only attempt never populates its redo maps (the first write
+		// barrier upgrades before touching them), so skip the map setup.
+		if !ro && (rt.cfg.Algorithm == LazyAlg || rt.cfg.Algorithm == NOrec) {
 			if tx.redoW == nil {
 				tx.redoW = make(map[*atomic.Uint64]wordRedo)
 				tx.redoA = make(map[*TAny]*box)
@@ -505,6 +568,8 @@ func (tx *Tx) execute(fn func(*Tx)) (res int) {
 			res = resAbort
 		case retrySignal:
 			res = resRetry
+		case roUpgradeSignal:
+			res = resROUpgrade
 		case switchSerialSignal:
 			res = resSwitchSerial
 		case cancelSignal:
@@ -565,8 +630,13 @@ func (tx *Tx) loadWord(id uint64, p *atomic.Uint64) uint64 {
 		tx.htmCheckCapacity()
 		return v
 	case LazyAlg:
-		if e, ok := tx.redoW[p]; ok {
-			return e.v
+		// Read-only attempts skip the redo lookup: they never write, and the
+		// maps may hold stale entries from a previous attempt (begin leaves
+		// them untouched on the fast path).
+		if !tx.ro {
+			if e, ok := tx.redoW[p]; ok {
+				return e.v
+			}
 		}
 		return tx.orecLoad(id, func() uint64 { return p.Load() })
 	case NOrec:
@@ -584,6 +654,9 @@ func (tx *Tx) loadWord(id uint64, p *atomic.Uint64) uint64 {
 
 func (tx *Tx) storeWord(id uint64, p *atomic.Uint64, v uint64) {
 	tx.faultBarrier(fault.STMWriteAbort, fault.STMWriteDelay)
+	if tx.ro {
+		panic(roUpgradeSignal{})
+	}
 	if tx.serial {
 		// Serial atomic transactions run "instrumented serial": they keep an
 		// undo log because they may still cancel. Serial relaxed transactions
@@ -625,8 +698,10 @@ func (tx *Tx) loadAny(a *TAny) *box {
 		}
 		return b
 	case LazyAlg:
-		if b, ok := tx.redoA[a]; ok {
-			return b
+		if !tx.ro {
+			if b, ok := tx.redoA[a]; ok {
+				return b
+			}
 		}
 		var b *box
 		tx.orecLoad(a.id, func() uint64 { b = a.p.Load(); return 0 })
@@ -648,6 +723,9 @@ func (tx *Tx) loadAny(a *TAny) *box {
 
 func (tx *Tx) storeAny(a *TAny, b *box) {
 	tx.faultBarrier(fault.STMWriteAbort, fault.STMWriteDelay)
+	if tx.ro {
+		panic(roUpgradeSignal{})
+	}
 	if tx.serial {
 		if tx.props.Kind == Atomic {
 			tx.undoA = append(tx.undoA, anySlot{a: a, b: a.p.Load()})
@@ -692,6 +770,13 @@ func (tx *Tx) orecLoad(id uint64, read func() uint64) uint64 {
 		}
 		if orecVersion(w1) > tx.start {
 			tx.extend()
+		}
+		if tx.ro && !tx.rt.serial.stillSubscribed(tx.roSeq) {
+			// A serial writer ran (or is running): its uninstrumented stores
+			// bump neither orecs nor the clock, so the subscription is the only
+			// thing standing between a fast-path reader and a torn snapshot.
+			tx.noteConflict("conflict: serial-lock subscription (read-only)", id)
+			panic(abortSignal{})
 		}
 		tx.reads = append(tx.reads, orecRead{o: o, ver: w1, id: id})
 		return v
@@ -862,6 +947,9 @@ func (tx *Tx) commitProtocol() bool {
 		rt.serial.Unlock()
 		return true
 	}
+	if tx.ro {
+		return tx.roCommit()
+	}
 	switch rt.cfg.Algorithm {
 	case HTM:
 		// The lock subscription stands in for real HTM's cache-line
@@ -956,6 +1044,29 @@ func (tx *Tx) commitProtocol() bool {
 	panic("stm: bad algorithm")
 }
 
+// roCommit is the read-only fast-path commit (extend-on-validate, after the
+// LSA timestamp-extension trick and NOrec's free read-only commits): if the
+// global clock moved since begin, revalidate the read set at the current
+// timestamp; then confirm the serial-lock subscription still stands. No orec
+// is acquired, the clock is not bumped, and no serial-lock word is written —
+// the whole protocol is loads. Nothing is published, so no quiescence either.
+func (tx *Tx) roCommit() bool {
+	rt := tx.rt
+	if rt.clock.Load() != tx.start && !tx.validateReads() {
+		return false
+	}
+	if !rt.serial.stillSubscribed(tx.roSeq) {
+		tx.noteConflict("conflict: serial-lock subscription (read-only)", 0)
+		return false
+	}
+	rt.stats.ROFastCommits.Add(1)
+	if o := rt.obs.Load(); o != nil {
+		tx.obsRecord(o, txobs.KROFastCommit, "")
+	}
+	tx.endSpeculation(false)
+	return true
+}
+
 // endSpeculation retires the attempt's speculative window and, after a writer
 // commit, performs the privatization-safety quiescence the Draft C++ TM
 // Specification requires (and the paper's Figure 1a correctness argument
@@ -1033,7 +1144,9 @@ func (tx *Tx) rollback() {
 	for _, ow := range tx.owned {
 		ow.o.v.Store(ow.prev)
 	}
-	if rt.cfg.Algorithm != HTM {
+	// HTM and read-only fast-path attempts subscribed instead of taking the
+	// read lock; there is nothing to release.
+	if rt.cfg.Algorithm != HTM && !tx.ro {
 		rt.serial.RUnlock()
 	}
 	tx.th.activeSince.Store(0)

@@ -1,0 +1,122 @@
+package tm_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stm"
+	"repro/internal/tm"
+)
+
+func TestOptionsBuilder(t *testing.T) {
+	o := tm.With(tm.ReadOnly(), tm.StartSerial(), tm.Label("site"), tm.MaxRetries(3))
+	want := tm.Options{ReadOnly: true, StartSerial: true, Site: "site", MaxRetries: 3}
+	if o != want {
+		t.Fatalf("With(...) = %+v, want %+v", o, want)
+	}
+	if z := tm.With(); z != (tm.Options{}) {
+		t.Fatalf("With() = %+v, want zero", z)
+	}
+}
+
+func TestAtomicRelaxedRoundTrip(t *testing.T) {
+	rt := stm.New(stm.Config{Algorithm: stm.MLWT})
+	th := rt.NewThread()
+	v := stm.NewTWord(1)
+
+	if err := tm.Atomic(th, tm.Options{Site: "t"}, func(tx *stm.Tx) { v.Store(tx, 2) }); err != nil {
+		t.Fatalf("Atomic: %v", err)
+	}
+	if err := tm.Relaxed(th, tm.With(tm.StartSerial()), func(tx *stm.Tx) { v.Store(tx, v.Load(tx)+1) }); err != nil {
+		t.Fatalf("Relaxed: %v", err)
+	}
+	if got := v.LoadDirect(); got != 3 {
+		t.Fatalf("v = %d, want 3", got)
+	}
+	if got := rt.Stats().StartSerial; got != 1 {
+		t.Fatalf("StartSerial = %d, want 1 (the Relaxed run)", got)
+	}
+
+	tm.StoreWord(th, v, 10)
+	if got := tm.AddWord(th, v, 5); got != 15 {
+		t.Fatalf("AddWord = %d, want 15", got)
+	}
+	if got := tm.LoadWord(th, v); got != 15 {
+		t.Fatalf("LoadWord = %d, want 15", got)
+	}
+}
+
+func TestReadOnlyOptionReachesFastPath(t *testing.T) {
+	rt := stm.New(stm.Config{Algorithm: stm.MLWT})
+	th := rt.NewThread()
+	v := stm.NewTWord(9)
+	var got uint64
+	if err := tm.Atomic(th, tm.With(tm.ReadOnly()), func(tx *stm.Tx) { got = v.Load(tx) }); err != nil {
+		t.Fatalf("Atomic: %v", err)
+	}
+	if got != 9 {
+		t.Fatalf("Load = %d", got)
+	}
+	if rt.Stats().ROFastCommits != 1 {
+		t.Fatalf("ROFastCommits = %d, want 1", rt.Stats().ROFastCommits)
+	}
+}
+
+func TestMaxRetriesOptionPropagates(t *testing.T) {
+	rt := stm.New(stm.Config{Algorithm: stm.MLWT})
+	th := rt.NewThread()
+	tries := 0
+	err := tm.Atomic(th, tm.With(tm.MaxRetries(2)), func(tx *stm.Tx) {
+		tries++
+		tx.Abort()
+	})
+	if !errors.Is(err, stm.ErrRetryLimit) {
+		t.Fatalf("err = %v, want ErrRetryLimit", err)
+	}
+	if tries != 2 {
+		t.Fatalf("body ran %d times, want 2", tries)
+	}
+}
+
+// TestDeprecatedWrappersEquivalent is the behavioral-equivalence test for the
+// old core.Ctx entry points: each deprecated wrapper must do exactly what its
+// tm replacement does — same effects, same stats deltas, same kind of
+// transaction.
+func TestDeprecatedWrappersEquivalent(t *testing.T) {
+	type counters struct {
+		commits, startSerial, roFast uint64
+	}
+	// run executes one workload shape through either the deprecated wrappers
+	// (legacy=true) or the tm package, on a fresh runtime, and returns the
+	// final word value plus the stats counters.
+	run := func(legacy bool) (uint64, counters) {
+		rt := stm.New(stm.Config{Algorithm: stm.MLWT})
+		ctx := core.New(rt).NewContext()
+		th := ctx.Thread()
+		v := stm.NewTWord(0)
+
+		if legacy {
+			_ = ctx.Atomic(func(tx *stm.Tx) { v.Store(tx, 5) })
+			_ = ctx.Relaxed(func(tx *stm.Tx) { v.Store(tx, v.Load(tx)*2) })
+			_ = ctx.RelaxedStartSerial(func(tx *stm.Tx) { v.Store(tx, v.Load(tx)+1) })
+			ctx.StoreWord(v, ctx.LoadWord(v)+ctx.AddWord(v, 3))
+		} else {
+			_ = tm.Atomic(th, tm.Options{}, func(tx *stm.Tx) { v.Store(tx, 5) })
+			_ = tm.Relaxed(th, tm.Options{}, func(tx *stm.Tx) { v.Store(tx, v.Load(tx)*2) })
+			_ = tm.Relaxed(th, tm.With(tm.StartSerial()), func(tx *stm.Tx) { v.Store(tx, v.Load(tx)+1) })
+			tm.StoreWord(th, v, tm.LoadWord(th, v)+tm.AddWord(th, v, 3))
+		}
+		s := rt.Stats()
+		return v.LoadDirect(), counters{s.Commits, s.StartSerial, s.ROFastCommits}
+	}
+
+	oldVal, oldStats := run(true)
+	newVal, newStats := run(false)
+	if oldVal != newVal {
+		t.Errorf("final value: deprecated wrappers %d, tm %d", oldVal, newVal)
+	}
+	if oldStats != newStats {
+		t.Errorf("stats deltas: deprecated wrappers %+v, tm %+v", oldStats, newStats)
+	}
+}

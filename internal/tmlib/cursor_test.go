@@ -1,0 +1,103 @@
+package tmlib
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/stm"
+)
+
+// expectBounds runs fn in a transaction expecting it to panic with
+// ErrMarshalBounds, and asserts the shared buffer keeps its prior contents
+// (abort semantics: the panic unwinds with every transactional effect undone).
+func expectBounds(t *testing.T, buf *stm.TBytes, fn func(tx *stm.Tx)) {
+	t.Helper()
+	before := make([]byte, buf.Len())
+	buf.ReadAllDirect(before)
+	rt := stm.New(stm.Config{})
+	th := rt.NewThread()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic; want ErrMarshalBounds")
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrMarshalBounds) {
+			t.Fatalf("panic = %v, want ErrMarshalBounds", r)
+		}
+		after := make([]byte, buf.Len())
+		buf.ReadAllDirect(after)
+		if string(after) != string(before) {
+			t.Errorf("buffer mutated across aborted marshal: %q -> %q", before, after)
+		}
+	}()
+	_ = th.Run(stm.Props{Kind: stm.Atomic}, fn)
+}
+
+func TestCursorReadWriteFull(t *testing.T) {
+	run(t, func(tx *stm.Tx) {
+		b := tb("hello world")
+		c := NewCursor(tx, b, 0)
+		if got := c.ReadFull(5); string(got) != "hello" {
+			t.Errorf("ReadFull(5) = %q", got)
+		}
+		if c.Off() != 5 || c.Remaining() != 6 {
+			t.Errorf("after read: off %d remaining %d", c.Off(), c.Remaining())
+		}
+		c.WriteFull([]byte("-earth"))
+		if c.Remaining() != 0 {
+			t.Errorf("remaining = %d, want 0", c.Remaining())
+		}
+	})
+}
+
+func TestCursorWriteTrunc(t *testing.T) {
+	run(t, func(tx *stm.Tx) {
+		b := tb("0123456789")
+		c := NewCursor(tx, b, 7)
+		if n := c.WriteTrunc([]byte("abcdef")); n != 3 {
+			t.Errorf("WriteTrunc past-capacity = %d, want 3", n)
+		}
+		// At the very end: write nothing, return 0 (the old negative-length
+		// slice panic).
+		if n := c.WriteTrunc([]byte("xyz")); n != 0 {
+			t.Errorf("WriteTrunc at end = %d, want 0", n)
+		}
+	})
+}
+
+func TestCursorBounds(t *testing.T) {
+	b := tb("abcdef")
+	expectBounds(t, b, func(tx *stm.Tx) { NewCursor(tx, b, 7) })
+	expectBounds(t, b, func(tx *stm.Tx) { NewCursor(tx, b, -1) })
+	expectBounds(t, b, func(tx *stm.Tx) { NewCursor(tx, b, 4).ReadFull(3) })
+	expectBounds(t, b, func(tx *stm.Tx) { NewCursor(tx, b, 4).WriteFull([]byte("xyz")) })
+	expectBounds(t, b, func(tx *stm.Tx) { MarshalIn(tx, b, 3, 4) })
+	expectBounds(t, b, func(tx *stm.Tx) { MarshalIn(tx, b, -1, 2) })
+	expectBounds(t, b, func(tx *stm.Tx) { MarshalOut(tx, b, 5, []byte("xy")) })
+}
+
+// TestCursorBoundsRollsBackPriorWrites: a committed-looking prefix written
+// through the cursor must vanish when a later marshal overflows.
+func TestCursorBoundsRollsBackPriorWrites(t *testing.T) {
+	b := tb("AAAAAA")
+	expectBounds(t, b, func(tx *stm.Tx) {
+		c := NewCursor(tx, b, 0)
+		c.WriteFull([]byte("BBBB")) // would commit, but...
+		c.WriteFull([]byte("CCC"))  // ...this overflows: all of it unwinds
+	})
+}
+
+// TestSnprintfTruncAtEnd: the snprintf clones hit the fixed truncation path
+// instead of slicing negatively when the offset reaches the end.
+func TestSnprintfTruncAtEnd(t *testing.T) {
+	run(t, func(tx *stm.Tx) {
+		dst := tb("0123456789")
+		if n := SnprintfUint(tx, dst, dst.Len(), 42); n != 0 {
+			t.Errorf("SnprintfUint at end = %d, want 0", n)
+		}
+		if n := SnprintfUint(tx, dst, 8, 12345); n != 2 {
+			t.Errorf("SnprintfUint truncated = %d, want 2", n)
+		}
+	})
+}

@@ -22,6 +22,7 @@
 package tmlib
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/stm"
@@ -243,20 +244,103 @@ func StrlenDirect(s *stm.TBytes) int {
 // ---------------------------------------------------------------------------
 // Safety via marshaling (Figure 7)
 
+// ErrMarshalBounds is the panic value for a marshal that would read or write
+// outside its shared buffer. The panic unwinds through the transaction
+// machinery with abort semantics — every transactional effect of the attempt
+// is rolled back before it propagates to the Run caller — so an out-of-bounds
+// marshal can never leave shared memory partially written. Recover it with
+// errors.Is(r.(error), ErrMarshalBounds).
+//
+// Historically MarshalIn/MarshalOut deferred to the memcpy layer, whose
+// raw slice panics fired mid-copy with half the bytes already in the redo or
+// undo log, and marshalTrunc's snprintf clones sliced with a negative length
+// when the offset lay past the end of the destination. Bounds are now checked
+// up front, before a single byte moves.
+var ErrMarshalBounds = errors.New("tmlib: marshal out of bounds")
+
+func marshalCheck(op string, bufLen, off, n int) {
+	if off < 0 || n < 0 || off+n > bufLen {
+		panic(fmt.Errorf("%w: %s [%d:%d) in %d-byte buffer", ErrMarshalBounds, op, off, off+n, bufLen))
+	}
+}
+
 // MarshalIn copies n shared bytes starting at off into a fresh thread-local
 // buffer ("marshal data onto the stack"). The reads are instrumented; the
 // destination is private, so its writes are not — the property that makes the
 // pattern safe under GCC's write-through TM, and dangerous under buffered-
-// update STMs (§3.4).
+// update STMs (§3.4). Out-of-range [off, off+n) panics with ErrMarshalBounds.
 func MarshalIn(tx *stm.Tx, s *stm.TBytes, off, n int) []byte {
+	marshalCheck("MarshalIn", s.Len(), off, n)
 	buf := make([]byte, n)
 	MemcpyToLocal(tx, buf, s, off, n)
 	return buf
 }
 
-// MarshalOut copies a private buffer back into shared memory.
+// MarshalOut copies a private buffer back into shared memory. An overflowing
+// write panics with ErrMarshalBounds before any byte is stored.
 func MarshalOut(tx *stm.Tx, d *stm.TBytes, off int, data []byte) {
+	marshalCheck("MarshalOut", d.Len(), off, len(data))
 	MemcpyFromLocal(tx, d, off, data)
+}
+
+// Cursor is a bounds-checked position in a shared buffer for sequential
+// marshaling — the documented home of the marshal bounds rules. Reads and
+// writes advance the cursor; Full variants treat overflow as a programming
+// error (panic ErrMarshalBounds, abort semantics), Trunc follows snprintf and
+// silently clips to the space remaining. A Cursor is cheap to create inside
+// the transaction body; like any position derived from transactional reads it
+// must not outlive the attempt that produced it.
+type Cursor struct {
+	tx  *stm.Tx
+	buf *stm.TBytes
+	off int
+}
+
+// NewCursor positions a cursor at off in buf. A cursor may start anywhere in
+// [0, Len] — at Len it has zero bytes remaining; outside that range it panics
+// with ErrMarshalBounds.
+func NewCursor(tx *stm.Tx, buf *stm.TBytes, off int) *Cursor {
+	marshalCheck("NewCursor", buf.Len(), off, 0)
+	return &Cursor{tx: tx, buf: buf, off: off}
+}
+
+// Off returns the current offset.
+func (c *Cursor) Off() int { return c.off }
+
+// Remaining returns the bytes left between the cursor and the end of the
+// buffer.
+func (c *Cursor) Remaining() int { return c.buf.Len() - c.off }
+
+// ReadFull marshals exactly n shared bytes into a fresh private buffer and
+// advances. Panics with ErrMarshalBounds if fewer than n bytes remain.
+func (c *Cursor) ReadFull(n int) []byte {
+	marshalCheck("Cursor.ReadFull", c.buf.Len(), c.off, n)
+	out := MarshalIn(c.tx, c.buf, c.off, n)
+	c.off += n
+	return out
+}
+
+// WriteFull marshals all of data into the buffer and advances. Panics with
+// ErrMarshalBounds if data does not fit.
+func (c *Cursor) WriteFull(data []byte) {
+	marshalCheck("Cursor.WriteFull", c.buf.Len(), c.off, len(data))
+	MarshalOut(c.tx, c.buf, c.off, data)
+	c.off += len(data)
+}
+
+// WriteTrunc marshals as much of data as fits — snprintf truncation — and
+// returns the number of bytes written. At the end of the buffer it writes
+// nothing and returns 0.
+func (c *Cursor) WriteTrunc(data []byte) int {
+	n := len(data)
+	if rem := c.Remaining(); n > rem {
+		n = rem
+	}
+	if n > 0 {
+		MarshalOut(c.tx, c.buf, c.off, data[:n])
+		c.off += n
+	}
+	return n
 }
 
 // PureIsspace is the [[transaction_pure]] wrapper around isspace: it touches
@@ -367,10 +451,5 @@ func SnprintfUint(tx *stm.Tx, dst *stm.TBytes, off int, v uint64) int {
 }
 
 func marshalTrunc(tx *stm.Tx, dst *stm.TBytes, off int, out []byte) int {
-	n := len(out)
-	if max := dst.Len() - off; n > max {
-		n = max
-	}
-	MarshalOut(tx, dst, off, out[:n])
-	return n
+	return NewCursor(tx, dst, off).WriteTrunc(out)
 }

@@ -33,6 +33,13 @@ const (
 	KWatchdogSerialize
 	// KRetryWait is a condition-synchronization retry blocking on its read set.
 	KRetryWait
+	// KROFastCommit is a read-only transaction committing on the fast path:
+	// read-set revalidation against the global timestamp, zero orec
+	// acquisitions and zero serial-lock traffic.
+	KROFastCommit
+	// KROUpgrade is a read-only attempt reaching a write barrier and
+	// restarting cleanly on the normal (writer-capable) path.
+	KROUpgrade
 
 	kindN
 )
@@ -40,7 +47,7 @@ const (
 var kindNames = [kindN]string{
 	"begin", "commit", "abort", "inflight_switch", "start_serial",
 	"abort_serial", "htm_fallback", "watchdog_backoff", "watchdog_serialize",
-	"retry_wait",
+	"retry_wait", "ro_fast_commit", "ro_upgrade",
 }
 
 func (k Kind) String() string {
