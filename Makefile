@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test check batch-race torture-smoke torture profile bench-smoke
+.PHONY: all build vet test check batch-race shard-race torture-smoke torture profile bench-smoke bench-shards
 
 all: check
 
@@ -16,13 +16,19 @@ test:
 # check is the tier-1 gate plus the robustness smoke: everything builds, vets
 # clean, passes its tests, survives shrunken fault schedules under the race
 # detector, and keeps the batched multi-get pipeline race-clean.
-check: build vet test batch-race torture-smoke
+check: build vet test batch-race shard-race torture-smoke
 
 # batch-race runs the multi-get / read-only fast-path tests under the race
 # detector: batch snapshot isolation against concurrent writers, the quiet-get
 # pipeline, and the RO upgrade path.
 batch-race:
 	$(GO) test -race -count=1 -run 'MultiGet|ReadOnly|QuietGet|BatchPipeline' ./internal/stm ./internal/engine ./internal/protocol
+
+# shard-race runs the TM-domain partitioning tests under the race detector:
+# cross-shard multi-get scatter/gather, concurrent routing from many workers,
+# per-shard snapshot isolation, and the zero-cross-shard-conflict proof.
+shard-race:
+	$(GO) test -race -count=1 -run 'Sharded' ./internal/engine ./internal/protocol
 
 # torture-smoke runs the seeded fault-injection harness in its shrunken
 # (-torture.short) form. The flag is registered per test package, so only the
@@ -40,6 +46,12 @@ torture:
 # read-only multi-gets, written to BENCH_ro_fastpath.json.
 bench-smoke:
 	$(GO) run ./cmd/mcbench -ro-smoke -ops 80000 -threads 4 -ro-out BENCH_ro_fastpath.json
+
+# bench-shards sweeps the TM-domain count (1, 2, 4, 8 shards) at a fixed
+# thread count and writes BENCH_shards.json with per-domain commit/abort
+# breakdowns and the cross-shard orec-conflict counter (must be zero).
+bench-shards:
+	$(GO) run ./cmd/mcbench -shards 1,2,4,8 -threads 8 -ops 3000 -trials 3 -shards-out BENCH_shards.json
 
 # profile runs a short mcbench with transaction observability on and prints
 # the serialization causes, conflict heat map, and latency summary.

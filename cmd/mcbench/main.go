@@ -37,6 +37,8 @@ func main() {
 		roSmoke    = flag.Bool("ro-smoke", false, "run the read-only fast-path smoke benchmark (per-key GETs vs batched multi-get at ~9:1 GET:SET) and write -ro-out")
 		roBranch   = flag.String("ro-branch", "it-oncommit", "branch for -ro-smoke")
 		roOut      = flag.String("ro-out", "BENCH_ro_fastpath.json", "output file for -ro-smoke")
+		shardsStr  = flag.String("shards", "", "comma-separated shard counts (e.g. 1,2,4,8): sweep TM domain counts at the highest -threads value and write -shards-out")
+		shardsOut  = flag.String("shards-out", "BENCH_shards.json", "output file for -shards")
 	)
 	flag.Parse()
 
@@ -120,6 +122,35 @@ func main() {
 		}
 		fmt.Printf("ro fast path on %s at %d threads: per-key %.0f keys/s, batched %.0f keys/s (%.2fx), %d ro_fast_commits, %d ro_upgrades -> %s\n",
 			res.Branch, res.Threads, res.PerKeyKeysPerS, res.BatchedKeysPerS, res.Speedup, res.ROFastCommits, res.ROUpgrades, *roOut)
+	}
+	if *shardsStr != "" {
+		ran = true
+		var counts []int
+		for _, part := range strings.Split(*shardsStr, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				log.Fatalf("bad -shards %q", *shardsStr)
+			}
+			counts = append(counts, n)
+		}
+		b, err := engine.ParseBranch(*roBranch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := bench.RunShardSweep(b, ths[len(ths)-1], counts, o)
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(*shardsOut, out, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range res.Points {
+			fmt.Printf("shards=%d: %.0f ops/s (%.2fx), %d aborts, %d serial starts, cross-shard orec conflicts %d\n",
+				p.Shards, p.OpsPerSec, p.Speedup, p.Aborts, p.StartSerial, p.CrossShardOrecConflicts)
+		}
+		fmt.Printf("wrote %s\n", *shardsOut)
 	}
 	if *profBranch != "" {
 		ran = true

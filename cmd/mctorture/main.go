@@ -26,6 +26,7 @@ func main() {
 	ops := flag.Int("ops", 0, "phase-A ops per worker (0 = default)")
 	stable := flag.Int("stable", 0, "phase-B stable keys (0 = default)")
 	rate := flag.Float64("rate", 0, "max per-point fault rate (0 = default 0.02)")
+	shards := flag.Int("shards", 0, "TM domains to shard the cache into (0 = single domain)")
 	verbose := flag.Bool("v", false, "print the fault schedule summary for green runs too")
 	flag.Parse()
 
@@ -47,6 +48,7 @@ func main() {
 			cfg := torture.Config{
 				Branch:     b,
 				Seed:       s,
+				Shards:     *shards,
 				Workers:    *workers,
 				Ops:        *ops,
 				StableKeys: *stable,

@@ -27,7 +27,8 @@ func main() {
 		addr      = flag.String("addr", "127.0.0.1:11211", "listen address")
 		branchStr = flag.String("branch", "it-oncommit", "synchronization branch (baseline, semaphore, ip, it, ip-callable, it-callable, ip-max, it-max, ip-lib, it-lib, ip-oncommit, it-oncommit, ip-nolock, it-nolock)")
 		memLimit  = flag.Uint64("m", 64, "memory limit in MiB")
-		hashPower = flag.Uint("hashpower", 16, "initial hash table power")
+		hashPower = flag.Uint("hashpower", 16, "initial hash table power (per shard)")
+		shards    = flag.Int("shards", 0, "independent TM domains to partition the cache into (0 = GOMAXPROCS)")
 		verbose   = flag.Bool("v", false, "verbose event logging to stderr")
 		stmAlg    = flag.String("stm", "", "override STM algorithm (mlwt, lazy, norec, serial)")
 		cmStr     = flag.String("cm", "", "override contention manager (serialize, none, backoff, hourglass)")
@@ -43,6 +44,7 @@ func main() {
 	}
 	conf := engine.Config{
 		Branch:    b,
+		Shards:    *shards,
 		MemLimit:  *memLimit << 20,
 		HashPower: *hashPower,
 		Verbose:   *verbose,

@@ -131,6 +131,7 @@ func Run(v Variant, threads int, o Options) Measurement {
 	for trial := 0; trial < o.Trials; trial++ {
 		c := engine.New(engine.Config{
 			Branch:    v.Branch,
+			Shards:    1, // figure/table baselines measure the single-domain engine
 			STM:       v.STM,
 			MemLimit:  o.MemLimit,
 			HashPower: o.HashPower,
@@ -365,6 +366,7 @@ func RunProfiled(b engine.Branch, threads int, o Options) (string, error) {
 	o = o.withDefaults()
 	c := engine.New(engine.Config{
 		Branch:    b,
+		Shards:    1, // profile one TM domain; the shard sweep has its own path
 		MemLimit:  o.MemLimit,
 		HashPower: o.HashPower,
 		Automove:  true,

@@ -48,6 +48,7 @@ func RunROFastpath(b engine.Branch, threads int, o Options) ROFastpathResult {
 	o = o.withDefaults()
 	c := engine.New(engine.Config{
 		Branch:    b,
+		Shards:    1, // isolate the fast-path effect from sharding
 		MemLimit:  256 << 20, // no eviction: both phases see identical residency
 		HashPower: o.HashPower,
 	})

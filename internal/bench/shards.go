@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// ShardDomainStat is one TM domain's slice of the sweep workload: the
+// commit/abort/fast-path counters its private runtime accumulated. Summing
+// the Commits column across domains reproduces the merged `stats tm` number
+// exactly — the domains share no counters.
+type ShardDomainStat struct {
+	Shard         int    `json:"shard"`
+	Commits       uint64 `json:"commits"`
+	Aborts        uint64 `json:"aborts"`
+	ROFastCommits uint64 `json:"ro_fast_commits"`
+}
+
+// ShardPoint is one shard count in the sweep. The timed phase runs with
+// tracing off (perf numbers first); CrossShardOrecConflicts comes from a
+// shorter traced verification pass afterwards and must be zero — each
+// domain's events land in a disjoint orec-id range, so a nonzero count
+// would mean two runtimes shared a synchronization word.
+type ShardPoint struct {
+	Shards    int     `json:"shards"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// Speedup is this point's throughput over the 1-shard point's.
+	Speedup float64 `json:"speedup_vs_1_shard"`
+
+	Commits       uint64 `json:"commits_total"`
+	Aborts        uint64 `json:"aborts_total"`
+	StartSerial   uint64 `json:"start_serial_total"`
+	ROFastCommits uint64 `json:"ro_fast_commits_total"`
+
+	Domains                 []ShardDomainStat `json:"domains"`
+	CrossShardOrecConflicts uint64            `json:"cross_shard_orec_conflicts"`
+}
+
+// ShardSweepResult is the -shards benchmark: the same mixed workload driven
+// at a fixed thread count over increasing shard counts. What scales is not
+// the keys (the keyspace is shared and uniform) but the synchronization:
+// every shard owns a private version clock, orec table, serial lock and LRU
+// heads, so conflict aborts, serialize escalations and retry backoff sleeps
+// are confined to the domain that earned them.
+type ShardSweepResult struct {
+	Branch       string       `json:"branch"`
+	Threads      int          `json:"threads"`
+	GOMAXPROCS   int          `json:"gomaxprocs"`
+	CPUs         int          `json:"cpus"`
+	OpsPerThread int          `json:"ops_per_thread"`
+	KeySpace     int          `json:"keyspace"`
+	ValueSize    int          `json:"value_size"`
+	Trials       int          `json:"trials"`
+	Points       []ShardPoint `json:"points"`
+}
+
+// RunShardSweep measures one branch at a fixed thread count across the given
+// shard counts. GOMAXPROCS is set to min(threads, NumCPU) for the duration:
+// raised to the thread count so the domains can actually run in parallel,
+// but never past the hardware — oversubscribing Ps on a small box replaces
+// the measurement with Go scheduler thrash (every spin-wait Gosched becomes
+// a cross-P handoff) without adding any real concurrency.
+func RunShardSweep(b engine.Branch, threads int, shardCounts []int, o Options) ShardSweepResult {
+	o = o.withDefaults()
+	procs := threads
+	if n := runtime.NumCPU(); procs > n {
+		procs = n
+	}
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+
+	res := ShardSweepResult{
+		Branch:       b.String(),
+		Threads:      threads,
+		GOMAXPROCS:   procs,
+		CPUs:         runtime.NumCPU(),
+		OpsPerThread: o.OpsPerThread,
+		KeySpace:     o.KeySpace,
+		ValueSize:    o.ValueSize,
+		Trials:       o.Trials,
+	}
+	var base float64
+	for _, n := range shardCounts {
+		p := runShardPoint(b, threads, n, o)
+		if n == 1 || base == 0 {
+			base = p.OpsPerSec
+		}
+		if base > 0 {
+			p.Speedup = p.OpsPerSec / base
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res
+}
+
+func runShardPoint(b engine.Branch, threads, shards int, o Options) ShardPoint {
+	p := ShardPoint{Shards: shards}
+
+	var bestDur time.Duration
+	var ops uint64
+	for trial := 0; trial < o.Trials; trial++ {
+		c := newShardCache(b, shards, o)
+		prepopulate(c, o)
+		dur, n := shardPhase(c, threads, o, o.OpsPerThread)
+		if trial == 0 || dur < bestDur {
+			bestDur, ops = dur, n
+			p.Domains = p.Domains[:0]
+			p.Commits, p.Aborts, p.StartSerial, p.ROFastCommits = 0, 0, 0, 0
+			for i, ss := range c.ShardStats() {
+				p.Domains = append(p.Domains, ShardDomainStat{
+					Shard:         i,
+					Commits:       ss.Commits,
+					Aborts:        ss.Aborts,
+					ROFastCommits: ss.ROFastCommits,
+				})
+				p.Commits += ss.Commits
+				p.Aborts += ss.Aborts
+				p.StartSerial += ss.StartSerial
+				p.ROFastCommits += ss.ROFastCommits
+			}
+		}
+		c.Stop()
+	}
+	p.Seconds = bestDur.Seconds()
+	p.OpsPerSec = float64(ops) / bestDur.Seconds()
+
+	// Verification pass, traced: the heat map gains a shard dimension and
+	// the observer CASes an owner onto every orec cell it sees; a second
+	// owner would increment the cross-shard counter. Domains occupy
+	// disjoint orec-id ranges, so this must stay zero.
+	c := newShardCache(b, shards, o)
+	obs := c.EnableTracing()
+	prepopulate(c, o)
+	shardPhase(c, threads, o, o.OpsPerThread/4+1)
+	p.CrossShardOrecConflicts = obs.CrossShardOrecConflicts()
+	c.Stop()
+	return p
+}
+
+func newShardCache(b engine.Branch, shards int, o Options) *engine.Cache {
+	c := engine.New(engine.Config{
+		Branch:    b,
+		Shards:    shards,
+		MemLimit:  o.MemLimit * 64, // fits the working set: conflicts, not eviction, are under test
+		HashPower: o.HashPower,
+	})
+	c.Start()
+	return c
+}
+
+func prepopulate(c *engine.Cache, o Options) {
+	w := c.NewWorker()
+	val := make([]byte, o.ValueSize)
+	kbuf := make([]byte, 0, 32)
+	for i := 0; i < o.KeySpace; i++ {
+		w.Set(benchKey(kbuf, i), 0, 0, val)
+	}
+	for i := 0; i < numCounters; i++ {
+		w.Set(counterKey(i), 0, 0, []byte("0"))
+	}
+}
+
+// numCounters sizes the INCR key set: wide enough that two threads landing
+// on the same counter at once is rare (same-key write-write conflicts are
+// shard-count-independent and would only blur the sweep).
+const numCounters = 1024
+
+// shardPhase drives the mixed workload: per group, one cross-shard GetMulti
+// of MultiGetBatch keys on the read-only fast path, four SETs (each SET
+// rewrites a size-class LRU head — the hottest word a domain owns), and one
+// INCR over the full keyspace (a read-modify-write transaction with a wide
+// conflict window, but no deliberate same-key hot set: same-key conflicts
+// cannot shard away, so a hot-counter mix would only add noise common to
+// every point). Returns (wall time, ops completed) where one key lookup,
+// store or delta each count as one op.
+func shardPhase(c *engine.Cache, threads int, o Options, groups int) (time.Duration, uint64) {
+	val := make([]byte, o.ValueSize)
+	workers := make([]*engine.Worker, threads)
+	for i := range workers {
+		workers[i] = c.NewWorker()
+	}
+	var total uint64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := 0; t < threads; t++ {
+		t := t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := workers[t]
+			r := rngState(uint64(t) + 0x5AD)
+			group := make([][]byte, engine.MultiGetBatch)
+			var n uint64
+			for g := 0; g < groups; g++ {
+				for i := range group {
+					group[i] = benchKey(nil, int(nextRand(&r)%uint64(o.KeySpace)))
+				}
+				w.GetMulti(group)
+				n += uint64(len(group))
+				for s := 0; s < 4; s++ {
+					w.Set(benchKey(nil, int(nextRand(&r)%uint64(o.KeySpace))), 0, 0, val)
+					n++
+				}
+				w.Incr(counterKey(int(nextRand(&r)%numCounters)), 1)
+				n++
+			}
+			mu.Lock()
+			total += n
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return time.Since(start), total
+}
+
+func counterKey(n int) []byte {
+	return fmt.Appendf(nil, "shard-ctr-%04d", n)
+}

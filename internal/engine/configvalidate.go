@@ -51,6 +51,9 @@ func (c Config) Validate() error {
 			return &ConfigError{Field: "STM", Reason: "invalid STM override", Err: err}
 		}
 	}
+	if c.Shards < 0 || c.Shards > 1024 {
+		return &ConfigError{Field: "Shards", Reason: "must be in [0, 1024] (0 = GOMAXPROCS)"}
+	}
 	if c.HashPower > 30 {
 		return &ConfigError{Field: "HashPower", Reason: "must be in [0, 30] (0 = default)"}
 	}

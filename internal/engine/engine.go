@@ -3,7 +3,6 @@ package engine
 import (
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/access"
@@ -30,6 +29,15 @@ var (
 // Config parameterizes a Cache.
 type Config struct {
 	Branch Branch
+
+	// Shards partitions the cache into this many independent TM domains, each
+	// with its own stm.Runtime (orec table, version clock, serial lock), hash
+	// table + incremental expander, slab allocator and per-class LRU heads.
+	// Transactions on different shards share zero synchronization words; keys
+	// route by the high bits of their hash. Default GOMAXPROCS. MemLimit and
+	// HashPower are per-cache: MemLimit divides across shards (floored at one
+	// slab page each), while every shard starts at 2^HashPower buckets.
+	Shards int
 
 	// STM overrides the branch's default runtime configuration (used by the
 	// Figure 11 experiments to swap algorithms and contention managers on the
@@ -100,7 +108,7 @@ func (c Config) withDefaults() Config {
 }
 
 // Cache is the memcached engine under one synchronization branch.
-type Cache struct {
+type shard struct {
 	conf Config
 	cfg  branchCfg
 
@@ -138,11 +146,6 @@ type Cache struct {
 
 	casCounter *stm.TWord // CAS id source (cache-lock domain)
 
-	// obs is the standalone observer for lock branches (command latency only;
-	// there is no runtime to emit transaction events). Transactional branches
-	// store their observer on the runtime instead.
-	obs atomic.Pointer[txobs.Observer]
-
 	mu      sync.Mutex // registration of worker stat blocks
 	tblocks []*mcstats.Thread
 
@@ -152,10 +155,10 @@ type Cache struct {
 
 // New builds a cache for the given configuration. Call Start to launch the
 // maintenance threads and clock, and Stop to halt them.
-func New(conf Config) *Cache {
+func newShard(conf Config) *shard {
 	conf = conf.withDefaults()
 	cfg := configFor(conf.Branch)
-	c := &Cache{
+	c := &shard{
 		conf:        conf,
 		cfg:         cfg,
 		tab:         assoc.New(conf.HashPower),
@@ -199,54 +202,11 @@ func New(conf Config) *Cache {
 	return c
 }
 
-// Branch returns the branch the cache runs under.
-func (c *Cache) Branch() Branch { return c.conf.Branch }
-
-// Runtime returns the STM runtime, or nil for lock branches.
-func (c *Cache) Runtime() *stm.Runtime { return c.rt }
-
-// EnableTracing turns on the transaction observability layer and returns its
-// observer. On transactional branches the runtime records begin/abort/
-// serialize/commit events with conflict attribution; on lock branches only
-// command latency is collected (there are no transactions to trace). Safe to
-// call repeatedly; the same observer is returned each time.
-func (c *Cache) EnableTracing() *txobs.Observer {
-	if c.rt != nil {
-		return c.rt.EnableTracing()
-	}
-	o := c.obs.Load()
-	if o == nil {
-		o = txobs.New(txobs.Options{})
-		if !c.obs.CompareAndSwap(nil, o) {
-			o = c.obs.Load()
-		}
-	}
-	o.Enable()
-	return o
-}
-
-// DisableTracing stops event recording; collected data stays queryable.
-func (c *Cache) DisableTracing() {
-	if c.rt != nil {
-		c.rt.DisableTracing()
-		return
-	}
-	if o := c.obs.Load(); o != nil {
-		o.Disable()
-	}
-}
-
-// Observer returns the observability collector, or nil if tracing was never
-// enabled on this cache.
-func (c *Cache) Observer() *txobs.Observer {
-	if c.rt != nil {
-		return c.rt.TracingObserver()
-	}
-	return c.obs.Load()
-}
+// Runtime returns the shard's STM runtime, or nil for lock branches.
+func (c *shard) Runtime() *stm.Runtime { return c.rt }
 
 // newAgent creates an execution principal (worker or maintenance thread).
-func (c *Cache) newAgent() *agent {
+func (c *shard) newAgent() *agent {
 	a := &agent{c: c}
 	if c.cfg.tm {
 		a.tctx = c.tm.NewContext()
@@ -258,7 +218,7 @@ func (c *Cache) newAgent() *agent {
 }
 
 // Start launches the clock thread and the two maintenance threads.
-func (c *Cache) Start() {
+func (c *shard) Start() {
 	if c.rt != nil {
 		c.rt.StartWatchdog()
 	}
@@ -270,7 +230,7 @@ func (c *Cache) Start() {
 
 // Stop halts maintenance threads and waits for them (Figure 2's
 // halt_maintainer: clear mx_can_run, then wake everyone).
-func (c *Cache) Stop() {
+func (c *shard) Stop() {
 	if c.retryCondSync() {
 		// Retry waiters wake on orec changes, so the shutdown flag must be
 		// written transactionally.
@@ -296,14 +256,14 @@ func (c *Cache) Stop() {
 }
 
 // SetTime forces the volatile clock (tests of expiry and flush_all).
-func (c *Cache) SetTime(unix uint64) { c.CurrentTime.StoreDirect(unix) }
+func (c *shard) SetTime(unix uint64) { c.CurrentTime.StoreDirect(unix) }
 
 // Now reads the volatile clock directly (nontransactional callers).
-func (c *Cache) Now() uint64 { return c.CurrentTime.LoadDirect() }
+func (c *shard) Now() uint64 { return c.CurrentTime.LoadDirect() }
 
 // clockThread is memcached's clock handler: a dedicated updater of the
 // volatile current_time, at 1 Hz (we tick faster so short runs see motion).
-func (c *Cache) clockThread() {
+func (c *shard) clockThread() {
 	defer c.wg.Done()
 	t := time.NewTicker(200 * time.Millisecond)
 	defer t.Stop()
@@ -318,7 +278,7 @@ func (c *Cache) clockThread() {
 }
 
 // log emits a verbose event line.
-func (c *Cache) log() func(string) {
+func (c *shard) log() func(string) {
 	if !c.conf.Verbose {
 		return nil
 	}
@@ -330,14 +290,14 @@ func (c *Cache) log() func(string) {
 
 // retryCondSync reports whether the Retry-based maintenance wake-up is
 // active (transactional branches, stage Max+).
-func (c *Cache) retryCondSync() bool {
+func (c *shard) retryCondSync() bool {
 	return c.conf.RetryCondSync && c.cfg.tm && c.cfg.profile.TxVolatiles
 }
 
 // faultSleep stalls briefly when the named injection point fires — the
 // delayed-wakeup / mid-expansion-stall schedules implicated in the lost-key
 // and starvation incidents.
-func (c *Cache) faultSleep(p fault.Point, d time.Duration) {
+func (c *shard) faultSleep(p fault.Point, d time.Duration) {
 	if c.conf.Fault.Fire(p) {
 		time.Sleep(d)
 	}
@@ -347,7 +307,7 @@ func (c *Cache) faultSleep(p fault.Point, d time.Duration) {
 // condition-variable pattern on the cache lock; every other branch uses the
 // semaphore transformation — or, with RetryCondSync, blocks directly on its
 // work predicate via stm.Tx.Retry (§5's missing primitive).
-func (c *Cache) hashMaintainer() {
+func (c *shard) hashMaintainer() {
 	defer c.wg.Done()
 	a := c.newAgent()
 	if c.retryCondSync() {
@@ -424,7 +384,7 @@ func (c *Cache) hashMaintainer() {
 // hashMaintainerRetry is the Retry-based maintainer: one transaction that
 // blocks until "shutdown or expansion work exists" becomes true. No
 // semaphore, no mx_running flag, no worker-side wake-ups.
-func (c *Cache) hashMaintainerRetry(a *agent) {
+func (c *shard) hashMaintainerRetry(a *agent) {
 	for {
 		shutdown := false
 		a.section(domains{cache: true}, profile{volatiles: true, io: true, site: "assoc_maintenance"}, func(ctx access.Ctx) {
@@ -453,7 +413,7 @@ func (c *Cache) hashMaintainerRetry(a *agent) {
 }
 
 // slabMaintainerRetry is the Retry-based slab rebalancer.
-func (c *Cache) slabMaintainerRetry(a *agent) {
+func (c *shard) slabMaintainerRetry(a *agent) {
 	for {
 		shutdown := false
 		a.section(domains{slabs: true}, profile{volatiles: true, io: true, site: "slab_maintenance"}, func(ctx access.Ctx) {
@@ -478,7 +438,7 @@ func (c *Cache) slabMaintainerRetry(a *agent) {
 // expandChunk migrates a bulk of buckets with the Figure 1a trylock protocol
 // against item locks (held later in the lock order than the cache lock the
 // maintainer already owns — the documented order violation).
-func (c *Cache) expandChunk(a *agent, ctx access.Ctx) {
+func (c *shard) expandChunk(a *agent, ctx access.Ctx) {
 	// A stall here leaves the table half-expanded (old and new arrays both
 	// live) while workers race against it — the window of the lost-key
 	// incident.
@@ -490,7 +450,7 @@ func (c *Cache) expandChunk(a *agent, ctx access.Ctx) {
 
 // slabMaintainer performs slab page rebalancing, guarded by the rebalance
 // boolean that replaced the slab_rebalance trylock (§3.1).
-func (c *Cache) slabMaintainer() {
+func (c *shard) slabMaintainer() {
 	defer c.wg.Done()
 	a := c.newAgent()
 	if c.retryCondSync() {
@@ -529,7 +489,7 @@ func (c *Cache) slabMaintainer() {
 }
 
 // rebalanceOnce attempts one page move; reports whether it made progress.
-func (c *Cache) rebalanceOnce(a *agent, ctx access.Ctx) bool {
+func (c *shard) rebalanceOnce(a *agent, ctx access.Ctx) bool {
 	if !c.slabs.TryStartRebalance(ctx) {
 		return false // concurrent maintenance in flight
 	}
@@ -547,7 +507,7 @@ func (c *Cache) rebalanceOnce(a *agent, ctx access.Ctx) bool {
 
 // signalHash wakes the hash maintainer if it is idle (the Figure 2 worker
 // pattern: check mx_running, set it, post).
-func (c *Cache) signalHash(ctx access.Ctx) {
+func (c *shard) signalHash(ctx access.Ctx) {
 	if c.retryCondSync() {
 		// The maintainer sleeps on the table's state itself (Retry); the
 		// insert that made NeedExpand true is already the wake-up.
@@ -568,7 +528,7 @@ func (c *Cache) signalHash(ctx access.Ctx) {
 // decision input). Unlike the hash wake-up, these notifications are not
 // deduplicated: every eviction posts, which is exactly the hot-path sem_post
 // whose serialization cost the onCommit stage removes (§3.5).
-func (c *Cache) signalSlab(ctx access.Ctx) {
+func (c *shard) signalSlab(ctx access.Ctx) {
 	if c.retryCondSync() {
 		// Setting the notification flag transactionally wakes the Retry
 		// waiter; no sem_post (and so no unsafe operation) at all.

@@ -15,6 +15,7 @@ func newTestCache(t *testing.T, b Branch) *Cache {
 	t.Helper()
 	return New(Config{
 		Branch:    b,
+		Shards:    1, // existing single-domain semantics; sharded tests opt in
 		MemLimit:  2 << 20,
 		HashPower: 8,
 		Stripes:   64,

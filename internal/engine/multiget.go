@@ -33,30 +33,37 @@ const MultiGetBatch = 16
 //
 // Lock and IP branches have no cross-key section to share (item stripes are
 // per-key), so they fall back to the per-key path.
-func (w *Worker) GetMulti(keys [][]byte) []GetResult {
+func (w *shardWorker) GetMulti(keys [][]byte) []GetResult {
+	hvs := make([]uint64, len(keys))
+	for i, k := range keys {
+		hvs[i] = assoc.Hash(k)
+	}
+	return w.getMulti(keys, hvs)
+}
+
+// getMulti is GetMulti with the key hashes already computed: the sharded
+// router hashes every key once to group it by shard and hands the hashes
+// down with the group.
+func (w *shardWorker) getMulti(keys [][]byte, hvs []uint64) []GetResult {
 	out := make([]GetResult, len(keys))
 	if !w.c.cfg.itemTx {
 		for i, k := range keys {
-			out[i].Value, out[i].Flags, out[i].CAS, out[i].Found = w.get(k, false, 0)
+			out[i].Value, out[i].Flags, out[i].CAS, out[i].Found = w.get(hvs[i], k, false, 0)
 		}
 		return out
 	}
 	for start := 0; start < len(keys); start += MultiGetBatch {
 		end := min(start+MultiGetBatch, len(keys))
-		w.getBatch(keys[start:end], out[start:end])
+		w.getBatch(keys[start:end], hvs[start:end], out[start:end])
 	}
 	return out
 }
 
 // getBatch runs one bounded group of lookups as a single read-only item
 // transaction and handles the deferred write work afterwards.
-func (w *Worker) getBatch(keys [][]byte, out []GetResult) {
+func (w *shardWorker) getBatch(keys [][]byte, hvs []uint64, out []GetResult) {
 	now := w.volatileLoad(w.c.CurrentTime)
 	flushAt := w.volatileLoad(w.c.flushBefore)
-	hvs := make([]uint64, len(keys))
-	for i, k := range keys {
-		hvs[i] = assoc.Hash(k)
-	}
 
 	hits := make([]*item.Item, len(keys))
 	needTouch := make([]bool, len(keys))

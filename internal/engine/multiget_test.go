@@ -14,7 +14,7 @@ import (
 func TestMultiGetRoundTrip(t *testing.T) {
 	forEachBranch(t, func(t *testing.T, c *Cache) {
 		w := c.NewWorker()
-		now := c.CurrentTime.LoadDirect()
+		now := c.Now()
 		w.Set([]byte("a"), 1, 0, []byte("va"))
 		w.Set([]byte("b"), 2, 0, []byte("vb"))
 		w.Set([]byte("gone"), 3, now+5, []byte("dead"))
@@ -169,7 +169,7 @@ func TestMultiGetTouchesLRU(t *testing.T) {
 	c.Start()
 	defer c.Stop()
 	w := c.NewWorker()
-	now := c.CurrentTime.LoadDirect()
+	now := c.Now()
 	w.Set([]byte("old"), 0, 0, []byte("v"))
 	c.SetTime(now + 100) // far past the touch interval
 	res := w.GetMulti([][]byte{[]byte("old")})

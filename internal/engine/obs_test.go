@@ -33,14 +33,14 @@ func TestObsSerialAttribution(t *testing.T) {
 	defer c.Stop()
 	obs := c.EnableTracing()
 
-	holder := c.newAgent()
+	holder := c.shard0().newAgent()
 	hold := make(chan struct{})
 	held := make(chan struct{}, 1)
 	holderDone := make(chan struct{})
 	go func() {
 		defer close(holderDone)
 		holder.section(domains{cache: true}, profile{site: "obs-test holder"}, func(ctx access.Ctx) {
-			ctx.SetWord(c.casCounter, ctx.Word(c.casCounter)+1)
+			ctx.SetWord(c.shard0().casCounter, ctx.Word(c.shard0().casCounter)+1)
 			select {
 			case held <- struct{}{}:
 			default:

@@ -47,7 +47,7 @@ type profile struct {
 // tracks which domain locks it holds (lock branches allow nested sections)
 // and owns the TM context (transactional branches).
 type agent struct {
-	c    *Cache
+	c    *shard
 	tctx *core.Ctx // nil for lock branches
 	dctx access.DirectCtx
 

@@ -58,3 +58,31 @@ func TestTortureIPFamily(t *testing.T) {
 func TestTortureITFamily(t *testing.T) {
 	runTortureFamily(t, []engine.Branch{engine.IT, engine.ITOnCommit, engine.ITNoLock})
 }
+
+// TestTortureSharded runs the torture schedules against a four-domain cache:
+// four private hash tables expanding independently under key churn (the
+// lost-key check must survive every per-shard expansion), with refcount and
+// slab balance validated as the sum over shards. One lock branch and one TM
+// branch cover both router paths.
+func TestTortureSharded(t *testing.T) {
+	for _, b := range []engine.Branch{engine.Baseline, engine.ITOnCommit} {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range tortureSeeds {
+				rep := torture.Run(torture.Config{
+					Branch: b,
+					Seed:   seed,
+					Shards: 4,
+					Short:  *tortureShort,
+				})
+				if rep.Failed() {
+					// Replay: mctorture -branch <b> -seed <seed> -shards 4
+					t.Errorf("%s", rep)
+				} else {
+					t.Logf("%s", rep)
+				}
+			}
+		})
+	}
+}

@@ -17,7 +17,7 @@ import (
 // This is the deep invariant the branch matrix must preserve: the same
 // engine state machine run under 14 different synchronization regimes has to
 // end in structurally identical states.
-func (c *Cache) Validate() error {
+func (c *shard) Validate() error {
 	a := c.newAgent()
 	var err error
 	check := func(ctx access.Ctx) {
@@ -93,7 +93,7 @@ func (c *Cache) Validate() error {
 
 // Expanding reports whether a hash-table expansion is in flight. The torture
 // harness polls it to let migration finish before its invariant checks.
-func (w *Worker) Expanding() bool {
+func (w *shardWorker) Expanding() bool {
 	var exp bool
 	w.section(domains{cache: true}, profile{volatiles: true}, func(ctx access.Ctx) {
 		exp = w.c.tab.IsExpanding(ctx)
@@ -106,7 +106,7 @@ func (w *Worker) Expanding() bool {
 // exactly 1 (the link reference — anything higher is a leaked hold, the
 // balanced-refcount invariant the torture harness asserts), and slab memory
 // must be within its limit. Call only with no commands in flight.
-func (c *Cache) ValidateQuiescent() error {
+func (c *shard) ValidateQuiescent() error {
 	if err := c.Validate(); err != nil {
 		return err
 	}

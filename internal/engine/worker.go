@@ -9,7 +9,6 @@ import (
 	"repro/internal/mcstats"
 	"repro/internal/slab"
 	"repro/internal/stm"
-	"repro/internal/txobs"
 )
 
 // StoreMode selects the storage-command semantics.
@@ -69,7 +68,7 @@ const touchInterval = 1
 
 // Worker is one worker thread's handle on the cache: it owns a TM context, a
 // per-thread statistics block, and the per-thread stats lock.
-type Worker struct {
+type shardWorker struct {
 	agent
 	stats *mcstats.Thread
 	// statsMu is the per-thread stats lock of lock branches. Transactional
@@ -79,8 +78,8 @@ type Worker struct {
 }
 
 // NewWorker registers a new worker.
-func (c *Cache) NewWorker() *Worker {
-	w := &Worker{stats: mcstats.NewThread()}
+func (c *shard) newWorker() *shardWorker {
+	w := &shardWorker{stats: mcstats.NewThread()}
 	w.agent = *c.newAgent()
 	c.mu.Lock()
 	c.tblocks = append(c.tblocks, w.stats)
@@ -90,7 +89,7 @@ func (c *Cache) NewWorker() *Worker {
 
 // tstat updates this worker's statistics block: a per-thread-lock critical
 // section in lock branches, a small atomic transaction otherwise.
-func (w *Worker) tstat(fn func(access.Ctx)) {
+func (w *shardWorker) tstat(fn func(access.Ctx)) {
 	if !w.c.cfg.tm {
 		w.statsMu.Lock()
 		fn(w.dctx)
@@ -102,17 +101,17 @@ func (w *Worker) tstat(fn func(access.Ctx)) {
 
 // CacheNow reads the volatile clock the way an operation would (a lock incr
 // style read, or a mini-transaction after stage Max).
-func (w *Worker) CacheNow() uint64 { return w.volatileLoad(w.c.CurrentTime) }
+func (w *shardWorker) CacheNow() uint64 { return w.volatileLoad(w.c.CurrentTime) }
 
 // txRefOpt reports whether the §5 transactional-refcount optimization is
 // active: only meaningful when item sections are transactions and refcounts
 // are transactional.
-func (w *Worker) txRefOpt() bool {
+func (w *shardWorker) txRefOpt() bool {
 	return w.c.conf.TxRefOpt && w.c.cfg.itemTx && w.c.cfg.profile.TxVolatiles
 }
 
 // expired applies both the item's exptime and the flush_all watermark.
-func (w *Worker) expired(ctx access.Ctx, it *item.Item, now, flushAt uint64) bool {
+func (w *shardWorker) expired(ctx access.Ctx, it *item.Item, now, flushAt uint64) bool {
 	if it.Expired(ctx, now) {
 		return true
 	}
@@ -122,14 +121,14 @@ func (w *Worker) expired(ctx access.Ctx, it *item.Item, now, flushAt uint64) boo
 // releaseRef drops a reference taken by this worker outside any critical
 // section (memcached's item_remove): a lock incr before stage Max, a
 // mini-transaction after. The final reference frees the chunk.
-func (w *Worker) releaseRef(it *item.Item) {
+func (w *shardWorker) releaseRef(it *item.Item) {
 	if w.volatileAdd(it.Refcount, ^uint64(0)) == 0 {
 		w.freeChunk(it)
 	}
 }
 
 // freeChunk returns the item's chunk to its slab class.
-func (w *Worker) freeChunk(it *item.Item) {
+func (w *shardWorker) freeChunk(it *item.Item) {
 	w.section(domains{slabs: true}, profile{}, func(ctx access.Ctx) {
 		w.c.slabs.Release(ctx, it.Class)
 	})
@@ -140,7 +139,7 @@ func (w *Worker) freeChunk(it *item.Item) {
 // transaction (IT), plus the cache-lock domain. It drops the hash table's
 // reference; if that was the last one, the chunk is freed (slabs domain,
 // nested — one of the lock-inside-lock patterns of §3.1).
-func (w *Worker) unlinkLocked(ctx access.Ctx, it *item.Item) {
+func (w *shardWorker) unlinkLocked(ctx access.Ctx, it *item.Item) {
 	if !it.Linked(ctx) {
 		return
 	}
@@ -163,18 +162,20 @@ func (w *Worker) unlinkLocked(ctx access.Ctx, it *item.Item) {
 // Get
 
 // Get looks up key and returns a copy of its value.
-func (w *Worker) Get(key []byte) (val []byte, flags uint32, cas uint64, found bool) {
-	return w.get(key, false, 0)
+func (w *shardWorker) Get(key []byte) (val []byte, flags uint32, cas uint64, found bool) {
+	return w.get(assoc.Hash(key), key, false, 0)
 }
 
 // GetAndTouch is the gat command: fetch and update the expiry in one item
 // critical section.
-func (w *Worker) GetAndTouch(key []byte, exptime uint64) (val []byte, flags uint32, cas uint64, found bool) {
-	return w.get(key, true, exptime)
+func (w *shardWorker) GetAndTouch(key []byte, exptime uint64) (val []byte, flags uint32, cas uint64, found bool) {
+	return w.get(assoc.Hash(key), key, true, exptime)
 }
 
-func (w *Worker) get(key []byte, touch bool, exptime uint64) (val []byte, flags uint32, cas uint64, found bool) {
-	hv := assoc.Hash(key)
+// get takes the key's hash from the caller: the sharded router already
+// computed it to pick this shard, and hashing is the one per-op cost that
+// would otherwise double under sharding.
+func (w *shardWorker) get(hv uint64, key []byte, touch bool, exptime uint64) (val []byte, flags uint32, cas uint64, found bool) {
 	now := w.volatileLoad(w.c.CurrentTime)
 	flushAt := w.volatileLoad(w.c.flushBefore)
 
@@ -253,37 +254,36 @@ func (w *Worker) get(key []byte, touch bool, exptime uint64) (val []byte, flags 
 // Storage commands
 
 // Set stores key=value unconditionally.
-func (w *Worker) Set(key []byte, flags uint32, exptime uint64, value []byte) StoreResult {
-	return w.store(ModeSet, key, flags, exptime, value, 0)
+func (w *shardWorker) Set(key []byte, flags uint32, exptime uint64, value []byte) StoreResult {
+	return w.store(ModeSet, assoc.Hash(key), key, flags, exptime, value, 0)
 }
 
 // Add stores only if the key is absent.
-func (w *Worker) Add(key []byte, flags uint32, exptime uint64, value []byte) StoreResult {
-	return w.store(ModeAdd, key, flags, exptime, value, 0)
+func (w *shardWorker) Add(key []byte, flags uint32, exptime uint64, value []byte) StoreResult {
+	return w.store(ModeAdd, assoc.Hash(key), key, flags, exptime, value, 0)
 }
 
 // Replace stores only if the key is present.
-func (w *Worker) Replace(key []byte, flags uint32, exptime uint64, value []byte) StoreResult {
-	return w.store(ModeReplace, key, flags, exptime, value, 0)
+func (w *shardWorker) Replace(key []byte, flags uint32, exptime uint64, value []byte) StoreResult {
+	return w.store(ModeReplace, assoc.Hash(key), key, flags, exptime, value, 0)
 }
 
 // Append appends value to an existing item.
-func (w *Worker) Append(key []byte, value []byte) StoreResult {
-	return w.store(ModeAppend, key, 0, 0, value, 0)
+func (w *shardWorker) Append(key []byte, value []byte) StoreResult {
+	return w.store(ModeAppend, assoc.Hash(key), key, 0, 0, value, 0)
 }
 
 // Prepend prepends value to an existing item.
-func (w *Worker) Prepend(key []byte, value []byte) StoreResult {
-	return w.store(ModePrepend, key, 0, 0, value, 0)
+func (w *shardWorker) Prepend(key []byte, value []byte) StoreResult {
+	return w.store(ModePrepend, assoc.Hash(key), key, 0, 0, value, 0)
 }
 
 // CAS stores only if the item's CAS id still equals casUnique.
-func (w *Worker) CAS(key []byte, flags uint32, exptime uint64, value []byte, casUnique uint64) StoreResult {
-	return w.store(ModeCAS, key, flags, exptime, value, casUnique)
+func (w *shardWorker) CAS(key []byte, flags uint32, exptime uint64, value []byte, casUnique uint64) StoreResult {
+	return w.store(ModeCAS, assoc.Hash(key), key, flags, exptime, value, casUnique)
 }
 
-func (w *Worker) store(mode StoreMode, key []byte, flags uint32, exptime uint64, value []byte, casUnique uint64) StoreResult {
-	hv := assoc.Hash(key)
+func (w *shardWorker) store(mode StoreMode, hv uint64, key []byte, flags uint32, exptime uint64, value []byte, casUnique uint64) StoreResult {
 	now := w.volatileLoad(w.c.CurrentTime)
 	flushAt := w.volatileLoad(w.c.flushBefore)
 	res := NotStored
@@ -387,7 +387,7 @@ func (w *Worker) store(mode StoreMode, key []byte, flags uint32, exptime uint64,
 // operation reads the volatile current_time and which builds the item suffix
 // with snprintf — relaxed and start-serial pre-Max, in-flight serial pre-Lib
 // (§3.3). On memory pressure it evicts from the LRU tail.
-func (w *Worker) allocItem(key []byte, hv uint64, flags uint32, exptime uint64, val []byte, cls int, flushAt uint64) (*item.Item, bool) {
+func (w *shardWorker) allocItem(key []byte, hv uint64, flags uint32, exptime uint64, val []byte, cls int, flushAt uint64) (*item.Item, bool) {
 	var newIt *item.Item
 	ok := false
 	w.section(domains{cache: true, slabs: true}, profile{volatiles: true, volatileFirst: true, libc: true, io: true, site: "do_item_alloc"}, func(ctx access.Ctx) {
@@ -420,7 +420,7 @@ func (w *Worker) allocItem(key []byte, hv uint64, flags uint32, exptime uint64, 
 // that replaces old (if any) with newIt, with global stats via the stats lock
 // (the Figure 3 rapid re-locking) and the hash-expansion signal via sem_post
 // (unsafe until stage onCommit).
-func (w *Worker) linkItem(old, newIt *item.Item) {
+func (w *shardWorker) linkItem(old, newIt *item.Item) {
 	w.section(domains{cache: true}, profile{volatiles: true, libc: true, io: true, site: "do_item_link"}, func(ctx access.Ctx) {
 		if old != nil {
 			w.unlinkLocked(ctx, old)
@@ -446,7 +446,7 @@ func (w *Worker) linkItem(old, newIt *item.Item) {
 // section; in the IP and lock branches each candidate's item lock is
 // trylocked from within (Figure 1a) and busy candidates are skipped — the
 // save_for_later path.
-func (w *Worker) evictOne(ctx access.Ctx, cls int, now, flushAt uint64) bool {
+func (w *shardWorker) evictOne(ctx access.Ctx, cls int, now, flushAt uint64) bool {
 	it := w.c.lru.Tail(ctx, cls)
 	for tries := 0; it != nil && tries < 5; tries++ {
 		if ctx.Volatile(it.Refcount) > 1 {
@@ -481,8 +481,11 @@ func (w *Worker) evictOne(ctx access.Ctx, cls int, now, flushAt uint64) bool {
 // Delete, Incr/Decr, Touch, FlushAll
 
 // Delete removes key; reports whether it existed.
-func (w *Worker) Delete(key []byte) bool {
-	hv := assoc.Hash(key)
+func (w *shardWorker) Delete(key []byte) bool {
+	return w.del(assoc.Hash(key), key)
+}
+
+func (w *shardWorker) del(hv uint64, key []byte) bool {
 	now := w.volatileLoad(w.c.CurrentTime)
 	flushAt := w.volatileLoad(w.c.flushBefore)
 	found := false
@@ -521,17 +524,16 @@ func (w *Worker) Delete(key []byte) bool {
 // Incr adds delta to a decimal value in place (incr command); Decr subtracts,
 // saturating at zero. The value parse and re-format are the strtoull/snprintf
 // libc calls of §3.4.
-func (w *Worker) Incr(key []byte, delta uint64) (uint64, DeltaResult) {
-	return w.delta(key, delta, false)
+func (w *shardWorker) Incr(key []byte, delta uint64) (uint64, DeltaResult) {
+	return w.delta(assoc.Hash(key), key, delta, false)
 }
 
 // Decr subtracts delta, saturating at zero.
-func (w *Worker) Decr(key []byte, delta uint64) (uint64, DeltaResult) {
-	return w.delta(key, delta, true)
+func (w *shardWorker) Decr(key []byte, delta uint64) (uint64, DeltaResult) {
+	return w.delta(assoc.Hash(key), key, delta, true)
 }
 
-func (w *Worker) delta(key []byte, delta uint64, decr bool) (uint64, DeltaResult) {
-	hv := assoc.Hash(key)
+func (w *shardWorker) delta(hv uint64, key []byte, delta uint64, decr bool) (uint64, DeltaResult) {
 	now := w.volatileLoad(w.c.CurrentTime)
 	flushAt := w.volatileLoad(w.c.flushBefore)
 	var out uint64
@@ -628,8 +630,11 @@ func appendUint(dst []byte, v uint64) []byte {
 }
 
 // Touch updates an item's expiry time; reports whether it existed.
-func (w *Worker) Touch(key []byte, exptime uint64) bool {
-	hv := assoc.Hash(key)
+func (w *shardWorker) Touch(key []byte, exptime uint64) bool {
+	return w.touch(assoc.Hash(key), key, exptime)
+}
+
+func (w *shardWorker) touch(hv uint64, key []byte, exptime uint64) bool {
 	now := w.volatileLoad(w.c.CurrentTime)
 	flushAt := w.volatileLoad(w.c.flushBefore)
 	found := false
@@ -655,7 +660,7 @@ func (w *Worker) Touch(key []byte, exptime uint64) bool {
 
 // FlushAll marks everything stored before now as expired (lazy reclamation,
 // via the flush watermark volatile).
-func (w *Worker) FlushAll() {
+func (w *shardWorker) FlushAll() {
 	now := w.volatileLoad(w.c.CurrentTime)
 	w.volatileStore(w.c.flushBefore, now+1)
 }
@@ -679,9 +684,13 @@ type Snapshot struct {
 	STM         stm.Snapshot
 }
 
-// ResetStats zeroes the command counters ("stats reset"): every per-thread
-// block and the global event counters; gauges (curr_items, bytes) survive.
-func (w *Worker) ResetStats() {
+// ResetStats zeroes this shard's command counters: every per-thread block
+// registered on the shard and the shard's global event counters; gauges
+// (curr_items, bytes) survive. The shared observer is NOT touched here — it
+// spans all shards, so the router resets it exactly once (resetting it per
+// shard would wipe other shards' post-reset events, and its lifecycle is
+// independent of any one runtime's tracing state).
+func (w *shardWorker) ResetStats() {
 	w.c.mu.Lock()
 	blocks := append([]*mcstats.Thread(nil), w.c.tblocks...)
 	w.c.mu.Unlock()
@@ -707,9 +716,6 @@ func (w *Worker) ResetStats() {
 	if w.c.rt != nil {
 		w.c.rt.ResetStats()
 	}
-	if o := w.c.Observer(); o != nil {
-		o.Reset()
-	}
 }
 
 // SlabClassStat is one row of "stats slabs".
@@ -723,7 +729,7 @@ type SlabClassStat struct {
 
 // SlabStats reports per-class slab allocator detail (the "stats slabs"
 // command), read under the slabs lock domain.
-func (w *Worker) SlabStats() []SlabClassStat {
+func (w *shardWorker) SlabStats() []SlabClassStat {
 	var out []SlabClassStat
 	w.section(domains{slabs: true}, profile{}, func(ctx access.Ctx) {
 		out = out[:0]
@@ -746,13 +752,9 @@ func (w *Worker) SlabStats() []SlabClassStat {
 	return out
 }
 
-// Observer exposes the cache's observability collector to the protocol
-// layer, or nil when tracing was never enabled.
-func (w *Worker) Observer() *txobs.Observer { return w.c.Observer() }
-
 // Stats aggregates per-thread blocks (taking each per-thread lock, or one
 // transaction) and reads the global counters under the stats lock.
-func (w *Worker) Stats() Snapshot {
+func (w *shardWorker) Stats() Snapshot {
 	var s Snapshot
 	w.c.mu.Lock()
 	blocks := append([]*mcstats.Thread(nil), w.c.tblocks...)

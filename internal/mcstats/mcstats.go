@@ -135,3 +135,22 @@ func Aggregate(c access.Ctx, blocks []*Thread) Aggregated {
 	}
 	return a
 }
+
+// Add returns the field-wise sum of a and o — merging per-shard aggregates
+// into the engine-level "stats" view of a sharded cache.
+func (a Aggregated) Add(o Aggregated) Aggregated {
+	a.GetCmds += o.GetCmds
+	a.GetHits += o.GetHits
+	a.GetMisses += o.GetMisses
+	a.SetCmds += o.SetCmds
+	a.DeleteHits += o.DeleteHits
+	a.DeleteMiss += o.DeleteMiss
+	a.IncrHits += o.IncrHits
+	a.IncrMiss += o.IncrMiss
+	a.CasHits += o.CasHits
+	a.CasMiss += o.CasMiss
+	a.CasBadval += o.CasBadval
+	a.TouchCmds += o.TouchCmds
+	a.Expired += o.Expired
+	return a
+}

@@ -29,7 +29,7 @@ func TestTextMultiGetPresentMissingExpired(t *testing.T) {
 		b := b
 		t.Run(b.String(), func(t *testing.T) {
 			c := newBatchCache(t, b)
-			now := c.CurrentTime.LoadDirect()
+			now := c.Now()
 			setup := "set a 1 0 2\r\nva\r\n" +
 				fmt.Sprintf("set gone 0 %d 4\r\ndead\r\n", now+5) +
 				"set b 2 0 2\r\nvb\r\n"

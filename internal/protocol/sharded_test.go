@@ -1,0 +1,130 @@
+package protocol
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func newShardedProtoCache(t *testing.T, b engine.Branch) *engine.Cache {
+	t.Helper()
+	c := engine.New(engine.Config{Branch: b, Shards: 4, HashPower: 8})
+	c.Start()
+	t.Cleanup(c.Stop)
+	return c
+}
+
+// TestShardedStatsOutput: the wire-visible shard surface. `stats` reports the
+// domain count, and `stats tm` appends a per-shard commit/abort/fast-path
+// breakdown whose columns sum exactly to the merged counters above it — the
+// domains share no counters, so the decomposition is exact, not approximate.
+func TestShardedStatsOutput(t *testing.T) {
+	c := newShardedProtoCache(t, engine.ITOnCommit)
+	var script strings.Builder
+	for i := 0; i < 64; i++ {
+		fmt.Fprintf(&script, "set sk%02d 0 0 1\r\nx\r\nget sk%02d\r\n", i, i)
+	}
+	runTextOn(t, c, script.String())
+
+	out := runTextOn(t, c, "stats\r\n")
+	if v := statValue(out, "shards"); v != "4" {
+		t.Fatalf("STAT shards = %q, want 4\n%s", v, out)
+	}
+
+	out = runTextOn(t, c, "stats tm\r\n")
+	if v := statValue(out, "shards"); v != "4" {
+		t.Fatalf("stats tm shards = %q, want 4\n%s", v, out)
+	}
+	total, _ := strconv.ParseUint(statValue(out, "commits"), 10, 64)
+	if total == 0 {
+		t.Fatal("commits = 0 after 128 commands")
+	}
+	var sum uint64
+	active := 0
+	for i := 0; i < 4; i++ {
+		v := statValue(out, fmt.Sprintf("shard_%d_commits", i))
+		if v == "" {
+			t.Fatalf("stats tm lacks shard_%d_commits:\n%s", i, out)
+		}
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			t.Fatalf("shard_%d_commits = %q: %v", i, v, err)
+		}
+		if n > 0 {
+			active++
+		}
+		sum += n
+	}
+	// The `stats tm` read itself commits bookkeeping transactions after the
+	// merged counter was sampled, so the per-shard sum may run a few ahead of
+	// the merged line — never behind it.
+	if sum < total || sum > total+16 {
+		t.Errorf("per-shard commit sum %d vs merged commits %d", sum, total)
+	}
+	if active < 2 {
+		t.Errorf("only %d shards committed; routing is degenerate", active)
+	}
+}
+
+// TestShardedStatsConflicts: with tracing on, `stats conflicts` reports the
+// cross-shard orec conflict counter — and it must be zero: each domain's
+// events land in a disjoint orec-id range by construction.
+func TestShardedStatsConflicts(t *testing.T) {
+	c := newShardedProtoCache(t, engine.ITOnCommit)
+	c.EnableTracing()
+	var script strings.Builder
+	for i := 0; i < 64; i++ {
+		fmt.Fprintf(&script, "set ck%02d 0 0 1\r\nx\r\nget ck%02d ck%02d\r\n", i, i, (i+1)%64)
+	}
+	runTextOn(t, c, script.String())
+	out := runTextOn(t, c, "stats conflicts\r\n")
+	if v := statValue(out, "cross_shard_orec_conflicts"); v != "0" {
+		t.Errorf("cross_shard_orec_conflicts = %q, want 0\n%s", v, out)
+	}
+}
+
+// TestShardedBatchPipelineSingleWrite: splitting a pipelined batch across
+// four TM domains must not split the transport write. The replies gather
+// until the pipeline drains and leave in ONE write, exactly as on a
+// single-domain cache — the scatter/gather happens at the engine layer, the
+// connection never sees it.
+func TestShardedBatchPipelineSingleWrite(t *testing.T) {
+	c := newShardedProtoCache(t, engine.ITOnCommit)
+	var setup, multi strings.Builder
+	keys := make([]string, 24)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("pw%02d", i)
+		fmt.Fprintf(&setup, "set %s 0 0 1\r\nv\r\n", keys[i])
+	}
+	fmt.Fprintf(&multi, "get %s\r\nget %s\r\n", strings.Join(keys, " "), keys[0])
+
+	pipelined := &countingConn{chunks: [][]byte{[]byte(setup.String() + multi.String())}}
+	if err := NewConn(c.NewWorker(), pipelined).Serve(); err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if pipelined.writes != 1 {
+		t.Errorf("pipelined cross-shard batch: %d transport writes, want 1", pipelined.writes)
+	}
+	out := pipelined.out.String()
+	if strings.Count(out, "STORED\r\n") != len(keys) {
+		t.Fatalf("setup replies wrong:\n%q", out)
+	}
+	if strings.Count(out, "VALUE ") != len(keys)+1 || strings.Count(out, "END\r\n") != 2 {
+		t.Errorf("multi-get replies wrong:\n%q", out)
+	}
+	// The 24-key get spans several shards; replies must still be in request
+	// order, not shard order.
+	last := -1
+	for _, line := range strings.Split(out, "\r\n") {
+		if k, ok := strings.CutPrefix(line, "VALUE pw"); ok {
+			n, _ := strconv.Atoi(strings.Fields(k)[0])
+			if n < last && last != len(keys)-1 { // final single get restarts at pw00
+				t.Fatalf("VALUE order broken: pw%02d after pw%02d\n%q", n, last, out)
+			}
+			last = n
+		}
+	}
+}

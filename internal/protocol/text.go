@@ -476,6 +476,7 @@ func (c *Conn) cmdStats() error {
 	stat("hash_items", s.HashItems)
 	stat("hash_buckets", s.HashBuckets)
 	stat("limit_maxbytes", s.SlabBytes)
+	stat("shards", uint64(c.worker.NumShards()))
 	stat("tm_transactions", s.STM.Commits)
 	stat("tm_aborts", s.STM.Aborts)
 	stat("tm_inflight_switch", s.STM.InFlightSwitch)
@@ -523,6 +524,16 @@ func (c *Conn) cmdStatsTM() error {
 	fmt.Fprintf(c.w, "STAT ro_upgrade %d\r\n", s.ROUpgrades)
 	fmt.Fprintf(c.w, "STAT start_serial %d\r\n", s.StartSerial)
 	fmt.Fprintf(c.w, "STAT inflight_switch %d\r\n", s.InFlightSwitch)
+	// Per-domain breakdown: each shard owns an independent STM runtime, so
+	// the merged counters above decompose exactly into these lines.
+	if shards := c.worker.ShardStats(); len(shards) > 1 {
+		fmt.Fprintf(c.w, "STAT shards %d\r\n", len(shards))
+		for i, ss := range shards {
+			fmt.Fprintf(c.w, "STAT shard_%d_commits %d\r\n", i, ss.Commits)
+			fmt.Fprintf(c.w, "STAT shard_%d_aborts %d\r\n", i, ss.Aborts)
+			fmt.Fprintf(c.w, "STAT shard_%d_ro_fast_commit %d\r\n", i, ss.ROFastCommits)
+		}
+	}
 	r, ok, err := c.obsReport(0)
 	if !ok {
 		return err
@@ -555,6 +566,12 @@ func (c *Conn) cmdStatsConflicts() error {
 	}
 	for _, l := range r.SerialLabels {
 		fmt.Fprintf(c.w, "STAT abort_serial_%s %d\r\n", l.Label, l.Count)
+	}
+	if r.Shards > 1 {
+		for _, l := range r.ShardConflicts {
+			fmt.Fprintf(c.w, "STAT conflicts_%s %d\r\n", l.Label, l.Count)
+		}
+		fmt.Fprintf(c.w, "STAT cross_shard_orec_conflicts %d\r\n", r.CrossShardOrecConflicts)
 	}
 	for _, oc := range r.HotOrecs {
 		fmt.Fprintf(c.w, "STAT orec_%d %d %s\r\n", oc.Orec, oc.Count, oc.LastLabel)

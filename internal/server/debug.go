@@ -29,11 +29,15 @@ func NewDebugHandler(cache *engine.Cache) http.Handler {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		vars := map[string]any{
 			"branch": cache.Branch().String(),
+			"shards": cache.NumShards(),
 		}
 		if o := cache.Observer(); o != nil {
 			vars["tm"] = o.Report(32)
 		}
 		vars["stats"] = cache.NewWorker().Stats()
+		if cache.NumShards() > 1 {
+			vars["shard_stats"] = cache.ShardStats()
+		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(vars)

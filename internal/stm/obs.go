@@ -26,6 +26,26 @@ func (rt *Runtime) EnableTracing() *txobs.Observer {
 	return o
 }
 
+// AttachTracing installs a shared observer into this runtime and activates
+// event recording. A sharded engine calls it on every shard's runtime with
+// one observer, the shard's index, and a disjoint orec base offset, so the
+// observer's conflict heat map covers all domains without index collisions
+// and every event carries its shard. Subsequent Enable/DisableTracing calls
+// keep using the attached observer.
+func (rt *Runtime) AttachTracing(o *txobs.Observer, shard, orecBase int) {
+	rt.obsShard.Store(int32(shard))
+	rt.obsBase.Store(int32(orecBase))
+	rt.mu.Lock()
+	rt.obsAll.Store(o)
+	rt.mu.Unlock()
+	o.Enable()
+	rt.obs.Store(o)
+}
+
+// OrecCount returns the size of the runtime's ownership-record table (for
+// sizing a shared observer across sharded runtimes).
+func (rt *Runtime) OrecCount() int { return len(rt.orecs) }
+
 // DisableTracing stops event recording. The observer (and everything it has
 // collected) remains reachable through TracingObserver.
 func (rt *Runtime) DisableTracing() {
@@ -40,16 +60,17 @@ func (rt *Runtime) DisableTracing() {
 func (rt *Runtime) TracingObserver() *txobs.Observer { return rt.obsAll.Load() }
 
 // orecIndex maps a location id to its orec-table index (the same hash
-// orecFor uses), for conflict-event attribution.
+// orecFor uses) plus the runtime's base offset in a shared observer, for
+// conflict-event attribution.
 func (rt *Runtime) orecIndex(id uint64) int32 {
-	return int32((id * 0x9E3779B97F4A7C15) >> 32 & rt.omask)
+	return rt.obsBase.Load() + int32((id*0x9E3779B97F4A7C15)>>32&rt.omask)
 }
 
 // obsEvent records a runtime-scoped event (no thread context, e.g. watchdog
 // escalations). The tracing-disabled cost is the single obs load.
 func (rt *Runtime) obsEvent(k txobs.Kind, cause string) {
 	if o := rt.obs.Load(); o != nil {
-		o.Record(&txobs.Event{Kind: k, Cause: cause, Orec: -1})
+		o.Record(&txobs.Event{Kind: k, Cause: cause, Orec: -1, Shard: rt.obsShard.Load()})
 	}
 }
 
@@ -79,6 +100,7 @@ func (tx *Tx) obsRecord(o *txobs.Observer, k txobs.Kind, cause string) {
 		Kind:   k,
 		Cause:  cause,
 		Site:   tx.props.Site,
+		Shard:  tx.rt.obsShard.Load(),
 		Serial: tx.serial,
 		Retry:  uint32(tx.th.consecAborts.Load()),
 		Reads:  uint32(len(tx.reads) + len(tx.nReadsW) + len(tx.nReadsA)),

@@ -134,6 +134,29 @@ func (s Snapshot) Sub(base Snapshot) Snapshot {
 	}
 }
 
+// Add returns the field-wise sum of s and o — merging per-shard runtime
+// snapshots into one engine-level view. Per-thread breakdowns concatenate
+// (each shard's runtime numbers its own threads).
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	s.Starts += o.Starts
+	s.Commits += o.Commits
+	s.Aborts += o.Aborts
+	s.InFlightSwitch += o.InFlightSwitch
+	s.StartSerial += o.StartSerial
+	s.AbortSerial += o.AbortSerial
+	s.SerialCommits += o.SerialCommits
+	s.HTMCapacityAborts += o.HTMCapacityAborts
+	s.HTMFallbacks += o.HTMFallbacks
+	s.Retries += o.Retries
+	s.ROFastCommits += o.ROFastCommits
+	s.ROUpgrades += o.ROUpgrades
+	s.WatchdogBackoffs += o.WatchdogBackoffs
+	s.WatchdogSerializes += o.WatchdogSerializes
+	s.ThreadCommits = append(append([]uint64(nil), s.ThreadCommits...), o.ThreadCommits...)
+	s.ThreadAborts = append(append([]uint64(nil), s.ThreadAborts...), o.ThreadAborts...)
+	return s
+}
+
 // AbortsPerCommit returns the ratio the paper quotes in §4 ("NOrec worker
 // threads aborted once per 5 commits, Lazy 14 times per commit, ...").
 func (s Snapshot) AbortsPerCommit() float64 {

@@ -214,6 +214,11 @@ const (
 	defaultWatchdogAge    = 50 * time.Millisecond
 )
 
+// DefaultOrecBits is the orec-table size a zero Config gets (1<<16 entries),
+// exported so a sharded embedder can divide the table across runtimes while
+// keeping the total footprint — and the orec-per-key density — constant.
+const DefaultOrecBits = defaultOrecBits
+
 func (c Config) withDefaults() Config {
 	if c.SerializeAfter <= 0 {
 		c.SerializeAfter = defaultSerializeAfter
@@ -270,6 +275,13 @@ type Runtime struct {
 	// observer, kept across DisableTracing. See obs.go.
 	obs    atomic.Pointer[txobs.Observer]
 	obsAll atomic.Pointer[txobs.Observer]
+
+	// obsShard and obsBase identify this runtime inside a shared observer
+	// (sharded engines): the TM-domain index stamped on every event, and the
+	// offset of this runtime's orec range in the observer's heat map. Both
+	// zero when the runtime owns its observer alone. See AttachTracing.
+	obsShard atomic.Int32
+	obsBase  atomic.Int32
 
 	watchStop chan struct{}
 	watchWG   sync.WaitGroup

@@ -42,6 +42,7 @@ func RunNetwork(cfg Config) *Report {
 
 	cache := engine.New(engine.Config{
 		Branch:    cfg.Branch,
+		Shards:    cfg.Shards,
 		MemLimit:  cfg.MemLimit,
 		HashPower: cfg.HashPower,
 		Automove:  true,

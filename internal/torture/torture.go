@@ -37,9 +37,17 @@ type Config struct {
 	Workers    int     // concurrent chaos workers (default 4)
 	Ops        int     // phase-A ops per worker (default 1200)
 	StableKeys int     // phase-B keys, sized to force expansion (default 2200)
-	HashPower  uint    // initial table = 2^HashPower buckets (default 8)
+	HashPower  uint    // initial table = 2^HashPower buckets per shard (default 8; 6 when sharded)
 	MemLimit   uint64  // slab budget (default 64 MiB: phase B must not evict)
 	MaxRate    float64 // ceiling for per-point fault rates (default 0.02)
+
+	// Shards runs the cache as this many independent TM domains (default 1).
+	// Stable keys spread across shards, so each shard's table starts smaller
+	// (HashPower default drops to 6) to keep every shard's incremental
+	// expander exercised while keys churn — the lost-key check then covers
+	// concurrent per-shard expansions, and the refcount/slab balance checks
+	// sum over shards via ValidateQuiescent.
+	Shards int
 
 	// Short shrinks the run for -race smoke tests (-torture.short).
 	Short bool
@@ -66,8 +74,17 @@ func (c Config) withDefaults() Config {
 	if c.StableKeys == 0 {
 		c.StableKeys = 2200
 	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
 	if c.HashPower == 0 {
-		c.HashPower = 8
+		if c.Shards > 1 {
+			// Keys divide across shards; a smaller per-shard table keeps the
+			// expansion threshold (3/2 full) within reach of every shard.
+			c.HashPower = 6
+		} else {
+			c.HashPower = 8
+		}
 	}
 	if c.MemLimit == 0 {
 		c.MemLimit = 64 << 20
@@ -135,6 +152,7 @@ func Run(cfg Config) *Report {
 
 	cache := engine.New(engine.Config{
 		Branch:    cfg.Branch,
+		Shards:    cfg.Shards,
 		MemLimit:  cfg.MemLimit,
 		HashPower: cfg.HashPower,
 		Automove:  true,

@@ -80,6 +80,7 @@ type Event struct {
 	Reads  uint32 // read-set size at event time
 	Writes uint32 // write-set size at event time
 	Orec   int32  // conflicting orec index, -1 = none/unknown
+	Shard  int32  // TM domain (shard) the event came from; 0 when unsharded
 	Label  Label  // label of the conflicting location (NoLabel = unnamed)
 	Cause  string // serialization/abort cause, "" for begin/commit
 	Site   string // source-level transaction site (Props.Site)

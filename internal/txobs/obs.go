@@ -13,17 +13,33 @@ import (
 // Options parameterizes an Observer.
 type Options struct {
 	// Orecs sizes the per-orec conflict heat map (the runtime's orec-table
-	// size). 0 disables orec-level aggregation (labels still work).
+	// size). 0 disables orec-level aggregation (labels still work). For a
+	// sharded engine this is the sum of every shard's orec-table size: each
+	// shard's runtime records events with a disjoint orec base offset, so one
+	// observer covers all domains without index collisions.
 	Orecs int
+	// Shards is the number of TM domains feeding this observer. >1 enables
+	// the per-shard conflict-label heat map and the cross-shard consistency
+	// check on the orec heat map. 0 and 1 mean a single (unsharded) domain.
+	Shards int
 	// RingCapacity is the per-sink event ring size (default 4096).
 	RingCapacity int
 }
 
 // heatCell is one orec's aggregate: abort count plus the label of the last
-// conflicting location that hashed there (label+1; 0 = none seen).
+// conflicting location that hashed there (label+1; 0 = none seen), plus the
+// owning shard (shard+1; 0 = none seen). Since sharded runtimes record with
+// disjoint orec bases, a cell seeing two different shards is a bug — counted
+// in crossShard, asserted zero by the bench harness.
 type heatCell struct {
-	n    atomic.Uint64
-	last atomic.Uint32
+	n     atomic.Uint64
+	last  atomic.Uint32
+	shard atomic.Int32
+}
+
+// shardCells is one shard's conflict-by-label heat map.
+type shardCells struct {
+	aborts [MaxLabels]atomic.Uint64
 }
 
 // Observer owns the aggregation state of the observability layer: per-kind
@@ -41,6 +57,11 @@ type Observer struct {
 	orecHeat      []heatCell
 	labelAborts   [MaxLabels]atomic.Uint64
 	serialByLabel [MaxLabels]atomic.Uint64
+
+	// Shard dimension (sharded engines): per-shard conflict labels and the
+	// count of orec heat cells that saw events from more than one shard.
+	shardHeat  []shardCells
+	crossShard atomic.Uint64
 
 	causeMu      sync.Mutex
 	serialCauses map[string]uint64
@@ -66,6 +87,9 @@ func New(opts Options) *Observer {
 	}
 	if opts.Orecs > 0 {
 		o.orecHeat = make([]heatCell, opts.Orecs)
+	}
+	if opts.Shards > 1 {
+		o.shardHeat = make([]shardCells, opts.Shards)
 	}
 	o.global = &Sink{obs: o, ring: NewRing(opts.RingCapacity), id: -1}
 	return o
@@ -103,9 +127,18 @@ func (o *Observer) aggregate(ev *Event) {
 			c := &o.orecHeat[ev.Orec]
 			c.n.Add(1)
 			c.last.Store(uint32(ev.Label) + 1)
+			owner := ev.Shard + 1
+			if prev := c.shard.Load(); prev == 0 {
+				c.shard.CompareAndSwap(0, owner)
+			} else if prev != owner {
+				o.crossShard.Add(1)
+			}
 		}
 		if int(ev.Label) < MaxLabels {
 			o.labelAborts[ev.Label].Add(1)
+		}
+		if int(ev.Shard) < len(o.shardHeat) && int(ev.Label) < MaxLabels {
+			o.shardHeat[ev.Shard].aborts[ev.Label].Add(1)
 		}
 		if ev.Cause != "" {
 			o.addCause(&o.abortCauses, ev.Cause)
@@ -142,6 +175,21 @@ func (o *Observer) RecordSerialCause(cause string) {
 
 // KindCount returns the number of events of kind k recorded.
 func (o *Observer) KindCount(k Kind) uint64 { return o.kinds[k].Load() }
+
+// CrossShardOrecConflicts returns how many conflict events landed on an orec
+// heat cell already owned by a different shard. With disjoint per-shard orec
+// bases this must stay zero; nonzero means two TM domains shared a
+// synchronization word.
+func (o *Observer) CrossShardOrecConflicts() uint64 { return o.crossShard.Load() }
+
+// NumShards returns the shard count the observer was built for (1 when
+// unsharded).
+func (o *Observer) NumShards() int {
+	if len(o.shardHeat) == 0 {
+		return 1
+	}
+	return len(o.shardHeat)
+}
 
 // ObservePhase records one STM phase latency.
 func (o *Observer) ObservePhase(p Phase, d time.Duration) {
@@ -215,11 +263,18 @@ func (o *Observer) Reset() {
 	for i := range o.orecHeat {
 		o.orecHeat[i].n.Store(0)
 		o.orecHeat[i].last.Store(0)
+		o.orecHeat[i].shard.Store(0)
 	}
 	for i := range o.labelAborts {
 		o.labelAborts[i].Store(0)
 		o.serialByLabel[i].Store(0)
 	}
+	for s := range o.shardHeat {
+		for i := range o.shardHeat[s].aborts {
+			o.shardHeat[s].aborts[i].Store(0)
+		}
+	}
+	o.crossShard.Store(0)
 	o.causeMu.Lock()
 	clear(o.serialCauses)
 	clear(o.abortCauses)
@@ -262,6 +317,9 @@ type OrecCount struct {
 	Orec      int    `json:"orec"`
 	Count     uint64 `json:"count"`
 	LastLabel string `json:"last_label"`
+	// Shard is the TM domain whose conflicts heated this orec (-1 = none
+	// attributed yet). Disjoint per-shard orec bases make this single-valued.
+	Shard int `json:"shard"`
 }
 
 // Report is a point-in-time structured view of everything the observer has
@@ -275,6 +333,14 @@ type Report struct {
 	ConflictLabels []LabelCount            `json:"conflict_labels"`
 	SerialLabels   []LabelCount            `json:"serial_labels"`
 	HotOrecs       []OrecCount             `json:"hot_orecs"`
+	// Shards is the TM domain count; ShardConflicts is the conflict heat map
+	// with the shard dimension ("s2/hash_bucket"), only populated when the
+	// observer serves more than one shard. CrossShardOrecConflicts counts
+	// conflicts whose orec heat cell was owned by another shard — zero by
+	// construction when the domains are independent.
+	Shards                  int          `json:"shards,omitempty"`
+	ShardConflicts          []LabelCount `json:"shard_conflicts,omitempty"`
+	CrossShardOrecConflicts uint64       `json:"cross_shard_orec_conflicts"`
 	Phases         map[string]HistSnapshot `json:"phases"`
 	Commands       map[string]HistSnapshot `json:"commands"`
 }
@@ -335,9 +401,25 @@ func (o *Observer) Report(topOrecs int) Report {
 			if l := o.orecHeat[i].last.Load(); l > 0 {
 				lc = Label(l - 1).String()
 			}
-			r.HotOrecs = append(r.HotOrecs, OrecCount{Orec: i, Count: n, LastLabel: lc})
+			r.HotOrecs = append(r.HotOrecs, OrecCount{
+				Orec: i, Count: n, LastLabel: lc,
+				Shard: int(o.orecHeat[i].shard.Load()) - 1,
+			})
 		}
 	}
+	if len(o.shardHeat) > 0 {
+		r.Shards = len(o.shardHeat)
+		for s := range o.shardHeat {
+			for i := 0; i < NumLabels(); i++ {
+				if n := o.shardHeat[s].aborts[i].Load(); n > 0 {
+					r.ShardConflicts = append(r.ShardConflicts,
+						LabelCount{Label: fmt.Sprintf("s%d/%s", s, Label(i)), Count: n})
+				}
+			}
+		}
+		sortLabels(r.ShardConflicts)
+	}
+	r.CrossShardOrecConflicts = o.crossShard.Load()
 	sort.Slice(r.HotOrecs, func(i, j int) bool {
 		if r.HotOrecs[i].Count != r.HotOrecs[j].Count {
 			return r.HotOrecs[i].Count > r.HotOrecs[j].Count
@@ -401,6 +483,16 @@ func (r Report) String() string {
 			fmt.Fprintf(&b, "    %10d  %s\n", l.Count, l.Label)
 		}
 	}
+	if r.Shards > 1 {
+		fmt.Fprintf(&b, "  shard domains: %d (cross-shard orec conflicts: %d)\n",
+			r.Shards, r.CrossShardOrecConflicts)
+		if len(r.ShardConflicts) > 0 {
+			b.WriteString("  conflict heat by shard/structure:\n")
+			for _, l := range r.ShardConflicts {
+				fmt.Fprintf(&b, "    %10d  %s\n", l.Count, l.Label)
+			}
+		}
+	}
 	if len(r.HotOrecs) > 0 {
 		b.WriteString("  hottest orecs:\n")
 		for _, oc := range r.HotOrecs {
@@ -450,6 +542,16 @@ func (r Report) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE tm_abort_serial_total counter\n")
 	for _, l := range r.SerialLabels {
 		fmt.Fprintf(w, "tm_abort_serial_total{structure=%q} %d\n", l.Label, l.Count)
+	}
+	if r.Shards > 1 {
+		fmt.Fprintf(w, "# TYPE tm_shard_conflicts_total counter\n")
+		for _, l := range r.ShardConflicts {
+			if s, structure, ok := strings.Cut(l.Label, "/"); ok {
+				fmt.Fprintf(w, "tm_shard_conflicts_total{shard=%q,structure=%q} %d\n", s, structure, l.Count)
+			}
+		}
+		fmt.Fprintf(w, "# TYPE tm_cross_shard_orec_conflicts gauge\ntm_cross_shard_orec_conflicts %d\n",
+			r.CrossShardOrecConflicts)
 	}
 	writePromHist := func(name, labelKey string, hists map[string]HistSnapshot) {
 		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
