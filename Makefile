@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test check batch-race shard-race torture-smoke torture profile bench-smoke bench-shards
+.PHONY: all build vet lint test check batch-race shard-race trace-race torture-smoke torture profile bench-smoke bench-shards bench-trace-overhead
 
 all: check
 
@@ -10,13 +10,24 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint is vet plus staticcheck when the binary is available; the container
+# image does not ship it and nothing may be installed, so its absence is a
+# skip, not a failure.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipped (go vet ran)"; \
+	fi
+
 test:
 	$(GO) test ./...
 
-# check is the tier-1 gate plus the robustness smoke: everything builds, vets
+# check is the tier-1 gate plus the robustness smoke: everything builds, lints
 # clean, passes its tests, survives shrunken fault schedules under the race
-# detector, and keeps the batched multi-get pipeline race-clean.
-check: build vet test batch-race shard-race torture-smoke
+# detector, and keeps the batched multi-get pipeline and the request-tracing
+# layer race-clean.
+check: build lint test batch-race shard-race trace-race torture-smoke
 
 # batch-race runs the multi-get / read-only fast-path tests under the race
 # detector: batch snapshot isolation against concurrent writers, the quiet-get
@@ -29,6 +40,12 @@ batch-race:
 # per-shard snapshot isolation, and the zero-cross-shard-conflict proof.
 shard-race:
 	$(GO) test -race -count=1 -run 'Sharded' ./internal/engine ./internal/protocol
+
+# trace-race is the request-tracing hammer under the race detector: ring
+# overflow attribution, the reset-while-toggling storm, the flight-recorder
+# hot-label acceptance run, and the protocol/server span wiring.
+trace-race:
+	$(GO) test -race -count=1 -run 'RingOverflow|TraceResetToggleRace|FlightRecorderNamesHotLabel|HeadSamplingDeterminism|StatsSlowlog|StatsResetClearsSlowlog|DebugTraceEndpoint|ServerBindsSpans' ./internal/txobs ./internal/txtrace ./internal/engine ./internal/protocol ./internal/server
 
 # torture-smoke runs the seeded fault-injection harness in its shrunken
 # (-torture.short) form. The flag is registered per test package, so only the
@@ -52,6 +69,12 @@ bench-smoke:
 # breakdowns and the cross-shard orec-conflict counter (must be zero).
 bench-shards:
 	$(GO) run ./cmd/mcbench -shards 1,2,4,8 -threads 8 -ops 3000 -trials 3 -shards-out BENCH_shards.json
+
+# bench-trace-overhead measures the request-tracing cost contract through the
+# text protocol: no spans bound, bound-but-off (must stay within 2% of the
+# baseline), sampled, and full, median of 3, into BENCH_trace_overhead.json.
+bench-trace-overhead:
+	$(GO) run ./cmd/mcbench -trace-overhead -ops 60000 -threads 4 -trace-trials 3 -trace-out BENCH_trace_overhead.json
 
 # profile runs a short mcbench with transaction observability on and prints
 # the serialization causes, conflict heat map, and latency summary.

@@ -39,6 +39,9 @@ func main() {
 		roOut      = flag.String("ro-out", "BENCH_ro_fastpath.json", "output file for -ro-smoke")
 		shardsStr  = flag.String("shards", "", "comma-separated shard counts (e.g. 1,2,4,8): sweep TM domain counts at the highest -threads value and write -shards-out")
 		shardsOut  = flag.String("shards-out", "BENCH_shards.json", "output file for -shards")
+		traceOver  = flag.Bool("trace-overhead", false, "measure request-tracing overhead (baseline vs disabled vs sampled vs full) through the text protocol and write -trace-out")
+		traceOut   = flag.String("trace-out", "BENCH_trace_overhead.json", "output file for -trace-overhead")
+		traceTrial = flag.Int("trace-trials", 3, "trials per tracing configuration (median reported)")
 	)
 	flag.Parse()
 
@@ -151,6 +154,27 @@ func main() {
 				p.Shards, p.OpsPerSec, p.Speedup, p.Aborts, p.StartSerial, p.CrossShardOrecConflicts)
 		}
 		fmt.Printf("wrote %s\n", *shardsOut)
+	}
+	if *traceOver {
+		ran = true
+		b, err := engine.ParseBranch(*roBranch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := bench.RunTraceOverhead(b, ths[len(ths)-1], *traceTrial, o)
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(*traceOut, out, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range res.Points {
+			fmt.Printf("trace=%-8s %10.0f ops/s  delta vs baseline %+.2f%%\n",
+				p.Config, p.OpsPerSec, p.DeltaPct)
+		}
+		fmt.Printf("wrote %s\n", *traceOut)
 	}
 	if *profBranch != "" {
 		ran = true

@@ -20,6 +20,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/server"
 	"repro/internal/stm"
+	"repro/internal/txtrace"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func main() {
 		cmStr     = flag.String("cm", "", "override contention manager (serialize, none, backoff, hourglass)")
 		noLock    = flag.Bool("nolock", false, "override: remove the global serial lock")
 		trace     = flag.Bool("trace", false, "enable transaction observability from startup (stats tm/conflicts/latency)")
+		txtraceMd = flag.String("txtrace", "off", "request tracing mode from startup: off, sampled, or full (stats slowlog, /debug/trace)")
 		debugAddr = flag.String("debug-addr", "", "serve the debug HTTP endpoint (/debug/vars, /metrics, /debug/pprof/) on this address")
 	)
 	flag.Parse()
@@ -78,6 +80,11 @@ func main() {
 	if *trace {
 		cache.EnableTracing()
 	}
+	if mode, err := txtrace.ParseMode(*txtraceMd); err != nil {
+		log.Fatal(err)
+	} else if mode != txtrace.ModeOff {
+		cache.EnableTxTrace(mode)
+	}
 	srv, err := server.Listen(cache, *addr)
 	if err != nil {
 		log.Fatal(err)
@@ -90,7 +97,7 @@ func main() {
 			log.Fatal(err)
 		}
 		dbg = d
-		log.Printf("debug endpoint on http://%s/debug/vars (also /metrics, /debug/pprof/, /debug/tm)", bound)
+		log.Printf("debug endpoint on http://%s/debug/vars (also /metrics, /debug/pprof/, /debug/tm, /debug/trace)", bound)
 	}
 
 	sig := make(chan os.Signal, 1)

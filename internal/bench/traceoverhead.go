@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/protocol"
+	"repro/internal/txtrace"
+)
+
+// TraceOverheadResult quantifies the request-tracing layer's cost contract:
+// the same GET-heavy protocol workload (9:1 GET:SET over the text protocol)
+// driven with tracing absent, bound-but-off, sampled, and full. The number
+// that matters is the disabled point — a connection with a span buffer bound
+// but the tracer in ModeOff must pay one atomic load per request and nothing
+// else, so its delta against the baseline must stay inside noise (≤ 2%).
+type TraceOverheadResult struct {
+	Branch     string               `json:"branch"`
+	Threads    int                  `json:"threads"`
+	OpsPerConn int                  `json:"ops_per_conn"`
+	Trials     int                  `json:"trials"` // median-of-N per point
+	Points     []TraceOverheadPoint `json:"points"`
+}
+
+// TraceOverheadPoint is one tracing configuration's median throughput.
+type TraceOverheadPoint struct {
+	Config    string  `json:"config"` // baseline | disabled | sampled | full
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// DeltaPct is (baseline - this) / baseline in percent: positive means
+	// this configuration is slower than the no-spans baseline.
+	DeltaPct float64 `json:"delta_vs_baseline_pct"`
+}
+
+// traceOverheadScript builds one connection's request byte stream: ops
+// commands at roughly 9:1 GET:SET against the prepopulated keyspace.
+func traceOverheadScript(ops, keyspace, vsize int, seed uint64) []byte {
+	var b bytes.Buffer
+	val := bytes.Repeat([]byte{'v'}, vsize)
+	r := rngState(seed)
+	for i := 0; i < ops; i++ {
+		k := int(nextRand(&r) % uint64(keyspace))
+		if i%10 == 9 {
+			fmt.Fprintf(&b, "set memslap-key-%08d 0 0 %d\r\n", k, vsize)
+			b.Write(val)
+			b.WriteString("\r\n")
+		} else {
+			fmt.Fprintf(&b, "get memslap-key-%08d\r\n", k)
+		}
+	}
+	b.WriteString("quit\r\n")
+	return b.Bytes()
+}
+
+// scriptConn feeds a canned request stream to protocol.Conn and discards the
+// responses — the in-process analogue of a client socket, with no kernel in
+// the measurement loop.
+type scriptConn struct {
+	io.Reader
+	io.Writer
+}
+
+// RunTraceOverhead measures the four tracing configurations back to back on
+// one cache per configuration and reports the median-of-trials throughput for
+// each, with deltas against the no-spans baseline.
+func RunTraceOverhead(b engine.Branch, threads, trials int, o Options) TraceOverheadResult {
+	o = o.withDefaults()
+	if trials < 1 {
+		trials = 1
+	}
+	res := TraceOverheadResult{
+		Branch: b.String(), Threads: threads, OpsPerConn: o.OpsPerThread, Trials: trials,
+	}
+
+	scripts := make([][]byte, threads)
+	for t := range scripts {
+		scripts[t] = traceOverheadScript(o.OpsPerThread, o.KeySpace, o.ValueSize, uint64(t)+1)
+	}
+
+	configs := []struct {
+		name  string
+		spans bool
+		mode  txtrace.Mode
+	}{
+		{"baseline", false, txtrace.ModeOff},
+		{"disabled", true, txtrace.ModeOff},
+		{"sampled", true, txtrace.ModeSampled},
+		{"full", true, txtrace.ModeFull},
+	}
+
+	for _, cfg := range configs {
+		c := engine.New(engine.Config{
+			Branch:    b,
+			MemLimit:  256 << 20,
+			HashPower: o.HashPower,
+		})
+		c.Start()
+		val := make([]byte, o.ValueSize)
+		w0 := c.NewWorker()
+		for i := 0; i < o.KeySpace; i++ {
+			w0.Set(benchKey(nil, i), 0, 0, val)
+		}
+		if cfg.mode != txtrace.ModeOff {
+			c.EnableTxTrace(cfg.mode)
+		}
+
+		var rates []float64
+		// Trial -1 is an untimed warm-up: the first configuration measured
+		// would otherwise eat the process's cold-start cost and skew every
+		// delta computed against it.
+		for trial := -1; trial < trials; trial++ {
+			var wg sync.WaitGroup
+			start := time.Now()
+			for t := 0; t < threads; t++ {
+				t := t
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					pc := protocol.NewConn(c.NewWorker(),
+						scriptConn{Reader: bytes.NewReader(scripts[t]), Writer: io.Discard})
+					if cfg.spans {
+						pc.SetSpans(txtrace.NewConnSpans(c.Tracer(), uint64(t)+1))
+					}
+					pc.Serve()
+				}()
+			}
+			wg.Wait()
+			dur := time.Since(start)
+			if trial >= 0 {
+				rates = append(rates, float64(threads*o.OpsPerThread)/dur.Seconds())
+			}
+		}
+		c.Stop()
+
+		sort.Float64s(rates)
+		med := rates[len(rates)/2]
+		res.Points = append(res.Points, TraceOverheadPoint{
+			Config:    cfg.name,
+			Seconds:   float64(threads*o.OpsPerThread) / med,
+			OpsPerSec: med,
+		})
+	}
+
+	base := res.Points[0].OpsPerSec
+	for i := range res.Points {
+		if base > 0 {
+			res.Points[i].DeltaPct = (base - res.Points[i].OpsPerSec) / base * 100
+		}
+	}
+	return res
+}

@@ -58,6 +58,12 @@ const (
 	ConnShortRead  Point = "server.conn.shortread"  // deliver one byte per read
 	ConnShortWrite Point = "server.conn.shortwrite" // truncate a reply mid-write
 	ConnSlow       Point = "server.conn.slow"   // slow-client byte trickling
+
+	// Request tracing (internal/txtrace): not a fault at all — the tracer
+	// reuses the injector's deterministic per-ordinal decision as its head
+	// sampler, so a trace captured at seed S keeps exactly the same request
+	// set when replayed at seed S.
+	TraceHeadSample Point = "trace.head.sample"
 )
 
 // StmPoints are the points meaningful for a transactional runtime.

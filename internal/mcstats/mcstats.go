@@ -154,3 +154,14 @@ func (a Aggregated) Add(o Aggregated) Aggregated {
 	a.Expired += o.Expired
 	return a
 }
+
+// Ops sums the command counters into one operations-processed figure — the
+// time-series denominator the tracing layer plots abort and serialization
+// rates against. Hits and misses of the same command family count once.
+func (a Aggregated) Ops() uint64 {
+	return a.GetCmds + a.SetCmds +
+		a.DeleteHits + a.DeleteMiss +
+		a.IncrHits + a.IncrMiss +
+		a.CasHits + a.CasMiss + a.CasBadval +
+		a.TouchCmds
+}

@@ -115,6 +115,19 @@ func (c *Conn) serveBinaryOne() error {
 	key := body[req.extraLen : int(req.extraLen)+int(req.keyLen)]
 	value := body[int(req.extraLen)+int(req.keyLen):]
 
+	// Same span bracket as the text path; the span's cmd is prefixed so a
+	// flight-recorder line says which protocol carried the request.
+	if cs := c.spans; cs != nil && cs.Begin("binary/"+binOpName(req.opcode)) {
+		c.worker.SetTxTrace(cs)
+		err := c.dispatchBinaryTimed(req, extras, key, value)
+		c.worker.SetTxTrace(nil)
+		cs.End()
+		return err
+	}
+	return c.dispatchBinaryTimed(req, extras, key, value)
+}
+
+func (c *Conn) dispatchBinaryTimed(req binHeader, extras, key, value []byte) error {
 	if o := c.worker.Observer(); o != nil && o.Enabled() {
 		t0 := time.Now()
 		err := c.dispatchBinary(req, extras, key, value)

@@ -18,6 +18,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/mcstats"
 	"repro/internal/txobs"
+	"repro/internal/txtrace"
 )
 
 // Version is the version string reported to clients; the paper's study uses
@@ -71,6 +72,11 @@ type Conn struct {
 	ctl      Control
 	connErrs *mcstats.ConnErrors
 
+	// spans is the connection's request-span buffer (nil when the transport
+	// owner did not wire tracing). One Begin/End pair brackets every
+	// dispatched command; with tracing off, Begin is a single atomic load.
+	spans *txtrace.ConnSpans
+
 	gatActive  bool
 	gatExptime uint64
 }
@@ -115,6 +121,10 @@ func (c *Conn) SetControl(ctl Control) { c.ctl = ctl }
 // SetConnErrors supplies the server's connection-error counters for the
 // `stats` command to report (nil omits the lines).
 func (c *Conn) SetConnErrors(e *mcstats.ConnErrors) { c.connErrs = e }
+
+// SetSpans installs the connection's request-span buffer (nil disables
+// request tracing for this connection).
+func (c *Conn) SetSpans(cs *txtrace.ConnSpans) { c.spans = cs }
 
 // Serve processes commands until EOF, quit, or a transport error. Any
 // buffered replies are flushed before it returns.
@@ -179,8 +189,23 @@ func (c *Conn) serveTextOne() error {
 	cmd := string(fields[0])
 	args := fields[1:]
 
-	// Per-command latency: one observer load when tracing was never enabled,
-	// one timestamp pair per command when it is on.
+	// Request tracing: one atomic load (inside Begin) when tracing is off.
+	// When a span opens, the worker's STM threads deliver every transaction
+	// event of this command into it until End.
+	if cs := c.spans; cs != nil && cs.Begin(cmd) {
+		c.worker.SetTxTrace(cs)
+		err := c.dispatchTextTimed(cmd, args)
+		c.worker.SetTxTrace(nil)
+		cs.End()
+		return err
+	}
+	return c.dispatchTextTimed(cmd, args)
+}
+
+// dispatchTextTimed is dispatchText behind the per-command latency gate: one
+// observer load when `stats tm` tracing was never enabled, one timestamp pair
+// per command when it is on.
+func (c *Conn) dispatchTextTimed(cmd string, args [][]byte) error {
 	if o := c.worker.Observer(); o != nil && o.Enabled() {
 		t0 := time.Now()
 		err := c.dispatchText(cmd, args)
@@ -219,6 +244,8 @@ func (c *Conn) dispatchText(cmd string, args [][]byte) error {
 				return c.cmdStatsConflicts()
 			case "latency":
 				return c.cmdStatsLatency()
+			case "slowlog":
+				return c.cmdStatsSlowlog()
 			}
 		}
 		return c.cmdStats()
@@ -597,6 +624,48 @@ func (c *Conn) cmdStatsLatency() error {
 	hist("phase", r.Phases)
 	hist("cmd", r.Commands)
 	return c.reply("END\r\n")
+}
+
+// cmdStatsSlowlog reports the request tracer's flight recorder
+// (`stats slowlog`): mode and counters first, then one line per captured
+// pathological span, newest last.
+func (c *Conn) cmdStatsSlowlog() error {
+	tr := c.worker.Tracer()
+	if tr == nil {
+		return c.reply("END\r\n")
+	}
+	fmt.Fprintf(c.w, "STAT trace_mode %s\r\n", tr.Mode())
+	fmt.Fprintf(c.w, "STAT trace_requests %d\r\n", tr.Requests())
+	fmt.Fprintf(c.w, "STAT trace_kept %d\r\n", tr.Kept())
+	fmt.Fprintf(c.w, "STAT slowlog_len %d\r\n", tr.SlowlogLen())
+	fmt.Fprintf(c.w, "STAT slowlog_dropped %d\r\n", tr.SlowlogDropped())
+	fmt.Fprintf(c.w, "STAT est_p99_ns %d\r\n", tr.EstP99())
+	for _, sp := range tr.Slowlog() {
+		why, owner, label := sp.Keep, "", ""
+		// Surface the last abort's attribution so the one-line view already
+		// answers "who aborted me" without dumping the span tree.
+		for i := len(sp.Events) - 1; i >= 0; i-- {
+			ev := sp.Events[i]
+			if ev.Kind == "abort" || ev.Kind == "abort_serial" {
+				owner, label = ev.Owner, ev.Label
+				break
+			}
+		}
+		fmt.Fprintf(c.w,
+			"STAT slow_%d cmd=%s conn=%d dur_us=%d aborts=%d max_retry=%d serialized=%d keep=%s owner=%s label=%s\r\n",
+			sp.ID, sp.Cmd, sp.Conn, sp.DurNanos/1000, sp.Aborts, sp.MaxRetry,
+			boolInt(sp.Serialized), why, orDash(owner), orDash(label))
+	}
+	return c.reply("END\r\n")
+}
+
+// orDash substitutes "-" for empty attribution fields so the slowlog lines
+// stay whitespace-parseable.
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }
 
 func boolInt(b bool) int {

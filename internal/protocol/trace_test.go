@@ -1,0 +1,137 @@
+package protocol
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/txtrace"
+)
+
+// runTraced feeds a script through a connection with a span buffer bound, the
+// way the server front end wires every connection.
+func runTraced(t *testing.T, c *engine.Cache, connID uint64, script string) string {
+	t.Helper()
+	d := &duplex{in: bytes.NewBufferString(script), out: &bytes.Buffer{}}
+	pc := NewConn(c.NewWorker(), d)
+	pc.SetSpans(txtrace.NewConnSpans(c.Tracer(), connID))
+	if err := pc.Serve(); err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	return d.out.String()
+}
+
+// TestStatsSlowlog drives the `stats slowlog` text surface across tracing
+// modes and checks the flight-recorder lines carry the span identity.
+func TestStatsSlowlog(t *testing.T) {
+	c := engine.New(engine.Config{Branch: engine.ITOnCommit, HashPower: 8})
+	c.Start()
+	defer c.Stop()
+
+	// Mode off: header only, zero requests traced (Begin stayed false).
+	out := runTraced(t, c, 1, "set foo 0 0 3\r\nbar\r\nget foo\r\nstats slowlog\r\n")
+	if statValue(out, "trace_mode") != "off" || statValue(out, "trace_requests") != "0" {
+		t.Fatalf("stats slowlog with tracing off:\n%s", out)
+	}
+	if !strings.HasSuffix(out, "END\r\n") {
+		t.Fatalf("stats slowlog missing END:\n%s", out)
+	}
+
+	// Full mode: every request is traced and kept.
+	c.EnableTxTrace(txtrace.ModeFull)
+	out = runTraced(t, c, 2, "set foo 0 0 3\r\nbar\r\nget foo\r\nstats slowlog\r\n")
+	if statValue(out, "trace_mode") != "full" {
+		t.Fatalf("trace_mode:\n%s", out)
+	}
+	if v := statValue(out, "trace_requests"); v == "0" || v == "" {
+		t.Fatalf("trace_requests = %q with full tracing:\n%s", v, out)
+	}
+	if v := statValue(out, "trace_kept"); v == "0" || v == "" {
+		t.Fatalf("trace_kept = %q with full tracing:\n%s", v, out)
+	}
+	if statValue(out, "slowlog_len") == "" || statValue(out, "slowlog_dropped") == "" {
+		t.Fatalf("slowlog gauges missing:\n%s", out)
+	}
+
+	// Force a pathological span: RetryK=1 means the first abort-retry chain
+	// is captured. A conflict is not guaranteed on an idle cache, so inject
+	// one through the tracer directly is not possible here — instead check
+	// the spans the full-mode run kept are visible via the recent ring.
+	if got := len(c.Tracer().Recent()); got == 0 {
+		t.Fatal("full-mode requests left no kept spans")
+	}
+	for _, sp := range c.Tracer().Recent() {
+		if sp.Conn != 2 {
+			t.Fatalf("span %d attributed to conn %d, want 2", sp.ID, sp.Conn)
+		}
+		if sp.Keep != "full" && sp.Keep != "retries" && sp.Keep != "serialized" && sp.Keep != "slow" && sp.Keep != "head" {
+			t.Fatalf("span keep = %q", sp.Keep)
+		}
+	}
+
+	// The binary protocol prefixes its span names.
+	c.Tracer().Reset()
+	bin := binGet("foo")
+	d := &duplex{in: bytes.NewBuffer(bin), out: &bytes.Buffer{}}
+	pc := NewConn(c.NewWorker(), d)
+	pc.SetSpans(txtrace.NewConnSpans(c.Tracer(), 3))
+	if err := pc.Serve(); err != nil {
+		t.Fatalf("binary Serve: %v", err)
+	}
+	recent := c.Tracer().Recent()
+	if len(recent) == 0 || recent[0].Cmd != "binary/get" {
+		t.Fatalf("binary span cmd: %+v", recent)
+	}
+}
+
+// TestStatsResetClearsSlowlog is the satellite reset contract: `stats reset`
+// clears the tracer's rings and time series exactly once, alongside the
+// observer aggregates, while the mode survives.
+func TestStatsResetClearsSlowlog(t *testing.T) {
+	c := engine.New(engine.Config{Branch: engine.ITOnCommit, HashPower: 8})
+	c.Start()
+	defer c.Stop()
+	c.EnableTxTrace(txtrace.ModeFull)
+
+	out := runTraced(t, c, 1, "set foo 0 0 3\r\nbar\r\nget foo\r\nstats slowlog\r\n")
+	if statValue(out, "trace_kept") == "0" {
+		t.Fatalf("no spans kept before reset:\n%s", out)
+	}
+
+	out = runTraced(t, c, 2, "stats reset\r\nstats slowlog\r\n")
+	if !strings.HasPrefix(out, "RESET\r\n") {
+		t.Fatalf("no RESET reply:\n%s", out)
+	}
+	if v := statValue(out, "slowlog_len"); v != "0" {
+		t.Errorf("slowlog_len = %q after stats reset, want 0", v)
+	}
+	// The reset and slowlog requests themselves run traced, so their own
+	// spans may land after the clear; nothing from before the reset survives.
+	for _, sp := range c.Tracer().Recent() {
+		if sp.Cmd != "stats" {
+			t.Errorf("pre-reset span (%s) survived stats reset", sp.Cmd)
+		}
+	}
+	// Mode survives: reset clears data, not configuration.
+	if statValue(out, "trace_mode") != "full" {
+		t.Errorf("trace_mode after reset:\n%s", out)
+	}
+	// The stats reset line itself ran inside a traced request, so the request
+	// counter keeps counting — only the rings were cleared.
+	if c.Tracer().Requests() == 0 {
+		t.Error("request ordinal stream rewound by stats reset")
+	}
+}
+
+// binGet builds one binary-protocol GET frame.
+func binGet(key string) []byte {
+	frame := make([]byte, 24+len(key))
+	frame[0] = binMagicReq
+	frame[1] = OpGet
+	frame[2] = byte(len(key) >> 8)
+	frame[3] = byte(len(key))
+	frame[11] = byte(len(key)) // bodyLen (no extras)
+	copy(frame[24:], key)
+	return frame
+}

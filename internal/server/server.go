@@ -25,6 +25,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/mcstats"
 	"repro/internal/protocol"
+	"repro/internal/txtrace"
 )
 
 // Config parameterizes a Server. The zero value disables every limit.
@@ -71,6 +72,8 @@ type Server struct {
 	closed bool
 
 	draining atomic.Bool
+
+	connSeq atomic.Uint64 // connection ids for request-span attribution
 
 	wg sync.WaitGroup
 }
@@ -167,6 +170,9 @@ func (s *Server) handle(sc *servConn) {
 	pc := protocol.NewConn(worker, sc)
 	pc.SetControl(sc)
 	pc.SetConnErrors(&s.errs)
+	// Every connection gets a span buffer up front; with tracing off its only
+	// cost is one atomic load per request inside Begin.
+	pc.SetSpans(txtrace.NewConnSpans(s.cache.Tracer(), s.connSeq.Add(1)))
 	s.countErr(pc.Serve())
 }
 

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/txtrace"
+)
+
+// TestDebugVarsGaugesAtOneShard is the satellite fix: /debug/vars must report
+// shards and shard_stats even when the cache runs a single TM domain, plus
+// the new tracing gauges.
+func TestDebugVarsGaugesAtOneShard(t *testing.T) {
+	c := engine.New(engine.Config{Branch: engine.ITOnCommit, Shards: 1, HashPower: 8})
+	c.Start()
+	defer c.Stop()
+	ts := httptest.NewServer(NewDebugHandler(c))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v\n%s", err, body)
+	}
+	for _, key := range []string{"shards", "shard_stats", "trace_mode", "timeseries_seconds", "slowlog_len", "slowlog_dropped", "ring_dropped"} {
+		if _, ok := vars[key]; !ok {
+			t.Errorf("/debug/vars missing %q at shards=1:\n%s", key, body)
+		}
+	}
+	var shards int
+	json.Unmarshal(vars["shards"], &shards)
+	if shards != 1 {
+		t.Errorf("shards = %d, want 1", shards)
+	}
+	var shardStats []json.RawMessage
+	if err := json.Unmarshal(vars["shard_stats"], &shardStats); err != nil || len(shardStats) != 1 {
+		t.Errorf("shard_stats = %s (err %v), want one entry", vars["shard_stats"], err)
+	}
+}
+
+// TestDebugTraceEndpoint drives the /debug/trace surface: mode switching,
+// manual dumps, the JSON export, and reset.
+func TestDebugTraceEndpoint(t *testing.T) {
+	c := engine.New(engine.Config{Branch: engine.ITOnCommit, HashPower: 8})
+	c.Start()
+	defer c.Stop()
+	ts := httptest.NewServer(NewDebugHandler(c))
+	defer ts.Close()
+
+	getExport := func() txtrace.Export {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/debug/trace")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var ex txtrace.Export
+		if err := json.NewDecoder(resp.Body).Decode(&ex); err != nil {
+			t.Fatalf("/debug/trace not an export document: %v", err)
+		}
+		return ex
+	}
+	post := func(query string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/debug/trace?"+query, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /debug/trace?%s = %d", query, resp.StatusCode)
+		}
+	}
+
+	if ex := getExport(); ex.Mode != "off" {
+		t.Fatalf("initial mode %q, want off", ex.Mode)
+	}
+	post("mode=full")
+	if ex := getExport(); ex.Mode != "full" {
+		t.Fatalf("mode after POST = %q, want full", ex.Mode)
+	}
+
+	post("dump=1")
+	if ex := getExport(); len(ex.Dumps) != 1 || ex.Dumps[0].Reason == "" {
+		t.Fatalf("dumps after POST dump=1: %+v", ex.Dumps)
+	}
+
+	post("reset=1")
+	if ex := getExport(); len(ex.Dumps) != 0 {
+		t.Fatalf("dumps survived reset: %+v", ex.Dumps)
+	}
+
+	// Bad mode is a 400, not a silent no-op.
+	resp, err := http.Post(ts.URL+"/debug/trace?mode=loud", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("POST bad mode = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServerBindsSpans checks the front end wires a span buffer into every
+// connection: with full tracing on, a request over a real socket produces a
+// kept span attributed to a server-assigned connection id.
+func TestServerBindsSpans(t *testing.T) {
+	c := engine.New(engine.Config{Branch: engine.ITOnCommit, HashPower: 8})
+	c.Start()
+	defer c.Stop()
+	c.EnableTxTrace(txtrace.ModeFull)
+
+	srv, err := Listen(c, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("set foo 0 0 3\r\nbar\r\nget foo\r\nquit\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	io.ReadAll(conn) // drain until the server closes after quit
+
+	recent := c.Tracer().Recent()
+	if len(recent) == 0 {
+		t.Fatal("no spans kept for a full-traced socket connection")
+	}
+	for _, sp := range recent {
+		if sp.Conn == 0 {
+			t.Errorf("span %d has no connection id", sp.ID)
+		}
+	}
+}

@@ -283,6 +283,16 @@ type Runtime struct {
 	obsShard atomic.Int32
 	obsBase  atomic.Int32
 
+	// owners is the orec-owner attribution table for request tracing: one
+	// interned site-label pointer per orec slot, stored by traced writers at
+	// lock acquisition and read by traced victims at abort. Lazily allocated
+	// by EnableOwnerTracking; nil (one pointer load) when tracing never ran.
+	// serialOwner is the site of the last traced serial-lock writer — the
+	// "who" behind serial-subscription aborts. Both are last-writer-wins
+	// approximations; see obs.go.
+	owners      atomic.Pointer[[]atomic.Pointer[string]]
+	serialOwner atomic.Pointer[string]
+
 	watchStop chan struct{}
 	watchWG   sync.WaitGroup
 

@@ -133,6 +133,15 @@ type Thread struct {
 	// while tracing is enabled.
 	obsSink    *txobs.Sink
 	obsSinkFor *txobs.Observer
+
+	// Request-trace hook (see obs.go): non-nil while the current request is
+	// being traced. Plain field — the thread is single-owner, and the hook is
+	// installed/removed between transactions by the same goroutine.
+	trace TraceSink
+
+	// Interned Site pointer cache for owner attribution (see Tx.sitePtr).
+	sitePtrVal *string
+	sitePtrFor string
 }
 
 var threadIDs atomic.Uint64
@@ -201,6 +210,11 @@ type Tx struct {
 	// records the abort event, cleared by begin.
 	abortCause string
 	conflictID uint64
+
+	// traced is set at begin when the thread has a request-trace hook; write
+	// barriers then publish this transaction's site into the orec-owner table
+	// so victims can name who aborted them.
+	traced bool
 }
 
 var lockWords atomic.Uint64
@@ -256,7 +270,7 @@ func (tx *Tx) Unsafe(op string) {
 	if tx.props.Kind == Atomic {
 		panic(fmt.Errorf("%w: %s", ErrUnsafeInAtomic, op))
 	}
-	if o := tx.rt.obs.Load(); o != nil {
+	if o := tx.rt.obs.Load(); o != nil || tx.th.trace != nil {
 		tx.obsRecord(o, txobs.KInFlightSwitch, causeAt("in-flight switch: "+op, tx.props.Site))
 	}
 	panic(switchSerialSignal{op: op})
@@ -293,10 +307,11 @@ func (th *Thread) Run(props Props, fn func(*Tx)) error {
 	if props.StartSerial {
 		serial = true
 		rt.stats.StartSerial.Add(1)
-		if o := rt.obs.Load(); o != nil {
-			th.sink(o).Record(&txobs.Event{
+		if o := rt.obs.Load(); o != nil || th.trace != nil {
+			th.deliver(o, &txobs.Event{
 				Kind: txobs.KStartSerial, Serial: true, Orec: -1,
 				Site: props.Site, Cause: causeAt("start serial", props.Site),
+				Shard: rt.obsShard.Load(),
 			})
 		}
 	}
@@ -335,7 +350,7 @@ func (th *Thread) Run(props Props, fn func(*Tx)) error {
 			if rt.cfg.CM == CMHourglass {
 				th.gateRelease()
 			}
-			if o := rt.obs.Load(); o != nil {
+			if o := rt.obs.Load(); o != nil || th.trace != nil {
 				tx.obsRecord(o, txobs.KCommit, "")
 			}
 			th.finish(tx, true)
@@ -355,7 +370,7 @@ func (th *Thread) Run(props Props, fn func(*Tx)) error {
 			// nothing and read consistently, so restarting on the
 			// writer-capable path is a clean upgrade, not a contention event.
 			rt.stats.ROUpgrades.Add(1)
-			if o := rt.obs.Load(); o != nil {
+			if o := rt.obs.Load(); o != nil || th.trace != nil {
 				tx.obsRecord(o, txobs.KROUpgrade, causeAt("ro upgrade: write in read-only transaction", props.Site))
 			}
 			ro = false
@@ -366,7 +381,7 @@ func (th *Thread) Run(props Props, fn func(*Tx)) error {
 			// dirtied by another commit, then re-run. Not an abort for
 			// contention-management purposes.
 			rt.stats.Retries.Add(1)
-			if o := rt.obs.Load(); o != nil {
+			if o := rt.obs.Load(); o != nil || th.trace != nil {
 				tx.obsRecord(o, txobs.KRetryWait, "retry: read-set wait")
 			}
 			th.finish(tx, false)
@@ -377,13 +392,13 @@ func (th *Thread) Run(props Props, fn func(*Tx)) error {
 			rt.stats.Aborts.Add(1)
 			consec++
 			th.consecAborts.Store(uint64(consec))
-			if o := rt.obs.Load(); o != nil {
+			if o := rt.obs.Load(); o != nil || th.trace != nil {
 				cause := tx.abortCause
 				if cause == "" {
 					cause = "conflict: commit validation"
 				}
 				tx.obsRecord(o, txobs.KAbort, cause)
-				if consec == 1 && !runT0.IsZero() {
+				if o != nil && consec == 1 && !runT0.IsZero() {
 					o.ObservePhase(txobs.PhaseFirstAbort, time.Since(runT0))
 				}
 			}
@@ -394,7 +409,7 @@ func (th *Thread) Run(props Props, fn func(*Tx)) error {
 			if rt.cfg.Algorithm == HTM && consec >= rt.cfg.HTMRetries {
 				// Lock-elision fallback: take the global lock for real.
 				rt.stats.HTMFallbacks.Add(1)
-				if o := rt.obs.Load(); o != nil {
+				if o := rt.obs.Load(); o != nil || th.trace != nil {
 					tx.obsRecord(o, txobs.KHTMFallback, causeAt("htm fallback: retry limit", props.Site))
 				}
 				serial = true
@@ -407,7 +422,7 @@ func (th *Thread) Run(props Props, fn func(*Tx)) error {
 					// The abort-serial event inherits the conflict that pushed
 					// the attempt over the limit, so serialization-for-progress
 					// is attributed to a named structure.
-					if o := rt.obs.Load(); o != nil {
+					if o := rt.obs.Load(); o != nil || th.trace != nil {
 						tx.obsRecord(o, txobs.KAbortSerial, causeAt("abort serial: consecutive-abort limit", props.Site))
 					}
 					serial = true
@@ -471,6 +486,7 @@ func (th *Thread) begin(props Props, serial, ro bool) *Tx {
 		onAbort:  tx.onAbort[:0],
 	}
 	tx.redoW, tx.redoA = redoW, redoA
+	tx.traced = th.trace != nil
 	rt.stats.Starts.Add(1)
 	if serial {
 		if in := rt.cfg.Fault; in != nil && in.Fire(fault.STMSerialDelay) {
@@ -485,6 +501,9 @@ func (th *Thread) begin(props Props, serial, ro bool) *Tx {
 			o.ObservePhase(txobs.PhaseSerialWait, time.Since(t0))
 		} else {
 			rt.serial.Lock()
+		}
+		if tx.traced {
+			rt.noteSerialOwner(tx.sitePtr())
 		}
 	} else {
 		switch {
@@ -525,10 +544,11 @@ func (th *Thread) begin(props Props, serial, ro bool) *Tx {
 			}
 		}
 	}
-	if o := rt.obs.Load(); o != nil {
-		th.sink(o).Record(&txobs.Event{
+	if o := rt.obs.Load(); o != nil || th.trace != nil {
+		th.deliver(o, &txobs.Event{
 			Kind: txobs.KBegin, Serial: serial, Site: props.Site,
 			Retry: uint32(th.consecAborts.Load()), Orec: -1,
+			Shard: rt.obsShard.Load(),
 		})
 	}
 	th.cur = tx
@@ -800,6 +820,9 @@ func (tx *Tx) orecAcquire(id uint64) {
 		}
 		if o.v.CompareAndSwap(w, tx.lockWord) {
 			tx.owned = append(tx.owned, ownedOrec{o: o, prev: w})
+			if tx.traced {
+				tx.rt.noteOwner(id, tx.sitePtr())
+			}
 			return
 		}
 	}
@@ -1060,7 +1083,7 @@ func (tx *Tx) roCommit() bool {
 		return false
 	}
 	rt.stats.ROFastCommits.Add(1)
-	if o := rt.obs.Load(); o != nil {
+	if o := rt.obs.Load(); o != nil || tx.th.trace != nil {
 		tx.obsRecord(o, txobs.KROFastCommit, "")
 	}
 	tx.endSpeculation(false)
@@ -1108,6 +1131,9 @@ func (tx *Tx) lazyAcquire(id uint64) bool {
 		}
 		if o.v.CompareAndSwap(w, tx.lockWord) {
 			tx.owned = append(tx.owned, ownedOrec{o: o, prev: w})
+			if tx.traced {
+				tx.rt.noteOwner(id, tx.sitePtr())
+			}
 			return true
 		}
 	}

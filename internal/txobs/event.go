@@ -84,6 +84,7 @@ type Event struct {
 	Label  Label  // label of the conflicting location (NoLabel = unnamed)
 	Cause  string // serialization/abort cause, "" for begin/commit
 	Site   string // source-level transaction site (Props.Site)
+	Owner  string // site label of the last traced writer of the conflicting orec, "" = unknown
 }
 
 // Ring is a lock-free ring buffer of events. Writers reserve a slot with one
@@ -92,9 +93,10 @@ type Event struct {
 // rings of the runtime happen to have one writer each, but the watchdog and
 // tests share rings).
 type Ring struct {
-	slots []atomic.Pointer[Event]
-	mask  uint64
-	head  atomic.Uint64 // number of events ever recorded into this ring
+	slots   []atomic.Pointer[Event]
+	mask    uint64
+	head    atomic.Uint64 // number of events ever recorded into this ring
+	dropped atomic.Uint64 // events that overwrote an unread slot (ring wrapped)
 }
 
 // NewRing creates a ring holding capacity events, rounded up to a power of
@@ -114,10 +116,30 @@ func (r *Ring) Cap() int { return len(r.slots) }
 // worst-case number overwritten).
 func (r *Ring) Recorded() uint64 { return r.head.Load() }
 
-// Record stores ev, overwriting the oldest slot when full.
+// Record stores ev, overwriting the oldest slot when full. An overwrite is
+// counted in dropped so scrapers can tell a quiet ring from a wrapped one:
+// the event in the slot keeps its own (correct) shard/thread attribution, the
+// counter owns the loss.
 func (r *Ring) Record(ev *Event) {
 	i := r.head.Add(1) - 1
+	if i >= uint64(len(r.slots)) {
+		r.dropped.Add(1)
+	}
 	r.slots[i&r.mask].Store(ev)
+}
+
+// Dropped returns the number of events overwritten before any reader could
+// have seen them (0 until the ring wraps).
+func (r *Ring) Dropped() uint64 { return r.dropped.Load() }
+
+// reset empties the ring: slots nil'd, head and dropped rewound, so events
+// recorded after a stats reset are not misreported as wrap losses.
+func (r *Ring) reset() {
+	for i := range r.slots {
+		r.slots[i].Store(nil)
+	}
+	r.head.Store(0)
+	r.dropped.Store(0)
 }
 
 // Snapshot returns the events currently held, oldest first. Concurrent

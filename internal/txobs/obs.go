@@ -291,10 +291,23 @@ func (o *Observer) Reset() {
 	o.mu.Unlock()
 	sinks = append(sinks, o.global)
 	for _, s := range sinks {
-		for i := range s.ring.slots {
-			s.ring.slots[i].Store(nil)
-		}
+		s.ring.reset()
 	}
+}
+
+// RingDropped sums the wrap-loss counters of every ring: events overwritten
+// before a reader could have snapshotted them. Exported as the ring_dropped
+// gauge on the debug surfaces.
+func (o *Observer) RingDropped() uint64 {
+	o.mu.Lock()
+	sinks := append([]*Sink(nil), o.sinks...)
+	o.mu.Unlock()
+	sinks = append(sinks, o.global)
+	var n uint64
+	for _, s := range sinks {
+		n += s.ring.Dropped()
+	}
+	return n
 }
 
 // ---------------------------------------------------------------------------

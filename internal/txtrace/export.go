@@ -1,0 +1,357 @@
+package txtrace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The /debug/trace export is OTLP-shaped: resourceSpans → scopeSpans → spans
+// with attribute lists and span events, the structure OTLP/JSON collectors
+// expect — plus repository-specific top-level sections (slowlog, conflict
+// graph, time series, anomalies, dumps) that mctrace analyze consumes. No
+// OTLP dependency is taken (or available); the shapes are hand-rolled.
+
+// OTLPKeyValue is one OTLP attribute.
+type OTLPKeyValue struct {
+	Key   string    `json:"key"`
+	Value OTLPValue `json:"value"`
+}
+
+// OTLPValue is the subset of OTLP's AnyValue this exporter emits.
+type OTLPValue struct {
+	StringValue string `json:"stringValue,omitempty"`
+	IntValue    int64  `json:"intValue,omitempty"`
+	BoolValue   bool   `json:"boolValue,omitempty"`
+}
+
+// OTLPEvent is one span event.
+type OTLPEvent struct {
+	TimeUnixNano int64          `json:"timeUnixNano"`
+	Name         string         `json:"name"`
+	Attributes   []OTLPKeyValue `json:"attributes,omitempty"`
+}
+
+// OTLPSpan is one request span in OTLP shape.
+type OTLPSpan struct {
+	TraceID           string         `json:"traceId"`
+	SpanID            string         `json:"spanId"`
+	Name              string         `json:"name"`
+	StartTimeUnixNano int64          `json:"startTimeUnixNano"`
+	EndTimeUnixNano   int64          `json:"endTimeUnixNano"`
+	Attributes        []OTLPKeyValue `json:"attributes,omitempty"`
+	Events            []OTLPEvent    `json:"events,omitempty"`
+}
+
+// OTLPScopeSpans groups spans under an instrumentation scope.
+type OTLPScopeSpans struct {
+	Scope struct {
+		Name string `json:"name"`
+	} `json:"scope"`
+	Spans []OTLPSpan `json:"spans"`
+}
+
+// OTLPResourceSpans is the top-level OTLP grouping.
+type OTLPResourceSpans struct {
+	Resource struct {
+		Attributes []OTLPKeyValue `json:"attributes,omitempty"`
+	} `json:"resource"`
+	ScopeSpans []OTLPScopeSpans `json:"scopeSpans"`
+}
+
+// Export is the full /debug/trace document.
+type Export struct {
+	Mode           string              `json:"mode"`
+	Seed           uint64              `json:"seed"`
+	Requests       uint64              `json:"requests"`
+	Kept           uint64              `json:"kept"`
+	SlowlogLen     int                 `json:"slowlog_len"`
+	SlowlogDropped uint64              `json:"slowlog_dropped"`
+	RecentDropped  uint64              `json:"recent_dropped"`
+	EstP99Nanos    int64               `json:"est_p99_ns"`
+	ResourceSpans  []OTLPResourceSpans `json:"resourceSpans"`
+	Slowlog        []Span              `json:"slowlog"`
+	ConflictGraph  []GraphEdge         `json:"conflict_graph"`
+	TimeSeries     []Sample            `json:"timeseries"`
+	Anomalies      []Anomaly           `json:"anomalies"`
+	Dumps          []Dump              `json:"dumps"`
+}
+
+func strAttr(k, v string) OTLPKeyValue {
+	return OTLPKeyValue{Key: k, Value: OTLPValue{StringValue: v}}
+}
+func intAttr(k string, v int64) OTLPKeyValue {
+	return OTLPKeyValue{Key: k, Value: OTLPValue{IntValue: v}}
+}
+
+// otlpSpan renders one Span.
+func otlpSpan(sp Span) OTLPSpan {
+	o := OTLPSpan{
+		TraceID:           fmt.Sprintf("%016x%016x", sp.Conn, sp.Seq),
+		SpanID:            fmt.Sprintf("%016x", sp.ID),
+		Name:              sp.Cmd,
+		StartTimeUnixNano: sp.Start,
+		EndTimeUnixNano:   sp.Start + sp.DurNanos,
+		Attributes: []OTLPKeyValue{
+			strAttr("keep", sp.Keep),
+			intAttr("conn", int64(sp.Conn)),
+			intAttr("aborts", int64(sp.Aborts)),
+			intAttr("max_retry", int64(sp.MaxRetry)),
+			{Key: "serialized", Value: OTLPValue{BoolValue: sp.Serialized}},
+			intAttr("max_reads", int64(sp.MaxReads)),
+			intAttr("max_writes", int64(sp.MaxWrites)),
+		},
+	}
+	if sp.Truncated > 0 {
+		o.Attributes = append(o.Attributes, intAttr("truncated_events", int64(sp.Truncated)))
+	}
+	for _, ev := range sp.Events {
+		oe := OTLPEvent{TimeUnixNano: sp.Start + ev.OffNanos, Name: ev.Kind}
+		oe.Attributes = append(oe.Attributes, intAttr("shard", int64(ev.Shard)), intAttr("retry", int64(ev.Retry)))
+		if ev.Site != "" {
+			oe.Attributes = append(oe.Attributes, strAttr("site", ev.Site))
+		}
+		if ev.Cause != "" {
+			oe.Attributes = append(oe.Attributes, strAttr("cause", ev.Cause))
+		}
+		if ev.Owner != "" {
+			oe.Attributes = append(oe.Attributes, strAttr("owner", ev.Owner))
+		}
+		if ev.Label != "" {
+			oe.Attributes = append(oe.Attributes, strAttr("label", ev.Label))
+		}
+		if ev.Orec >= 0 {
+			oe.Attributes = append(oe.Attributes, intAttr("orec", int64(ev.Orec)))
+		}
+		o.Events = append(o.Events, oe)
+	}
+	return o
+}
+
+// Export builds the full /debug/trace document from the tracer's state.
+func (t *Tracer) Export() Export {
+	ex := Export{
+		Mode:           t.Mode().String(),
+		Seed:           t.Seed(),
+		Requests:       t.Requests(),
+		Kept:           t.Kept(),
+		SlowlogLen:     t.SlowlogLen(),
+		SlowlogDropped: t.SlowlogDropped(),
+		RecentDropped:  t.recent.Dropped(),
+		EstP99Nanos:    t.estP99.Load(),
+		Slowlog:        t.Slowlog(),
+		ConflictGraph:  t.Graph(),
+		TimeSeries:     t.ts.Snapshot(),
+		Anomalies:      t.Anomalies(),
+		Dumps:          t.Dumps(),
+	}
+	rs := OTLPResourceSpans{}
+	rs.Resource.Attributes = []OTLPKeyValue{strAttr("service.name", "memcached-tm")}
+	ss := OTLPScopeSpans{}
+	ss.Scope.Name = "internal/txtrace"
+	for _, sp := range t.Recent() {
+		ss.Spans = append(ss.Spans, otlpSpan(sp))
+	}
+	rs.ScopeSpans = []OTLPScopeSpans{ss}
+	ex.ResourceSpans = []OTLPResourceSpans{rs}
+	return ex
+}
+
+// ---------------------------------------------------------------------------
+// Analysis (mctrace analyze and the automated tests)
+
+// Attempt is one reconstructed transaction attempt inside a retry chain.
+type Attempt struct {
+	Site    string `json:"site"`
+	Outcome string `json:"outcome"` // abort | abort_serial | commit | ...
+	Cause   string `json:"cause,omitempty"`
+	Owner   string `json:"owner,omitempty"`
+	Label   string `json:"label,omitempty"`
+	Retry   uint32 `json:"retry"`
+}
+
+// Chain is one reconstructed retry chain: the consecutive attempts of one
+// source-level transaction inside one request span, ending in its final
+// outcome.
+type Chain struct {
+	SpanID   uint64    `json:"span_id"`
+	Conn     uint64    `json:"conn"`
+	Cmd      string    `json:"cmd"`
+	Site     string    `json:"site"`
+	Attempts []Attempt `json:"attempts"`
+}
+
+// terminalKind reports whether the event kind ends an attempt.
+func terminalKind(k string) bool {
+	switch k {
+	case "commit", "abort", "abort_serial", "ro_fast_commit", "ro_upgrade",
+		"inflight_switch", "htm_fallback", "retry_wait":
+		return true
+	}
+	return false
+}
+
+// Chains reconstructs the retry chains of the given spans: events are walked
+// in order, each begin opens (or extends) the chain of its site, each
+// terminal event closes an attempt, and a commit (or the end of the span)
+// closes the chain.
+func Chains(spans []Span) []Chain {
+	var out []Chain
+	for _, sp := range spans {
+		var cur *Chain
+		flush := func() {
+			if cur != nil && len(cur.Attempts) > 0 {
+				out = append(out, *cur)
+			}
+			cur = nil
+		}
+		for _, ev := range sp.Events {
+			switch {
+			case ev.Kind == "begin" || ev.Kind == "start_serial":
+				if cur == nil || cur.Site != ev.Site {
+					flush()
+					cur = &Chain{SpanID: sp.ID, Conn: sp.Conn, Cmd: sp.Cmd, Site: ev.Site}
+				}
+			case terminalKind(ev.Kind):
+				if cur == nil {
+					cur = &Chain{SpanID: sp.ID, Conn: sp.Conn, Cmd: sp.Cmd, Site: ev.Site}
+				}
+				cur.Attempts = append(cur.Attempts, Attempt{
+					Site: ev.Site, Outcome: ev.Kind, Cause: ev.Cause,
+					Owner: ev.Owner, Label: ev.Label, Retry: ev.Retry,
+				})
+				if ev.Kind == "commit" || ev.Kind == "ro_fast_commit" {
+					flush()
+				}
+			}
+		}
+		flush()
+	}
+	return out
+}
+
+// GraphFromSpans recomputes the who-aborted-whom conflict graph from raw
+// spans (the offline analogue of Tracer.Graph, used by mctrace analyze on a
+// saved export whose live graph section may be absent or stale).
+func GraphFromSpans(spans []Span) []GraphEdge {
+	m := make(map[GraphKey]uint64)
+	for _, sp := range spans {
+		for _, ev := range sp.Events {
+			if ev.Kind != "abort" && ev.Kind != "abort_serial" {
+				continue
+			}
+			owner := ev.Owner
+			if owner == "" {
+				owner = "(unknown)"
+			}
+			victim := ev.Site
+			if victim == "" {
+				victim = "(unlabeled)"
+			}
+			m[GraphKey{Owner: owner, Victim: victim, Label: ev.Label}]++
+		}
+	}
+	out := make([]GraphEdge, 0, len(m))
+	for k, n := range m {
+		out = append(out, GraphEdge{GraphKey: k, Count: n})
+	}
+	sortEdges(out)
+	return out
+}
+
+// HotLabel returns the label carrying the most conflict-graph weight, "" if
+// the graph is empty. Unlabeled edges are ignored unless nothing is labeled.
+func HotLabel(edges []GraphEdge) string {
+	byLabel := make(map[string]uint64)
+	for _, e := range edges {
+		byLabel[e.Label] += e.Count
+	}
+	best, bestN := "", uint64(0)
+	for l, n := range byLabel {
+		if l == "" || l == "(unlabeled)" || l == "(none)" {
+			continue
+		}
+		if n > bestN || (n == bestN && l < best) {
+			best, bestN = l, n
+		}
+	}
+	return best
+}
+
+// FormatAnalysis renders the human-readable mctrace analyze report: the
+// summary header, reconstructed retry chains (longest first, capped), and
+// the who-aborted-whom conflict graph.
+func FormatAnalysis(ex *Export, maxChains int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: mode=%s seed=%#x requests=%d kept=%d slowlog=%d (dropped %d) est_p99=%dns\n",
+		ex.Mode, ex.Seed, ex.Requests, ex.Kept, ex.SlowlogLen, ex.SlowlogDropped, ex.EstP99Nanos)
+	if len(ex.Anomalies) > 0 {
+		b.WriteString("anomalies:\n")
+		for _, a := range ex.Anomalies {
+			fmt.Fprintf(&b, "  %-22s %s\n", a.Kind, a.Detail)
+		}
+	}
+
+	spans := ex.Slowlog
+	if len(spans) == 0 {
+		// Fall back to the recent-span section of the OTLP payload via the
+		// dumps (raw spans are only exported in slowlog and dumps).
+		for _, d := range ex.Dumps {
+			spans = append(spans, d.Spans...)
+		}
+	}
+	chains := Chains(spans)
+	sort.Slice(chains, func(i, j int) bool {
+		if len(chains[i].Attempts) != len(chains[j].Attempts) {
+			return len(chains[i].Attempts) > len(chains[j].Attempts)
+		}
+		return chains[i].SpanID < chains[j].SpanID
+	})
+	if maxChains <= 0 {
+		maxChains = 10
+	}
+	if len(chains) > 0 {
+		fmt.Fprintf(&b, "retry chains (%d total, longest %d shown):\n", len(chains), min(maxChains, len(chains)))
+		for i, c := range chains {
+			if i >= maxChains {
+				break
+			}
+			fmt.Fprintf(&b, "  span %d conn %d %s @ %s: %d attempt(s)\n", c.SpanID, c.Conn, c.Cmd, c.Site, len(c.Attempts))
+			for _, a := range c.Attempts {
+				line := "    " + a.Outcome
+				if a.Cause != "" {
+					line += ": " + a.Cause
+				}
+				if a.Label != "" {
+					line += " [" + a.Label + "]"
+				}
+				if a.Owner != "" {
+					line += " <- " + a.Owner
+				}
+				b.WriteString(line + "\n")
+			}
+		}
+	}
+
+	graph := ex.ConflictGraph
+	if len(graph) == 0 {
+		graph = GraphFromSpans(spans)
+	}
+	if len(graph) > 0 {
+		b.WriteString("who-aborted-whom (owner -> victim [label] count):\n")
+		for _, e := range graph {
+			fmt.Fprintf(&b, "  %-24s -> %-24s [%s] %d\n", e.Owner, e.Victim, e.Label, e.Count)
+		}
+		if hot := HotLabel(graph); hot != "" {
+			fmt.Fprintf(&b, "hottest label: %s\n", hot)
+		}
+	} else {
+		b.WriteString("no conflicts recorded\n")
+	}
+	return b.String()
+}
+
+// sortSlice adapts sort.Slice to a typed less function.
+func sortSlice[T any](s []T, less func(a, b T) bool) {
+	sort.Slice(s, func(i, j int) bool { return less(s[i], s[j]) })
+}

@@ -1,0 +1,211 @@
+package txtrace
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Counters is the cumulative counter snapshot the engine's sampler hands to
+// Tick once per second: the merged STM statistics across every shard domain
+// plus the merged memcached command counters. The tracer fills in its own
+// Reqs/Kept/Slow before storing the sample.
+type Counters struct {
+	Commits            uint64 `json:"commits"`
+	Aborts             uint64 `json:"aborts"`
+	StartSerial        uint64 `json:"start_serial"`
+	InFlightSwitch     uint64 `json:"in_flight_switch"`
+	AbortSerial        uint64 `json:"abort_serial"`
+	SerialCommits      uint64 `json:"serial_commits"`
+	WatchdogBackoffs   uint64 `json:"watchdog_backoffs"`
+	WatchdogSerializes uint64 `json:"watchdog_serializes"`
+	ROFastCommits      uint64 `json:"ro_fast_commits"`
+
+	Ops       uint64 `json:"ops"` // memcached commands processed
+	GetHits   uint64 `json:"get_hits"`
+	GetMisses uint64 `json:"get_misses"`
+
+	Reqs uint64 `json:"reqs"` // tracer: requests traced
+	Kept uint64 `json:"kept"` // tracer: spans kept
+	Slow uint64 `json:"slow"` // tracer: pathological spans captured
+}
+
+// Sample is one per-second entry: the second-over-second deltas of Counters
+// plus the window p99. Deltas (not cumulative values) are stored so a scrape
+// of the ring is directly plottable and the detector's history windows are
+// trivially comparable.
+type Sample struct {
+	When     int64    `json:"when"`
+	Delta    Counters `json:"delta"`
+	P99Nanos int64    `json:"p99_ns"` // this second's window p99 (0 = idle)
+}
+
+// TimeSeries is a bounded per-second history of Samples. One writer (the
+// sampler goroutine) pushes; readers snapshot under the same mutex — at 1 Hz
+// contention is irrelevant, and the mutex keeps snapshot/reset exact, unlike
+// the event rings where lock-freedom buys something.
+type TimeSeries struct {
+	mu   sync.Mutex
+	buf  []Sample
+	n    int // filled entries
+	next int // write cursor
+	prev Counters
+	have bool // prev is valid (≥1 push since reset)
+
+	p99Hist []int64 // trailing window p99s for the regression detector
+}
+
+// NewTimeSeries creates a ring holding seconds entries.
+func NewTimeSeries(seconds int) *TimeSeries {
+	if seconds < 8 {
+		seconds = 8
+	}
+	return &TimeSeries{buf: make([]Sample, seconds)}
+}
+
+// Len returns the number of seconds of history currently held.
+func (ts *TimeSeries) Len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.n
+}
+
+// Snapshot returns the held samples, oldest first.
+func (ts *TimeSeries) Snapshot() []Sample {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]Sample, 0, ts.n)
+	start := ts.next - ts.n
+	for i := 0; i < ts.n; i++ {
+		out = append(out, ts.buf[(start+i+len(ts.buf))%len(ts.buf)])
+	}
+	return out
+}
+
+// push stores the delta sample for cumulative counters c, returning the
+// stored sample and whether a previous sample existed (false on the first
+// push after creation or reset, when no delta is computable).
+func (ts *TimeSeries) push(when int64, c Counters, winP99 int64) (Sample, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if !ts.have {
+		ts.prev = c
+		ts.have = true
+		return Sample{}, false
+	}
+	d := Counters{
+		Commits:            c.Commits - ts.prev.Commits,
+		Aborts:             c.Aborts - ts.prev.Aborts,
+		StartSerial:        c.StartSerial - ts.prev.StartSerial,
+		InFlightSwitch:     c.InFlightSwitch - ts.prev.InFlightSwitch,
+		AbortSerial:        c.AbortSerial - ts.prev.AbortSerial,
+		SerialCommits:      c.SerialCommits - ts.prev.SerialCommits,
+		WatchdogBackoffs:   c.WatchdogBackoffs - ts.prev.WatchdogBackoffs,
+		WatchdogSerializes: c.WatchdogSerializes - ts.prev.WatchdogSerializes,
+		ROFastCommits:      c.ROFastCommits - ts.prev.ROFastCommits,
+		Ops:                c.Ops - ts.prev.Ops,
+		GetHits:            c.GetHits - ts.prev.GetHits,
+		GetMisses:          c.GetMisses - ts.prev.GetMisses,
+		Reqs:               c.Reqs - ts.prev.Reqs,
+		Kept:               c.Kept - ts.prev.Kept,
+		Slow:               c.Slow - ts.prev.Slow,
+	}
+	ts.prev = c
+	s := Sample{When: when, Delta: d, P99Nanos: winP99}
+	ts.buf[ts.next%len(ts.buf)] = s
+	ts.next = (ts.next + 1) % len(ts.buf)
+	if ts.n < len(ts.buf) {
+		ts.n++
+	}
+	if winP99 > 0 {
+		ts.p99Hist = append(ts.p99Hist, winP99)
+		if len(ts.p99Hist) > 32 {
+			ts.p99Hist = ts.p99Hist[len(ts.p99Hist)-32:]
+		}
+	}
+	return s, true
+}
+
+// reset empties the history (prev is forgotten too, so the next push only
+// re-seeds the baseline — a reset mid-run must not produce one giant delta).
+func (ts *TimeSeries) reset() {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.n = 0
+	ts.next = 0
+	ts.have = false
+	ts.p99Hist = ts.p99Hist[:0]
+}
+
+// Detection thresholds. Absolute floors keep the detector quiet on idle or
+// near-idle servers, where tiny denominators make any ratio look dramatic.
+const (
+	spikeFactor    = 4   // abort_spike: this second ≥ factor × trailing mean
+	spikeMinAborts = 50  // ...and at least this many aborts this second
+	stormPct       = 25  // serialization_storm: serial events ≥ pct% of commits
+	stormMinSerial = 20  // ...and at least this many serial events
+	p99Factor      = 4   // p99_regression: window p99 ≥ factor × trailing mean
+	p99MinSamples  = 5   // ...with at least this much p99 history
+	p99MinNanos    = 1e5 // ...and a window p99 of at least 100µs
+	spikeHistory   = 8   // trailing seconds the abort mean is taken over
+)
+
+// detect judges the freshly pushed sample against the trailing history and
+// returns any anomalies. Caller (Tick) applies the per-kind cooldown.
+func (ts *TimeSeries) detect(s Sample) []Anomaly {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	var out []Anomaly
+
+	// Trailing abort mean over the seconds before this one.
+	if ts.n > 1 {
+		hist := ts.n - 1
+		if hist > spikeHistory {
+			hist = spikeHistory
+		}
+		var sum uint64
+		// The newest sample sits at next-1; history is the hist entries
+		// before it.
+		for i := 0; i < hist; i++ {
+			idx := (ts.next - 2 - i + 2*len(ts.buf)) % len(ts.buf)
+			sum += ts.buf[idx].Delta.Aborts
+		}
+		mean := sum / uint64(hist)
+		if s.Delta.Aborts >= spikeMinAborts && s.Delta.Aborts >= spikeFactor*max64(mean, 1) {
+			out = append(out, Anomaly{Kind: "abort_spike",
+				Detail: fmt.Sprintf("%d aborts/s vs trailing mean %d", s.Delta.Aborts, mean)})
+		}
+	}
+
+	serial := s.Delta.StartSerial + s.Delta.InFlightSwitch + s.Delta.AbortSerial +
+		s.Delta.WatchdogSerializes
+	if serial >= stormMinSerial && serial*100 >= stormPct*max64(s.Delta.Commits, 1) {
+		out = append(out, Anomaly{Kind: "serialization_storm",
+			Detail: fmt.Sprintf("%d serializations/s against %d commits/s", serial, s.Delta.Commits)})
+	}
+
+	if s.Delta.WatchdogSerializes > 0 {
+		out = append(out, Anomaly{Kind: "watchdog_serialize",
+			Detail: fmt.Sprintf("starvation watchdog escalated %d thread(s) to serial", s.Delta.WatchdogSerializes)})
+	}
+
+	if s.P99Nanos >= p99MinNanos && len(ts.p99Hist) > p99MinSamples {
+		// Mean of the history excluding the newest entry (push appended it).
+		var sum int64
+		for _, v := range ts.p99Hist[:len(ts.p99Hist)-1] {
+			sum += v
+		}
+		mean := sum / int64(len(ts.p99Hist)-1)
+		if mean > 0 && s.P99Nanos >= p99Factor*mean {
+			out = append(out, Anomaly{Kind: "p99_regression",
+				Detail: fmt.Sprintf("window p99 %dns vs trailing mean %dns", s.P99Nanos, mean)})
+		}
+	}
+	return out
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,397 @@
+package txtrace
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/txobs"
+)
+
+func TestParseMode(t *testing.T) {
+	for in, want := range map[string]Mode{
+		"off": ModeOff, "0": ModeOff, "false": ModeOff,
+		"sampled": ModeSampled, "on": ModeSampled, "1": ModeSampled, "true": ModeSampled,
+		"full": ModeFull, "2": ModeFull,
+	} {
+		got, err := ParseMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseMode("loud"); err == nil {
+		t.Error("ParseMode(loud) accepted")
+	}
+}
+
+func TestSpanRingOverflow(t *testing.T) {
+	r := NewSpanRing(8)
+	for i := 1; i <= 20; i++ {
+		r.Record(&Span{ID: uint64(i)})
+	}
+	if r.Len() != 8 || r.Recorded() != 20 || r.Dropped() != 12 {
+		t.Fatalf("len=%d recorded=%d dropped=%d, want 8/20/12", r.Len(), r.Recorded(), r.Dropped())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 8 || snap[0].ID != 13 || snap[7].ID != 20 {
+		t.Fatalf("snapshot = %+v, want IDs 13..20", snap)
+	}
+	r.reset()
+	if r.Len() != 0 || r.Dropped() != 0 || r.Recorded() != 0 {
+		t.Fatalf("ring not empty after reset")
+	}
+}
+
+// driveRequests pushes n plain (non-pathological) requests through a fresh
+// ConnSpans on tr and returns the head-sampler keep pattern by request
+// ordinal.
+func driveRequests(tr *Tracer, n int) []bool {
+	cs := NewConnSpans(tr, 1)
+	kept := make([]bool, n)
+	for i := 0; i < n; i++ {
+		before := tr.Kept()
+		if cs.Begin("get") {
+			cs.End()
+		}
+		kept[i] = tr.Kept() > before
+	}
+	return kept
+}
+
+// TestHeadSamplingDeterminism is the satellite determinism check: the keep
+// decision for the n-th request is a pure function of (seed, n), so two
+// tracers configured identically keep exactly the same request population.
+func TestHeadSamplingDeterminism(t *testing.T) {
+	const n = 4096
+	opt := Options{Seed: 0xDEADBEEF, SampleEvery: 64}
+	a, b := New(opt), New(opt)
+	a.SetMode(ModeSampled)
+	b.SetMode(ModeSampled)
+
+	ka, kb := driveRequests(a, n), driveRequests(b, n)
+	var keptN int
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Fatalf("request %d: tracer A kept=%v, tracer B kept=%v (same seed)", i, ka[i], kb[i])
+		}
+		if ka[i] {
+			keptN++
+		}
+	}
+	if keptN == 0 || keptN == n {
+		t.Fatalf("kept %d of %d — sampler not sampling", keptN, n)
+	}
+	// The rate should be in the neighbourhood of 1/SampleEvery.
+	if keptN < n/256 || keptN > n/16 {
+		t.Errorf("kept %d of %d, want around %d", keptN, n, n/64)
+	}
+
+	// A different seed must (with overwhelming probability over 4096 coins)
+	// pick a different population.
+	c := New(Options{Seed: 0xBADC0FFEE, SampleEvery: 64})
+	c.SetMode(ModeSampled)
+	kc := driveRequests(c, n)
+	same := true
+	for i := range ka {
+		if ka[i] != kc[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds picked the identical sample population")
+	}
+}
+
+// feedSpan runs one request through cs with the given events injected.
+func feedSpan(cs *ConnSpans, cmd string, evs ...*txobs.Event) bool {
+	if !cs.Begin(cmd) {
+		return false
+	}
+	for _, ev := range evs {
+		cs.TraceTx(ev)
+	}
+	cs.End()
+	return true
+}
+
+// TestKeepRules checks the always-sample escape hatches: abort-retry chains
+// ≥ K and serialization are kept regardless of the head coin, and full mode
+// keeps plain requests too.
+func TestKeepRules(t *testing.T) {
+	// SampleEvery enormous: the head coin fires with probability 2^-30 per
+	// request, so every keep below is attributable to its rule.
+	tr := New(Options{Seed: 1, SampleEvery: 1 << 30, RetryK: 3})
+	tr.SetMode(ModeSampled)
+	cs := NewConnSpans(tr, 7)
+
+	feedSpan(cs, "get",
+		&txobs.Event{Kind: txobs.KBegin, Orec: -1},
+		&txobs.Event{Kind: txobs.KCommit, Orec: -1})
+	if tr.Kept() != 0 {
+		t.Fatalf("plain request kept in sampled mode with the coin pinned off")
+	}
+
+	feedSpan(cs, "incr",
+		&txobs.Event{Kind: txobs.KAbort, Retry: 3, Orec: 5, Cause: "conflict"},
+		&txobs.Event{Kind: txobs.KCommit, Orec: -1, Retry: 3})
+	if tr.Kept() != 1 || tr.SlowCaptured() != 1 {
+		t.Fatalf("retry chain ≥ K not kept: kept=%d slow=%d", tr.Kept(), tr.SlowCaptured())
+	}
+	slow := tr.Slowlog()
+	if len(slow) != 1 || slow[0].Keep != "retries" || slow[0].Cmd != "incr" {
+		t.Fatalf("slowlog = %+v", slow)
+	}
+
+	feedSpan(cs, "set",
+		&txobs.Event{Kind: txobs.KAbortSerial, Orec: -1, Cause: "cm limit"},
+		&txobs.Event{Kind: txobs.KStartSerial, Serial: true, Orec: -1},
+		&txobs.Event{Kind: txobs.KCommit, Serial: true, Orec: -1})
+	if tr.Kept() != 2 {
+		t.Fatalf("serialized request not kept")
+	}
+	if got := tr.Slowlog()[1].Keep; got != "serialized" {
+		t.Fatalf("serialized span keep = %q", got)
+	}
+
+	tr.SetMode(ModeFull)
+	feedSpan(cs, "get",
+		&txobs.Event{Kind: txobs.KBegin, Orec: -1},
+		&txobs.Event{Kind: txobs.KCommit, Orec: -1})
+	if tr.Kept() != 3 {
+		t.Fatalf("full mode did not keep a plain request")
+	}
+	if tr.SlowCaptured() != 2 {
+		t.Fatalf("plain full-mode request landed in the flight recorder")
+	}
+
+	tr.SetMode(ModeOff)
+	if cs.Begin("get") {
+		t.Fatal("Begin returned true in ModeOff")
+	}
+}
+
+// TestChainsAndGraph exercises the offline reconstruction: retry chains from
+// raw span events, the who-aborted-whom graph, and the hot-label pick.
+func TestChainsAndGraph(t *testing.T) {
+	spans := []Span{{
+		ID: 1, Conn: 3, Cmd: "incr",
+		Events: []SpanEvent{
+			{Kind: "begin", Site: "add_delta"},
+			{Kind: "abort", Site: "add_delta", Owner: "do_store_item", Label: "cas_counter", Cause: "conflict", Retry: 1},
+			{Kind: "begin", Site: "add_delta", Retry: 1},
+			{Kind: "abort", Site: "add_delta", Owner: "do_store_item", Label: "cas_counter", Cause: "conflict", Retry: 2},
+			{Kind: "begin", Site: "add_delta", Retry: 2},
+			{Kind: "commit", Site: "add_delta"},
+		},
+	}, {
+		ID: 2, Conn: 4, Cmd: "get",
+		Events: []SpanEvent{
+			{Kind: "begin", Site: "item_get"},
+			{Kind: "abort", Site: "item_get", Owner: "item_unlink", Label: "hash_bucket", Cause: "conflict", Retry: 1},
+			{Kind: "begin", Site: "item_get", Retry: 1},
+			{Kind: "commit", Site: "item_get"},
+		},
+	}}
+
+	chains := Chains(spans)
+	if len(chains) != 2 {
+		t.Fatalf("chains = %d, want 2: %+v", len(chains), chains)
+	}
+	if chains[0].Site != "add_delta" || len(chains[0].Attempts) != 3 {
+		t.Fatalf("chain 0 = %+v", chains[0])
+	}
+	if got := chains[0].Attempts[2].Outcome; got != "commit" {
+		t.Fatalf("chain 0 final outcome = %q", got)
+	}
+
+	graph := GraphFromSpans(spans)
+	if len(graph) != 2 {
+		t.Fatalf("graph = %+v", graph)
+	}
+	if graph[0].Owner != "do_store_item" || graph[0].Victim != "add_delta" ||
+		graph[0].Label != "cas_counter" || graph[0].Count != 2 {
+		t.Fatalf("heaviest edge = %+v", graph[0])
+	}
+	if hot := HotLabel(graph); hot != "cas_counter" {
+		t.Fatalf("HotLabel = %q, want cas_counter", hot)
+	}
+
+	ex := &Export{Mode: "full", Slowlog: spans, ConflictGraph: graph}
+	report := FormatAnalysis(ex, 10)
+	for _, want := range []string{"add_delta", "do_store_item", "cas_counter", "hottest label: cas_counter"} {
+		if !contains(report, want) {
+			t.Errorf("analysis report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && index(s, sub) >= 0
+}
+
+func index(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestAnomalyDetectorAndAutoDump drives Tick directly (the engine's sampler
+// normally does this at 1 Hz): an abort spike against a quiet baseline must
+// trip the detector and auto-capture a flight-recorder dump.
+func TestAnomalyDetectorAndAutoDump(t *testing.T) {
+	tr := New(Options{Seed: 1})
+	tr.SetMode(ModeSampled)
+
+	// Put something in the flight recorder so the dump has content.
+	cs := NewConnSpans(tr, 9)
+	feedSpan(cs, "set",
+		&txobs.Event{Kind: txobs.KAbort, Retry: 4, Orec: 2, Cause: "conflict"},
+		&txobs.Event{Kind: txobs.KCommit, Orec: -1, Retry: 4})
+
+	c := Counters{}
+	tr.Tick(c) // seeds the baseline
+	for i := 0; i < 3; i++ {
+		c.Commits += 100
+		c.Aborts += 5
+		tr.Tick(c)
+	}
+	if n := len(tr.Anomalies()); n != 0 {
+		t.Fatalf("quiet baseline tripped %d anomalies: %+v", n, tr.Anomalies())
+	}
+	c.Commits += 100
+	c.Aborts += 500 // 500/s against a trailing mean of 5/s
+	tr.Tick(c)
+
+	anoms := tr.Anomalies()
+	if len(anoms) == 0 || anoms[0].Kind != "abort_spike" {
+		t.Fatalf("anomalies = %+v, want abort_spike", anoms)
+	}
+	dumps := tr.Dumps()
+	if len(dumps) == 0 {
+		t.Fatal("anomaly did not auto-capture a dump")
+	}
+	if len(dumps[0].Spans) == 0 {
+		t.Fatal("auto dump captured an empty flight recorder")
+	}
+
+	// Serialization storm and watchdog escalation on the next second.
+	c.Commits += 40
+	c.StartSerial += 30
+	c.WatchdogSerializes += 2
+	tr.Tick(c)
+	kinds := map[string]bool{}
+	for _, a := range tr.Anomalies() {
+		kinds[a.Kind] = true
+	}
+	if !kinds["serialization_storm"] || !kinds["watchdog_serialize"] {
+		t.Fatalf("anomaly kinds = %v, want serialization_storm and watchdog_serialize", kinds)
+	}
+}
+
+// TestP99EstimateAndRegression checks the rolling p99: the first window seeds
+// the estimate outright, and a sudden sustained latency jump trips the
+// p99_regression detector.
+func TestP99EstimateAndRegression(t *testing.T) {
+	tr := New(Options{Seed: 1})
+	tr.SetMode(ModeFull)
+	if tr.EstP99() != time.Duration(1<<63-1) {
+		t.Fatalf("estimate not infinite before evidence: %d", tr.EstP99())
+	}
+
+	c := Counters{}
+	tr.Tick(c)
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 100; j++ {
+			tr.observeDur(100 * time.Microsecond)
+		}
+		tr.Tick(c)
+	}
+	est := tr.EstP99()
+	if est <= 0 || est > 10*time.Millisecond {
+		t.Fatalf("estimate after calm windows = %v", est)
+	}
+
+	for j := 0; j < 100; j++ {
+		tr.observeDur(50 * time.Millisecond)
+	}
+	tr.Tick(c)
+	found := false
+	for _, a := range tr.Anomalies() {
+		if a.Kind == "p99_regression" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("latency jump did not trip p99_regression: %+v", tr.Anomalies())
+	}
+}
+
+// TestTracerReset checks the exactly-once data clear: rings, graph, time
+// series, anomalies and dumps go; mode, seed, and the sampler's ordinal
+// stream survive so determinism holds across resets.
+func TestTracerReset(t *testing.T) {
+	tr := New(Options{Seed: 5, RetryK: 2})
+	tr.SetMode(ModeFull)
+	cs := NewConnSpans(tr, 1)
+	feedSpan(cs, "set",
+		&txobs.Event{Kind: txobs.KAbort, Retry: 2, Orec: 1, Site: "do_store_item", Cause: "conflict"},
+		&txobs.Event{Kind: txobs.KCommit, Orec: -1, Retry: 2})
+	tr.TriggerDump("test")
+	if tr.SlowlogLen() == 0 || len(tr.Graph()) == 0 || len(tr.Dumps()) == 0 {
+		t.Fatal("nothing to reset")
+	}
+	reqsBefore := tr.Requests()
+
+	tr.Reset()
+	if tr.SlowlogLen() != 0 || len(tr.Recent()) != 0 || len(tr.Graph()) != 0 ||
+		len(tr.Anomalies()) != 0 || len(tr.Dumps()) != 0 || tr.TimeSeriesSeconds() != 0 ||
+		tr.SlowCaptured() != 0 {
+		t.Fatal("Reset left data behind")
+	}
+	if tr.Mode() != ModeFull {
+		t.Fatalf("Reset changed the mode to %v", tr.Mode())
+	}
+	if tr.Seed() != 5 {
+		t.Fatalf("Reset changed the seed to %d", tr.Seed())
+	}
+	if tr.Requests() != reqsBefore {
+		t.Fatal("Reset rewound the request ordinal stream (breaks sampler determinism)")
+	}
+
+	// Still alive after reset.
+	feedSpan(cs, "get",
+		&txobs.Event{Kind: txobs.KBegin, Orec: -1},
+		&txobs.Event{Kind: txobs.KCommit, Orec: -1})
+	if len(tr.Recent()) != 1 {
+		t.Fatal("tracer dead after Reset")
+	}
+}
+
+// TestExportShape sanity-checks the OTLP-style document: resourceSpans
+// carries the kept spans with attributes, and the custom sections round-trip.
+func TestExportShape(t *testing.T) {
+	tr := New(Options{Seed: 1, RetryK: 2})
+	tr.SetMode(ModeFull)
+	cs := NewConnSpans(tr, 11)
+	feedSpan(cs, "incr",
+		&txobs.Event{Kind: txobs.KAbort, Retry: 2, Orec: 3, Site: "add_delta", Cause: "conflict", Owner: "do_store_item"},
+		&txobs.Event{Kind: txobs.KCommit, Orec: -1, Retry: 2})
+
+	ex := tr.Export()
+	if ex.Mode != "full" || ex.Requests != 1 || ex.Kept != 1 || ex.SlowlogLen != 1 {
+		t.Fatalf("export header: %+v", ex)
+	}
+	if len(ex.ResourceSpans) != 1 || len(ex.ResourceSpans[0].ScopeSpans) != 1 {
+		t.Fatalf("OTLP nesting: %+v", ex.ResourceSpans)
+	}
+	spans := ex.ResourceSpans[0].ScopeSpans[0].Spans
+	if len(spans) != 1 || spans[0].Name != "incr" || len(spans[0].Events) != 2 {
+		t.Fatalf("OTLP spans: %+v", spans)
+	}
+	if len(ex.ConflictGraph) != 1 || ex.ConflictGraph[0].Owner != "do_store_item" {
+		t.Fatalf("conflict graph: %+v", ex.ConflictGraph)
+	}
+}
