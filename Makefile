@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test check batch-race shard-race trace-race torture-smoke torture profile bench-smoke bench-shards bench-trace-overhead
+.PHONY: all build vet lint test check batch-race shard-race trace-race torture-smoke torture profile bench-smoke bench-shards bench-trace-overhead bench-tmctl
 
 all: check
 
@@ -75,6 +75,12 @@ bench-shards:
 # baseline), sampled, and full, median of 3, into BENCH_trace_overhead.json.
 bench-trace-overhead:
 	$(GO) run ./cmd/mcbench -trace-overhead -ops 60000 -threads 4 -trace-trials 3 -trace-out BENCH_trace_overhead.json
+
+# bench-tmctl injects a seeded single-hot-key contention storm against the
+# per-shard feedback controller and writes the degrade/heal trace (per-window
+# modes, abort ratios, client p99) to BENCH_tmctl.json.
+bench-tmctl:
+	$(GO) run ./cmd/mcbench -tmctl-storm -threads 4 -tmctl-out BENCH_tmctl.json
 
 # profile runs a short mcbench with transaction observability on and prints
 # the serialization causes, conflict heat map, and latency summary.

@@ -42,6 +42,9 @@ func main() {
 		traceOver  = flag.Bool("trace-overhead", false, "measure request-tracing overhead (baseline vs disabled vs sampled vs full) through the text protocol and write -trace-out")
 		traceOut   = flag.String("trace-out", "BENCH_trace_overhead.json", "output file for -trace-overhead")
 		traceTrial = flag.Int("trace-trials", 3, "trials per tracing configuration (median reported)")
+		tmctlStorm = flag.Bool("tmctl-storm", false, "inject a single-hot-key contention storm against the feedback controller and write -tmctl-out")
+		tmctlOut   = flag.String("tmctl-out", "BENCH_tmctl.json", "output file for -tmctl-storm")
+		tmctlSeed  = flag.Uint64("tmctl-seed", 1, "fault-injector seed for -tmctl-storm")
 	)
 	flag.Parse()
 
@@ -175,6 +178,29 @@ func main() {
 				p.Config, p.OpsPerSec, p.DeltaPct)
 		}
 		fmt.Printf("wrote %s\n", *traceOut)
+	}
+	if *tmctlStorm {
+		ran = true
+		b, err := engine.ParseBranch(*roBranch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := bench.RunTMCtlStorm(b, bench.TMCtlStormOptions{
+			Threads:  ths[len(ths)-1],
+			Seed:     *tmctlSeed,
+			KeySpace: *keyspace,
+		})
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(*tmctlOut, out, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("tmctl storm on %s: hot shard %d degraded to %s after %dms, healed %dms after the storm (base restored: %v); storm p99 max %.2fms, recovered p99 %.2fms; %d degrades / %d promotes -> %s\n",
+			res.Branch, res.HotShard, res.DeepestMode, res.DegradeAfterMs, res.HealAfterMs, res.BaseRestored,
+			res.StormP99MaxMs, res.RecoveredP99Ms, res.Degrades, res.Promotes, *tmctlOut)
 	}
 	if *profBranch != "" {
 		ran = true

@@ -20,6 +20,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/server"
 	"repro/internal/stm"
+	"repro/internal/tmctl"
 	"repro/internal/txtrace"
 )
 
@@ -37,6 +38,9 @@ func main() {
 		trace     = flag.Bool("trace", false, "enable transaction observability from startup (stats tm/conflicts/latency)")
 		txtraceMd = flag.String("txtrace", "off", "request tracing mode from startup: off, sampled, or full (stats slowlog, /debug/trace)")
 		debugAddr = flag.String("debug-addr", "", "serve the debug HTTP endpoint (/debug/vars, /metrics, /debug/pprof/) on this address")
+		tmCtl     = flag.Bool("tmctl", false, "enable the per-shard feedback controller (stats tmctl, /debug/tmctl)")
+		ctlIntvl  = flag.Duration("tmctl-interval", 0, "controller sampling interval (0 = default 1s)")
+		ctlDwell  = flag.Duration("tmctl-dwell", 0, "controller minimum dwell time between mode swaps on one shard (0 = default 5s)")
 	)
 	flag.Parse()
 
@@ -69,6 +73,12 @@ func main() {
 		}
 		conf.STM = &sc
 	}
+	if *tmCtl {
+		p := tmctl.DefaultPolicy()
+		p.Interval = *ctlIntvl
+		p.MinDwell = *ctlDwell
+		conf.TMCtl = &p
+	}
 	// Validate refuses flag combinations New would otherwise clamp silently
 	// or panic on, with the offending field in the message.
 	if err := conf.Validate(); err != nil {
@@ -97,7 +107,7 @@ func main() {
 			log.Fatal(err)
 		}
 		dbg = d
-		log.Printf("debug endpoint on http://%s/debug/vars (also /metrics, /debug/pprof/, /debug/tm, /debug/trace)", bound)
+		log.Printf("debug endpoint on http://%s/debug/vars (also /metrics, /debug/pprof/, /debug/tm, /debug/trace, /debug/tmctl)", bound)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -1,0 +1,24 @@
+package bench
+
+import "repro/internal/engine"
+
+// shardBalance reports each TM domain's share of total commits — the
+// per-point shard balance every BENCH_*.json records, so a skewed run (one
+// hot domain soaking the workload while the rest idle) is visible in the
+// committed artifact instead of needing a raw counter dump to diagnose.
+// Returns nil when no domain committed anything (lock-based branches).
+func shardBalance(c *engine.Cache) []float64 {
+	stats := c.ShardStats()
+	var total uint64
+	for _, ss := range stats {
+		total += ss.Commits
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]float64, len(stats))
+	for i, ss := range stats {
+		out[i] = float64(ss.Commits) / float64(total)
+	}
+	return out
+}

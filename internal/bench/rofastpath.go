@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -16,11 +17,16 @@ import (
 // acquisitions, zero serial-lock round trips, no clock bump, no quiescence
 // wait) beats the same lookups paying per-key begin/validate/commit.
 type ROFastpathResult struct {
-	Branch  string  `json:"branch"`
-	Threads int     `json:"threads"`
-	Keys    uint64  `json:"keys_per_phase"` // key lookups per phase
-	Sets    uint64  `json:"sets_per_phase"`
-	GetSet  float64 `json:"get_set_ratio"`
+	Branch string `json:"branch"`
+	// Host parallelism at measurement time: a 1-CPU box cannot show the
+	// batched fast path's scalability win, only its per-op constant-cost win,
+	// so the artifact must say which machine shape produced it.
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	CPUs       int     `json:"cpus"`
+	Threads    int     `json:"threads"`
+	Keys       uint64  `json:"keys_per_phase"` // key lookups per phase
+	Sets       uint64  `json:"sets_per_phase"`
+	GetSet     float64 `json:"get_set_ratio"`
 
 	PerKeySeconds  float64 `json:"per_key_seconds"`
 	PerKeyKeysPerS float64 `json:"per_key_keys_per_sec"`
@@ -37,6 +43,10 @@ type ROFastpathResult struct {
 	// deferred touch/unlink made a "read-only" section write after all.
 	ROFastCommits uint64 `json:"ro_fast_commits"`
 	ROUpgrades    uint64 `json:"ro_upgrades"`
+
+	// ShardBalance is each domain's commit share over the whole run (this
+	// benchmark pins Shards:1, so a healthy run reads [1.0]).
+	ShardBalance []float64 `json:"shard_balance"`
 }
 
 // RunROFastpath runs the two phases back to back on a fresh cache and reports
@@ -48,7 +58,7 @@ func RunROFastpath(b engine.Branch, threads int, o Options) ROFastpathResult {
 	o = o.withDefaults()
 	c := engine.New(engine.Config{
 		Branch:    b,
-		Shards:    1, // isolate the fast-path effect from sharding
+		Shards:    1,         // isolate the fast-path effect from sharding
 		MemLimit:  256 << 20, // no eviction: both phases see identical residency
 		HashPower: o.HashPower,
 	})
@@ -117,7 +127,12 @@ func RunROFastpath(b engine.Branch, threads int, o Options) ROFastpathResult {
 		return time.Since(start), keys, sets
 	}
 
-	res := ROFastpathResult{Branch: b.String(), Threads: threads}
+	res := ROFastpathResult{
+		Branch:     b.String(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUs:       runtime.NumCPU(),
+		Threads:    threads,
+	}
 
 	perKeyDur, keys, sets := phase(false)
 	res.Keys, res.Sets = keys, sets
@@ -141,6 +156,7 @@ func RunROFastpath(b engine.Branch, threads int, o Options) ROFastpathResult {
 	if res.PerKeyKeysPerS > 0 {
 		res.Speedup = res.BatchedKeysPerS / res.PerKeyKeysPerS
 	}
+	res.ShardBalance = shardBalance(c)
 	return res
 }
 

@@ -37,8 +37,13 @@ type ShardPoint struct {
 	StartSerial   uint64 `json:"start_serial_total"`
 	ROFastCommits uint64 `json:"ro_fast_commits_total"`
 
-	Domains                 []ShardDomainStat `json:"domains"`
-	CrossShardOrecConflicts uint64            `json:"cross_shard_orec_conflicts"`
+	Domains []ShardDomainStat `json:"domains"`
+	// Balance is each domain's commit share at this point — the uniform
+	// keyspace should keep every entry near 1/Shards, and a skewed entry
+	// flags a point whose speedup number measured routing imbalance instead
+	// of synchronization scaling.
+	Balance                 []float64 `json:"shard_balance"`
+	CrossShardOrecConflicts uint64    `json:"cross_shard_orec_conflicts"`
 }
 
 // ShardSweepResult is the -shards benchmark: the same mixed workload driven
@@ -128,6 +133,12 @@ func runShardPoint(b engine.Branch, threads, shards int, o Options) ShardPoint {
 	}
 	p.Seconds = bestDur.Seconds()
 	p.OpsPerSec = float64(ops) / bestDur.Seconds()
+	if p.Commits > 0 {
+		p.Balance = make([]float64, len(p.Domains))
+		for i, d := range p.Domains {
+			p.Balance[i] = float64(d.Commits) / float64(p.Commits)
+		}
+	}
 
 	// Verification pass, traced: the heat map gains a shard dimension and
 	// the observer CASes an owner onto every orec cell it sees; a second

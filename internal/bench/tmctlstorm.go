@@ -1,0 +1,335 @@
+package bench
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/tmctl"
+)
+
+// TMCtlStormOptions sizes the contention-storm scenario. Zero values take
+// the defaults listed on each field.
+type TMCtlStormOptions struct {
+	Shards     int           // TM domains (default 4)
+	Threads    int           // client goroutines (default 4)
+	StormDur   time.Duration // single-hot-key phase (default 2s)
+	RecoverDur time.Duration // uniform-traffic phase after the storm (default 2.5s)
+	Interval   time.Duration // controller sampling interval (default 50ms)
+	MinDwell   time.Duration // controller hysteresis floor (default 250ms)
+	Seed       uint64        // fault-injector seed (default 1)
+	KeySpace   int           // background keyspace (default 4096)
+}
+
+func (o TMCtlStormOptions) withDefaults() TMCtlStormOptions {
+	if o.Shards == 0 {
+		o.Shards = 4
+	}
+	if o.Threads == 0 {
+		o.Threads = 4
+	}
+	if o.StormDur == 0 {
+		o.StormDur = 2 * time.Second
+	}
+	if o.RecoverDur == 0 {
+		o.RecoverDur = 2500 * time.Millisecond
+	}
+	if o.Interval == 0 {
+		o.Interval = 50 * time.Millisecond
+	}
+	if o.MinDwell == 0 {
+		o.MinDwell = 250 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.KeySpace == 0 {
+		o.KeySpace = 4096
+	}
+	return o
+}
+
+// TMCtlStormWindow is one controller-interval sample of the run: what every
+// shard's rung was, how contended the hot shard looked, and the client-side
+// p99 of the operations completed during the window.
+type TMCtlStormWindow struct {
+	Ms        int64    `json:"ms"`    // since run start
+	Phase     string   `json:"phase"` // storm | recovery
+	Modes     []string `json:"modes"` // per-shard controller rung
+	HotAborts float64  `json:"hot_abort_ratio"`
+	Ops       int      `json:"ops"`
+	P99Ms     float64  `json:"p99_ms"`
+}
+
+// TMCtlStormResult is the committed artifact for the controller's headline
+// claim: under a single-hot-key contention storm the affected shard degrades
+// to a pessimistic rung, client p99 stays bounded instead of collapsing into
+// retry livelock, and once the storm passes the shard heals back to its
+// optimistic base configuration within a bounded number of calm windows.
+type TMCtlStormResult struct {
+	Branch     string `json:"branch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	CPUs       int    `json:"cpus"`
+	Threads    int    `json:"threads"`
+	Shards     int    `json:"shards"`
+	Seed       uint64 `json:"seed"`
+
+	IntervalMs int64 `json:"interval_ms"`
+	MinDwellMs int64 `json:"min_dwell_ms"`
+	StormMs    int64 `json:"storm_ms"`
+	RecoverMs  int64 `json:"recover_ms"`
+
+	// HotShard is the domain the hot key hashed to, identified post hoc as
+	// the shard with the largest abort delta over the storm phase.
+	HotShard int `json:"hot_shard"`
+
+	// DegradeAfterMs: run time at the first window where the hot shard had
+	// left its optimistic rung. -1 means it never degraded (a failed run).
+	DegradeAfterMs int64 `json:"degrade_after_ms"`
+	// DeepestMode is the lowest rung the hot shard reached.
+	DeepestMode string `json:"deepest_mode"`
+	// HealAfterMs: time from storm end to the first window where every
+	// shard was back on normal. -1 means it never healed (a failed run).
+	HealAfterMs int64 `json:"heal_after_ms"`
+	// BaseRestored: the hot shard's runtime config equals its pre-storm base
+	// after healing (algorithm, backoff curve and retry budget all restored).
+	BaseRestored bool `json:"base_restored"`
+
+	// StormP99MaxMs is the worst per-window client p99 during the storm —
+	// the "stays bounded" number. RecoveredP99Ms is the final window's p99.
+	StormP99MaxMs  float64 `json:"storm_p99_max_ms"`
+	RecoveredP99Ms float64 `json:"recovered_p99_ms"`
+
+	Degrades uint64 `json:"degrades"`
+	Promotes uint64 `json:"promotes"`
+	Retunes  uint64 `json:"retunes"`
+
+	ShardBalance []float64          `json:"shard_balance"`
+	Windows      []TMCtlStormWindow `json:"windows"`
+}
+
+// latSink collects client-observed op latencies; the sampler drains it once
+// per controller interval to compute per-window p99.
+type latSink struct {
+	mu sync.Mutex
+	ds []time.Duration
+}
+
+func (l *latSink) add(d time.Duration) {
+	l.mu.Lock()
+	l.ds = append(l.ds, d)
+	l.mu.Unlock()
+}
+
+func (l *latSink) drain() []time.Duration {
+	l.mu.Lock()
+	out := l.ds
+	l.ds = nil
+	l.mu.Unlock()
+	return out
+}
+
+func p99ms(ds []time.Duration) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	idx := (len(ds) * 99) / 100
+	if idx >= len(ds) {
+		idx = len(ds) - 1
+	}
+	return float64(ds[idx]) / float64(time.Millisecond)
+}
+
+// RunTMCtlStorm injects a single-hot-key contention storm into a sharded
+// cache running the feedback controller and records the controller's
+// response window by window. Every client hammers read-modify-writes on ONE
+// key — all landing in one TM domain — while a seeded STMCommitDelay fault
+// widens commit windows so the conflicts actually materialize even on a
+// small host. After StormDur the load switches to uniform traffic and the
+// run watches the degraded shard heal.
+func RunTMCtlStorm(b engine.Branch, o TMCtlStormOptions) TMCtlStormResult {
+	o = o.withDefaults()
+
+	in := fault.New(o.Seed)
+	in.Set(fault.STMCommitDelay, 0.2) // widen the commit window to force conflicts
+
+	pol := tmctl.DefaultPolicy()
+	pol.Interval = o.Interval
+	pol.MinDwell = o.MinDwell
+	// Disable the within-normal mlwt<->lazy retune: it adapts the hot shard
+	// out of the storm (lazy absorbs same-key write conflicts), which is great
+	// operationally but muddies THIS experiment — the artifact under test is
+	// the degrade/heal ladder, and heal must restore the exact base config.
+	pol.ROReadBias = -1
+
+	c := engine.New(engine.Config{
+		Branch:    b,
+		Shards:    o.Shards,
+		MemLimit:  256 << 20,
+		HashPower: 10,
+		Fault:     in,
+		TMCtl:     &pol,
+	})
+	c.Start()
+	defer c.Stop()
+
+	res := TMCtlStormResult{
+		Branch:     b.String(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUs:       runtime.NumCPU(),
+		Threads:    o.Threads,
+		Shards:     o.Shards,
+		Seed:       o.Seed,
+		IntervalMs: o.Interval.Milliseconds(),
+		MinDwellMs: o.MinDwell.Milliseconds(),
+		StormMs:    o.StormDur.Milliseconds(),
+		RecoverMs:  o.RecoverDur.Milliseconds(),
+		HotShard:   -1, DegradeAfterMs: -1, HealAfterMs: -1,
+	}
+
+	w0 := c.NewWorker()
+	hot := []byte("tmctl-storm-hot-key")
+	w0.Set(hot, 0, 0, []byte("0"))
+	val := make([]byte, 64)
+	for i := 0; i < o.KeySpace; i++ {
+		w0.Set(benchKey(nil, i), 0, 0, val)
+	}
+	// The hot shard is whichever domain the hot key hashed to; identify it
+	// by abort delta rather than reaching into the router.
+	preStats := c.ShardStats()
+
+	// base: any shard's pre-storm dynamic config (New seeds every domain
+	// identically), used to prove heal restores the exact configuration.
+	base := c.Runtimes()[0].DynConfig()
+
+	lat := &latSink{}
+	stormOver := make(chan struct{})
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for t := 0; t < o.Threads; t++ {
+		t := t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := c.NewWorker()
+			r := rngState(uint64(t) + 0x57a3)
+			for {
+				select {
+				case <-stormOver:
+					// Recovery phase: uniform traffic, no hot set.
+					for {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						k := benchKey(nil, int(nextRand(&r)%uint64(o.KeySpace)))
+						start := time.Now()
+						if nextRand(&r)%10 == 0 {
+							w.Set(k, 0, 0, val)
+						} else {
+							w.Get(k)
+						}
+						lat.add(time.Since(start))
+					}
+				default:
+				}
+				// Storm phase: every thread read-modify-writes the one key.
+				start := time.Now()
+				w.Incr(hot, 1)
+				lat.add(time.Since(start))
+			}
+		}()
+	}
+
+	ctl := c.Controller()
+	runStart := time.Now()
+	stormEnd := runStart.Add(o.StormDur)
+	runEnd := stormEnd.Add(o.RecoverDur)
+	tick := time.NewTicker(o.Interval)
+	defer tick.Stop()
+	stormClosed := false
+	var winRatios [][]float64 // per-window per-shard abort ratios, for backfill
+	for now := range tick.C {
+		if !stormClosed && now.After(stormEnd) {
+			close(stormOver)
+			stormClosed = true
+		}
+		st := ctl.Snapshot()
+		win := TMCtlStormWindow{
+			Ms:    time.Since(runStart).Milliseconds(),
+			Phase: "storm",
+		}
+		if stormClosed {
+			win.Phase = "recovery"
+		}
+		allNormal := true
+		ratios := make([]float64, 0, len(st.Shards))
+		for _, ss := range st.Shards {
+			win.Modes = append(win.Modes, ss.Mode)
+			ratios = append(ratios, ss.AbortRatio)
+			if ss.Mode != "normal" {
+				allNormal = false
+			}
+		}
+		ds := lat.drain()
+		win.Ops = len(ds)
+		win.P99Ms = p99ms(ds)
+		if !allNormal && res.DegradeAfterMs < 0 {
+			res.DegradeAfterMs = win.Ms
+		}
+		if stormClosed && allNormal && res.HealAfterMs < 0 {
+			res.HealAfterMs = win.Ms - res.StormMs
+		}
+		res.Windows = append(res.Windows, win)
+		winRatios = append(winRatios, ratios)
+		if now.After(runEnd) && (allNormal || now.After(runEnd.Add(4*o.RecoverDur))) {
+			break
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	// Post-hoc analysis over the stats and the recorded windows.
+	postStats := c.ShardStats()
+	var maxAborts uint64
+	for i := range postStats {
+		d := postStats[i].Aborts - preStats[i].Aborts
+		if res.HotShard < 0 || d > maxAborts {
+			res.HotShard, maxAborts = i, d
+		}
+	}
+	deepest := tmctl.ModeNormal
+	for i := range res.Windows {
+		win := &res.Windows[i]
+		if res.HotShard < len(win.Modes) {
+			if m, err := tmctl.ParseMode(win.Modes[res.HotShard]); err == nil && m > deepest {
+				deepest = m
+			}
+		}
+		if i < len(winRatios) && res.HotShard < len(winRatios[i]) {
+			win.HotAborts = winRatios[i][res.HotShard]
+		}
+	}
+	res.DeepestMode = deepest.String()
+	final := ctl.Snapshot()
+	res.Degrades, res.Promotes, res.Retunes = final.Degrades, final.Promotes, final.Retunes
+	if res.HotShard >= 0 && res.HotShard < len(final.Shards) {
+		res.BaseRestored = c.Runtimes()[res.HotShard].DynConfig() == base &&
+			final.Shards[res.HotShard].Mode == "normal"
+	}
+	for _, win := range res.Windows {
+		if win.Phase == "storm" && win.P99Ms > res.StormP99MaxMs {
+			res.StormP99MaxMs = win.P99Ms
+		}
+	}
+	if n := len(res.Windows); n > 0 {
+		res.RecoveredP99Ms = res.Windows[n-1].P99Ms
+	}
+	res.ShardBalance = shardBalance(c)
+	return res
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -20,7 +21,11 @@ import (
 // but the tracer in ModeOff must pay one atomic load per request and nothing
 // else, so its delta against the baseline must stay inside noise (≤ 2%).
 type TraceOverheadResult struct {
-	Branch     string               `json:"branch"`
+	Branch string `json:"branch"`
+	// Host parallelism at measurement time: the tracing deltas below are only
+	// comparable between runs that agree on it.
+	GOMAXPROCS int                  `json:"gomaxprocs"`
+	CPUs       int                  `json:"cpus"`
 	Threads    int                  `json:"threads"`
 	OpsPerConn int                  `json:"ops_per_conn"`
 	Trials     int                  `json:"trials"` // median-of-N per point
@@ -35,6 +40,10 @@ type TraceOverheadPoint struct {
 	// DeltaPct is (baseline - this) / baseline in percent: positive means
 	// this configuration is slower than the no-spans baseline.
 	DeltaPct float64 `json:"delta_vs_baseline_pct"`
+	// ShardBalance is each TM domain's commit share for this configuration's
+	// cache (nil on lock-based branches): a skewed point means the delta
+	// measured contention on one hot domain, not tracing cost.
+	ShardBalance []float64 `json:"shard_balance,omitempty"`
 }
 
 // traceOverheadScript builds one connection's request byte stream: ops
@@ -75,6 +84,7 @@ func RunTraceOverhead(b engine.Branch, threads, trials int, o Options) TraceOver
 	}
 	res := TraceOverheadResult{
 		Branch: b.String(), Threads: threads, OpsPerConn: o.OpsPerThread, Trials: trials,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), CPUs: runtime.NumCPU(),
 	}
 
 	scripts := make([][]byte, threads)
@@ -135,14 +145,16 @@ func RunTraceOverhead(b engine.Branch, threads, trials int, o Options) TraceOver
 				rates = append(rates, float64(threads*o.OpsPerThread)/dur.Seconds())
 			}
 		}
+		balance := shardBalance(c)
 		c.Stop()
 
 		sort.Float64s(rates)
 		med := rates[len(rates)/2]
 		res.Points = append(res.Points, TraceOverheadPoint{
-			Config:    cfg.name,
-			Seconds:   float64(threads*o.OpsPerThread) / med,
-			OpsPerSec: med,
+			Config:       cfg.name,
+			Seconds:      float64(threads*o.OpsPerThread) / med,
+			OpsPerSec:    med,
+			ShardBalance: balance,
 		})
 	}
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/slab"
 	"repro/internal/stm"
 	"repro/internal/tm"
+	"repro/internal/tmctl"
 	"repro/internal/txobs"
 	"repro/internal/txtrace"
 )
@@ -44,6 +45,10 @@ type Cache struct {
 	samplerMu   sync.Mutex
 	samplerStop chan struct{}
 	samplerWG   sync.WaitGroup
+
+	// ctl is the per-shard feedback controller (Config.TMCtl), nil when
+	// disabled or on lock branches. Start/Stop bracket its sampling loop.
+	ctl *tmctl.Controller
 }
 
 // New builds a cache for the given configuration. Call Start to launch the
@@ -103,6 +108,9 @@ func New(conf Config) *Cache {
 			s.rt.SetShardInfo(i, base)
 			base += s.rt.OrecCount()
 		}
+	}
+	if conf.TMCtl != nil && c.cfg.tm && (per.STM == nil || !per.STM.NoSerialLock) {
+		c.ctl = tmctl.New(*conf.TMCtl, c.Runtimes(), c.tracer)
 	}
 	return c
 }
@@ -169,16 +177,23 @@ func (c *Cache) ShardStats() []stm.Snapshot {
 	return out
 }
 
-// Start launches every shard's clock thread and maintenance threads.
+// Start launches every shard's clock thread and maintenance threads, and the
+// feedback controller's sampling loop when one is configured.
 func (c *Cache) Start() {
 	for _, s := range c.shards {
 		s.Start()
+	}
+	if c.ctl != nil {
+		c.ctl.Start()
 	}
 }
 
 // Stop halts every shard's maintenance threads and waits for them, and stops
 // the tracing sampler if one is running.
 func (c *Cache) Stop() {
+	if c.ctl != nil {
+		c.ctl.Stop()
+	}
 	c.stopSampler()
 	for _, s := range c.shards {
 		s.Stop()
@@ -249,6 +264,10 @@ func (c *Cache) Observer() *txobs.Observer { return c.obs.Load() }
 
 // Tracer returns the cache's request tracer (never nil; mode off by default).
 func (c *Cache) Tracer() *txtrace.Tracer { return c.tracer }
+
+// Controller returns the feedback controller, or nil when Config.TMCtl was
+// not set (or the branch has no TM domains to control).
+func (c *Cache) Controller() *tmctl.Controller { return c.ctl }
 
 // EnableTxTrace switches request tracing to mode (sampled or full), enables
 // orec-owner attribution on every shard runtime, and starts the per-second
@@ -528,6 +547,10 @@ func (w *Worker) Observer() *txobs.Observer { return w.c.Observer() }
 // Tracer exposes the cache's request tracer (never nil).
 func (w *Worker) Tracer() *txtrace.Tracer { return w.c.Tracer() }
 
+// Controller exposes the feedback controller to the protocol layer (nil when
+// not configured).
+func (w *Worker) Controller() *tmctl.Controller { return w.c.Controller() }
+
 // SetTxTrace installs (nil: removes) a request-trace sink on every shard
 // thread this worker owns: while set, each STM event of the worker's
 // transactions — whatever shard the command routes to — is delivered to the
@@ -542,6 +565,10 @@ func (w *Worker) SetTxTrace(sink stm.TraceSink) {
 
 // NumShards reports the TM domain count, for stats output.
 func (w *Worker) NumShards() int { return len(w.ws) }
+
+// Runtimes exposes the per-shard STM runtimes (nil on lock branches), so the
+// stats surface can report each shard's live algorithm.
+func (w *Worker) Runtimes() []*stm.Runtime { return w.c.Runtimes() }
 
 // ShardStats returns each shard's STM snapshot in shard order, for the
 // per-domain breakdown in `stats tm` and the shard bench sweep.
@@ -588,6 +615,12 @@ func (w *Worker) ResetStats() {
 		o.Reset()
 	}
 	w.c.Tracer().Reset()
+	// The controller is cache-global like the tracer: its swap counters clear
+	// exactly once per reset, and only the counters — modes, learned base
+	// configs and dwell clocks are state, not statistics.
+	if w.c.ctl != nil {
+		w.c.ctl.ResetSwapCounters()
+	}
 }
 
 // SlabStats reports per-class slab allocator detail, merged across shards

@@ -13,6 +13,10 @@
 //	               slowlog, conflict graph, time series, anomalies, dumps);
 //	               POST ?mode=off|sampled|full switches modes, ?dump=1
 //	               captures the flight recorder now, ?reset=1 clears it
+//	/debug/tmctl   GET reports the feedback controller's per-shard modes;
+//	               POST ?shard=N&mode=normal|tml|serial[&pin=1] forces a
+//	               shard's rung, ?shard=N&release=1 hands it back to
+//	               automatic control
 package server
 
 import (
@@ -21,8 +25,10 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 
 	"repro/internal/engine"
+	"repro/internal/tmctl"
 	"repro/internal/txtrace"
 )
 
@@ -54,6 +60,9 @@ func NewDebugHandler(cache *engine.Cache) http.Handler {
 			ringDropped = o.RingDropped()
 		}
 		vars["ring_dropped"] = ringDropped
+		if ctl := cache.Controller(); ctl != nil {
+			vars["tmctl"] = ctl.Snapshot()
+		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(vars)
@@ -120,6 +129,42 @@ func NewDebugHandler(cache *engine.Cache) http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(tr.Export())
+	})
+
+	mux.HandleFunc("/debug/tmctl", func(w http.ResponseWriter, r *http.Request) {
+		ctl := cache.Controller()
+		if ctl == nil {
+			http.Error(w, "tmctl: controller not enabled (-tmctl)", http.StatusServiceUnavailable)
+			return
+		}
+		if r.Method == http.MethodPost {
+			q := r.URL.Query()
+			shard, err := strconv.Atoi(q.Get("shard"))
+			if err != nil {
+				http.Error(w, "tmctl: shard=N required", http.StatusBadRequest)
+				return
+			}
+			switch {
+			case q.Get("release") == "1":
+				err = ctl.Release(shard)
+			case q.Get("mode") != "":
+				var mode tmctl.Mode
+				mode, err = tmctl.ParseMode(q.Get("mode"))
+				if err == nil {
+					err = ctl.Override(shard, mode, q.Get("pin") == "1")
+				}
+			default:
+				err = fmt.Errorf("tmctl: mode= or release=1 required")
+			}
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(ctl.Snapshot())
 	})
 
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

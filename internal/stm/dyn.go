@@ -1,0 +1,254 @@
+package stm
+
+import (
+	"errors"
+	"runtime"
+	"time"
+)
+
+// Runtime-swappable configuration.
+//
+// The controller experiments (internal/tmctl) need to retune a live TM domain
+// — switch the algorithm of a pathological shard to TML or the serial lock,
+// widen the contention-manager backoff window, shrink the retry budget —
+// without stopping the server. The static Config stays what the Runtime was
+// created with; the knobs that may change at runtime live in a DynConfig
+// published through an atomic pointer and swapped under the shard's serial
+// lock, so no transaction ever observes a mixed-algorithm state.
+
+// DynConfig is the runtime-swappable slice of a Runtime's configuration.
+// Reconfigure installs a new one atomically; every transaction attempt pins
+// the pointer current at its begin for its whole lifetime.
+type DynConfig struct {
+	Algorithm Algorithm
+	CM        ContentionManager
+
+	// SerializeAfter is the consecutive-abort retry budget at which
+	// CMSerialize escalates the attempt to serial-irrevocable execution.
+	SerializeAfter int
+
+	// Backoff shapes the CMBackoff delay curve (and the watchdog's imposed
+	// backoff): exponential with deterministic seeded jitter.
+	Backoff BackoffConfig
+}
+
+// BackoffConfig parameterizes the exponential-with-jitter abort backoff. The
+// delay window for the n-th consecutive abort is BaseNs<<min(n, MaxShift)
+// nanoseconds; the actual delay is drawn uniformly from the upper half of the
+// window using the thread's seeded xorshift state, so a fixed Config.Seed
+// yields a reproducible delay sequence.
+type BackoffConfig struct {
+	BaseNs   uint64 // window base for the first retry (default 64ns)
+	MaxShift int    // exponent cap: window <= BaseNs<<MaxShift (default 12)
+}
+
+func (b BackoffConfig) withDefaults() BackoffConfig {
+	if b.BaseNs == 0 {
+		b.BaseNs = defaultBackoffBaseNs
+	}
+	if b.MaxShift <= 0 {
+		b.MaxShift = defaultBackoffMaxShift
+	}
+	return b
+}
+
+const (
+	defaultBackoffBaseNs   = 64
+	defaultBackoffMaxShift = 12
+)
+
+func (d DynConfig) withDefaults() DynConfig {
+	if d.SerializeAfter <= 0 {
+		d.SerializeAfter = defaultSerializeAfter
+	}
+	d.Backoff = d.Backoff.withDefaults()
+	return d
+}
+
+// ErrNoSerialLock reports a Reconfigure attempt on a runtime built with
+// Config.NoSerialLock: without the global readers/writer lock there is no
+// way to quiesce the domain, so its configuration is frozen at creation.
+var ErrNoSerialLock = errors.New("stm: cannot reconfigure a NoSerialLock runtime")
+
+// DynConfig returns the currently installed dynamic configuration.
+func (rt *Runtime) DynConfig() DynConfig { return *rt.dyn.Load() }
+
+// Algorithm returns the algorithm new transaction attempts will run under.
+func (rt *Runtime) Algorithm() Algorithm { return rt.dyn.Load().Algorithm }
+
+func (rt *Runtime) dynLoad() *DynConfig { return rt.dyn.Load() }
+
+// Reconfigure atomically replaces the runtime's dynamic configuration: it
+// quiesces the domain through the serial lock — acquire the write side
+// (draining every read-lock-holding attempt and blocking new begins), wait
+// for the subscribed attempts (read-only fast path, HTM elision) that the
+// acquisition doomed to retire — then flips the config pointer and releases.
+// No transaction observes mixed-algorithm state: attempts holding the read
+// side pin their config for their whole lifetime, and attempts that race the
+// swap re-check the pointer after acquiring and restart under the new config.
+//
+// mut is called with a copy of the current configuration and edits it in
+// place. Must not be called from inside a transaction on the same runtime
+// (the quiesce would wait for the caller itself). Returns ErrNoSerialLock on
+// runtimes built without the serial lock (the Figure 10 configuration).
+func (rt *Runtime) Reconfigure(mut func(*DynConfig)) error {
+	if rt.cfg.NoSerialLock {
+		return ErrNoSerialLock
+	}
+	rt.serial.Lock()
+	rt.drainSpeculative()
+	old := rt.dyn.Load()
+	next := *old
+	mut(&next)
+	next = next.withDefaults()
+	rt.dyn.Store(&next)
+	rt.stats.Reconfigures.Add(1)
+	if next.Algorithm != old.Algorithm {
+		rt.stats.AlgoSwaps.Add(1)
+	}
+	rt.serial.Unlock()
+	return nil
+}
+
+// drainSpeculative waits, with the serial write lock held, for every
+// subscribed speculative attempt to retire. Read-lock-holding attempts were
+// already drained by Lock() itself; subscribed attempts (read-only fast
+// path, HTM elision) hold nothing, but the acquisition's sequence bump has
+// doomed them — they abort at their next subscription check — so the wait is
+// bounded. Their in-place effects (emulated-HTM eager writes) are undone by
+// rollback before activeSince clears, so when this returns the heap holds no
+// speculative state from the outgoing configuration.
+func (rt *Runtime) drainSpeculative() {
+	snapP := rt.thSnap.Load()
+	if snapP == nil {
+		return
+	}
+	for _, th := range *snapP {
+		spins := 0
+		for th.activeSince.Load() != 0 {
+			spins++
+			if spins > 32 {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// drainEagerSubscribed waits, with the serial write lock held, for in-flight
+// emulated-hardware attempts that have performed eager writes to retire.
+// They subscribe instead of taking the read side, so Lock() does not drain
+// them — yet they write eagerly in place, and their rollback (undo-log
+// restore) racing this serial writer's uninstrumented stores would clobber
+// committed data. Real RTM aborts the hardware transaction the moment the
+// lock's cache line is invalidated; the emulation gets the same guarantee by
+// waiting here. Only attempts holding dirty in-place state are waited for:
+// eagerSub is published at the first eager write (htmMarkEager), not at
+// begin, so a hardware attempt that has merely read — and may be parked in
+// its body — cannot stall the serial writer. The waited-for attempts are
+// doomed (the acquisition broke their subscription) and already past their
+// last subscription check, so the wait is bounded by their rollback.
+func (rt *Runtime) drainEagerSubscribed() {
+	snapP := rt.thSnap.Load()
+	if snapP == nil {
+		return
+	}
+	for _, th := range *snapP {
+		spins := 0
+		for th.eagerSub.Load() {
+			spins++
+			if spins > 32 {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// beginSpeculative pins the current dynamic configuration for the attempt and
+// acquires its serial-lock side: read-only and HTM attempts publish
+// activeSince and subscribe (loads only), everything else takes the read
+// side. Returns false — with nothing held — if the domain has been
+// reconfigured to SerialAlg, in which case the caller must run serially.
+//
+// The re-check of the config pointer after each acquisition closes the race
+// with a concurrent Reconfigure: once the read side is held no swap can be
+// in flight (the swapper needs the write side), so pointer equality proves
+// the pinned config is current; on the subscription path, equality proves
+// either the same, or that a swap is mid-drain waiting on our published
+// activeSince — in which case the flip happens only after this doomed attempt
+// retires, so running it under the outgoing config is still consistent.
+func (th *Thread) beginSpeculative(tx *Tx, wantRO bool) bool {
+	rt := th.rt
+	for {
+		d := rt.dyn.Load()
+		algo := d.Algorithm
+		if algo == SerialAlg {
+			return false
+		}
+		ro := wantRO && (algo == MLWT || algo == LazyAlg)
+		if ro || algo == HTM {
+			// Publish activeSince before subscribing: a concurrent serial
+			// writer or swap either makes the subscription fail (writer bit
+			// visible) or observes the published state in its drain and waits
+			// for this attempt to retire. Emulated-HTM attempts publish their
+			// eagerSub mark lazily, at the first eager write (htmMarkEager) —
+			// an attempt that has only read holds no in-place state, so a
+			// serial writer need not wait for it.
+			th.activeSince.Store(rt.txSeq.Add(1))
+			seq, ok := rt.serial.trySubscribe()
+			if !ok {
+				th.activeSince.Store(0)
+				rt.serial.waitNoWriter()
+				continue
+			}
+			if rt.dyn.Load() != d {
+				th.activeSince.Store(0)
+				continue
+			}
+			tx.algo, tx.ro = algo, ro
+			if ro {
+				tx.roSeq = seq
+			} else {
+				tx.htmSeq = seq
+			}
+			return true
+		}
+		rt.serial.RLock()
+		if rt.dyn.Load() != d {
+			rt.serial.RUnlock()
+			continue
+		}
+		th.activeSince.Store(rt.txSeq.Add(1))
+		tx.algo = algo
+		return true
+	}
+}
+
+// backoffDelay computes the next exponential-with-jitter abort delay: the
+// window doubles per consecutive abort up to bc.MaxShift, and the jitter is
+// drawn from the caller's xorshift64* state — advancing it — so a fixed seed
+// yields a reproducible sequence (the determinism the fault-injection replay
+// harness depends on).
+func backoffDelay(state *uint64, consec int, bc BackoffConfig) time.Duration {
+	shift := consec
+	if shift > bc.MaxShift {
+		shift = bc.MaxShift
+	}
+	ns := bc.BaseNs << shift
+	x := *state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*state = x
+	r := x * 0x2545F4914F6CDD1D
+	ns = ns/2 + r%(ns/2+1) // jitter in [ns/2, ns]
+	return time.Duration(ns)
+}
+
+// mixSeed folds a runtime seed and a thread ordinal into a nonzero xorshift
+// state (splitmix64 finalizer).
+func mixSeed(seed, ordinal uint64) uint64 {
+	z := seed + (ordinal+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31) | 1
+}

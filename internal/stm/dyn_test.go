@@ -1,0 +1,193 @@
+package stm
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// TestReconfigureSwapTorture hammers a bank-transfer invariant from several
+// goroutines while the main goroutine hot-swaps the runtime through every
+// algorithm. Any attempt observing mixed-algorithm state (a TML writer
+// concurrent with an orec writer, an eager in-place write surviving a flip)
+// corrupts the conserved sum.
+func TestReconfigureSwapTorture(t *testing.T) {
+	rt := New(Config{Algorithm: MLWT, CM: CMSerialize})
+	const (
+		accounts = 16
+		workers  = 4
+		initial  = 1000
+	)
+	var accts [accounts]*TWord
+	for i := range accts {
+		accts[i] = NewTWord(initial)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := rt.NewThread()
+			i := uint64(w)
+			for !stop.Load() {
+				i++
+				from, to := accts[i%accounts], accts[(i*7+3)%accounts]
+				if from == to {
+					continue
+				}
+				mustRun(t, th, Props{Kind: Atomic, Site: "transfer"}, func(tx *Tx) {
+					f := from.Load(tx)
+					if f == 0 {
+						return
+					}
+					from.Store(tx, f-1)
+					to.Store(tx, to.Load(tx)+1)
+				})
+				// Interleave read-only sum checks: these ride the RO fast path
+				// under the orec algorithms and must never see a torn total.
+				if i%8 == 0 {
+					var sum uint64
+					mustRun(t, th, Props{Kind: Atomic, ReadOnly: true, Site: "audit"}, func(tx *Tx) {
+						sum = 0
+						for _, a := range accts {
+							sum += a.Load(tx)
+						}
+					})
+					if sum != accounts*initial {
+						t.Errorf("mid-run audit sum = %d, want %d", sum, accounts*initial)
+						stop.Store(true)
+					}
+				}
+			}
+		}(w)
+	}
+
+	cycle := []Algorithm{LazyAlg, TML, SerialAlg, HTM, NOrec, MLWT}
+	swaps := 0
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && !stop.Load() {
+		next := cycle[swaps%len(cycle)]
+		if err := rt.Reconfigure(func(d *DynConfig) {
+			d.Algorithm = next
+			d.SerializeAfter = 10 + swaps%90
+		}); err != nil {
+			t.Fatalf("Reconfigure: %v", err)
+		}
+		swaps++
+		time.Sleep(2 * time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	var sum uint64
+	for _, a := range accts {
+		sum += a.LoadDirect()
+	}
+	if sum != accounts*initial {
+		t.Fatalf("final sum = %d, want %d (money not conserved across swaps)", sum, accounts*initial)
+	}
+	snap := rt.Stats()
+	if snap.Reconfigures != uint64(swaps) {
+		t.Errorf("Reconfigures = %d, want %d", snap.Reconfigures, swaps)
+	}
+	if snap.AlgoSwaps == 0 || snap.AlgoSwaps > snap.Reconfigures {
+		t.Errorf("AlgoSwaps = %d out of range (Reconfigures = %d)", snap.AlgoSwaps, snap.Reconfigures)
+	}
+	if swaps < 10 {
+		t.Errorf("only %d swaps completed in 2s; quiesce is stalling", swaps)
+	}
+}
+
+func TestReconfigureNoSerialLock(t *testing.T) {
+	rt := New(Config{Algorithm: MLWT, NoSerialLock: true, CM: CMNone})
+	if err := rt.Reconfigure(func(d *DynConfig) { d.Algorithm = TML }); err != ErrNoSerialLock {
+		t.Fatalf("Reconfigure on NoSerialLock runtime = %v, want ErrNoSerialLock", err)
+	}
+	if got := rt.Algorithm(); got != MLWT {
+		t.Fatalf("algorithm changed to %v despite error", got)
+	}
+}
+
+// TestBackoffDeterminism proves the satellite requirement: with the jitter
+// state seeded from an internal/fault injector seed, the backoff delay
+// sequence is a pure function of (seed, thread ordinal, consec) — identical
+// across runtimes with the same seed, different across seeds.
+func TestBackoffDeterminism(t *testing.T) {
+	seq := func(seed uint64, ordinal uint64, n int) []time.Duration {
+		in := fault.New(seed)
+		rt := New(Config{Algorithm: MLWT, CM: CMBackoff, Fault: in})
+		var th *Thread
+		for i := uint64(0); i <= ordinal; i++ {
+			th = rt.NewThread()
+		}
+		bc := rt.DynConfig().Backoff
+		out := make([]time.Duration, n)
+		for i := range out {
+			out[i] = backoffDelay(&th.rngState, i+1, bc)
+		}
+		return out
+	}
+
+	a := seq(0xDECAFBAD, 1, 32)
+	b := seq(0xDECAFBAD, 1, 32)
+	c := seq(0x5EED5EED, 1, 32)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delay[%d]: %v != %v for identical seeds", i, a[i], b[i])
+		}
+	}
+	diff := false
+	for i := range a {
+		if a[i] != c[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("identical delay sequences for different seeds")
+	}
+
+	// The curve must be exponential with jitter inside [w/2, w] where the
+	// window w doubles per consecutive abort up to the cap.
+	bc := BackoffConfig{}.withDefaults()
+	for i, d := range a {
+		shift := i + 1
+		if shift > bc.MaxShift {
+			shift = bc.MaxShift
+		}
+		w := time.Duration(bc.BaseNs << shift)
+		if d < w/2 || d > w {
+			t.Errorf("delay[%d] = %v outside window [%v, %v]", i, d, w/2, w)
+		}
+	}
+}
+
+// TestReconfigureRetryBudget checks the dynamic retry budget: shrinking
+// SerializeAfter makes CMSerialize escalate earlier, visible as AbortSerial.
+func TestReconfigureRetryBudget(t *testing.T) {
+	rt := New(Config{Algorithm: MLWT, CM: CMSerialize})
+	if err := rt.Reconfigure(func(d *DynConfig) { d.SerializeAfter = 3 }); err != nil {
+		t.Fatalf("Reconfigure: %v", err)
+	}
+	th := rt.NewThread()
+	v := NewTWord(0)
+	aborts := 0
+	mustRun(t, th, Props{Kind: Atomic}, func(tx *Tx) {
+		v.Store(tx, v.Load(tx)+1)
+		if aborts < 5 && !tx.Serial() {
+			aborts++
+			tx.Abort()
+		}
+	})
+	if got := rt.Stats().AbortSerial; got != 1 {
+		t.Fatalf("AbortSerial = %d, want 1 (budget 3 with 5 requested aborts)", got)
+	}
+	if got := v.LoadDirect(); got != 1 {
+		t.Fatalf("v = %d, want 1", got)
+	}
+}

@@ -48,3 +48,25 @@ func (tx *Tx) htmCheckCapacity() {
 		panic(htmCapacitySignal{})
 	}
 }
+
+// htmMarkEager publishes the thread's eagerSub mark before the attempt's
+// first eager write, then re-validates the serial-lock subscription. The
+// ordering closes the rollback-vs-serial-writer race: if the re-check passes,
+// the mark was visible before any serial acquisition, so that writer's
+// drainEagerSubscribed waits for this attempt's undo restore; if it fails,
+// nothing has been written yet and the attempt aborts holding no in-place
+// state. Publishing at the first write rather than at begin means a hardware
+// attempt that has only read — which real RTM would abort asynchronously, but
+// the emulation cannot — never stalls a serial writer.
+func (tx *Tx) htmMarkEager() {
+	th := tx.th
+	if th.eagerSub.Load() {
+		return
+	}
+	th.eagerSub.Store(true)
+	if !tx.rt.serial.stillSubscribed(tx.htmSeq) {
+		th.eagerSub.Store(false)
+		tx.noteConflict("conflict: serial-lock subscription", 0)
+		panic(abortSignal{})
+	}
+}

@@ -39,7 +39,7 @@ type retrySignal struct{}
 // In serial-irrevocable mode the wait degrades to yield-and-re-run, since an
 // irrevocable transaction has no tracked read set.
 func (tx *Tx) Retry() {
-	if !tx.serial && tx.rt.cfg.Algorithm != TML &&
+	if !tx.serial && tx.algo != TML &&
 		len(tx.reads) == 0 && len(tx.nReadsW) == 0 && len(tx.nReadsA) == 0 {
 		panic("stm: Retry with an empty read set would never wake")
 	}
@@ -56,7 +56,7 @@ func (tx *Tx) waitReadSetChange() {
 		runtime.Gosched()
 		return
 	}
-	if tx.rt.cfg.Algorithm == TML {
+	if tx.algo == TML {
 		// Invisible readers keep no read set; wait for any global commit.
 		seq := tx.rt.nseq.Load()
 		spins := 0
@@ -72,7 +72,7 @@ func (tx *Tx) waitReadSetChange() {
 	}
 	spins := 0
 	for {
-		switch tx.rt.cfg.Algorithm {
+		switch tx.algo {
 		case NOrec:
 			for _, r := range tx.nReadsW {
 				if r.p.Load() != r.v {

@@ -97,6 +97,28 @@ func (l *serialLock) subscribe() uint64 {
 	return l.seq.Load()
 }
 
+// trySubscribe returns the current acquisition sequence if no writer is
+// active, without waiting. Callers that publish state before subscribing
+// (beginSpeculative) use it so the publish/subscribe order is visible: a
+// failure means a writer holds or awaits the lock right now.
+func (l *serialLock) trySubscribe() (uint64, bool) {
+	if l.state.Load()&writerBit != 0 {
+		return 0, false
+	}
+	return l.seq.Load(), true
+}
+
+// waitNoWriter spins until no writer holds or awaits the lock.
+func (l *serialLock) waitNoWriter() {
+	spins := 0
+	for l.state.Load()&writerBit != 0 {
+		spins++
+		if spins > 64 {
+			runtime.Gosched()
+		}
+	}
+}
+
 // stillSubscribed reports whether no serial writer ran or is running since
 // the given sequence (hardware-transaction commit check).
 func (l *serialLock) stillSubscribed(seq uint64) bool {

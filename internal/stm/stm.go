@@ -193,6 +193,11 @@ type Config struct {
 	// transactions are never aborted — irrevocability is preserved.
 	Fault *fault.Injector
 
+	// Seed seeds each thread's jitter state for the exponential abort
+	// backoff, making delay sequences reproducible across runs. Zero adopts
+	// the fault injector's seed when one is wired, else a fixed default.
+	Seed uint64
+
 	// WatchdogInterval enables the starvation watchdog: a goroutine (started
 	// by StartWatchdog) that scans threads every interval and escalates any
 	// transaction past WatchdogAborts consecutive aborts or WatchdogAge of
@@ -254,6 +259,12 @@ func (c Config) withDefaults() Config {
 type Runtime struct {
 	cfg Config
 
+	// dyn is the runtime-swappable slice of the configuration (algorithm,
+	// contention manager, retry budget, backoff curve); see dyn.go. Attempts
+	// pin the pointer at begin; Reconfigure swaps it under the serial lock.
+	dyn  atomic.Pointer[DynConfig]
+	seed uint64 // backoff-jitter seed (Config.Seed, defaulted)
+
 	clock  atomic.Uint64 // global version clock (MLWT, Lazy)
 	nseq   atomic.Uint64 // NOrec global sequence lock (odd = writer committing)
 	orecs  []orec
@@ -310,6 +321,19 @@ func New(cfg Config) *Runtime {
 	}
 	rt.serial.disabled = cfg.NoSerialLock
 	rt.clock.Store(1)
+	rt.seed = cfg.Seed
+	if rt.seed == 0 && cfg.Fault != nil {
+		rt.seed = cfg.Fault.Seed()
+	}
+	if rt.seed == 0 {
+		rt.seed = 0x9E3779B97F4A7C15
+	}
+	d := DynConfig{
+		Algorithm:      cfg.Algorithm,
+		CM:             cfg.CM,
+		SerializeAfter: cfg.SerializeAfter,
+	}.withDefaults()
+	rt.dyn.Store(&d)
 	return rt
 }
 
@@ -322,7 +346,7 @@ func (rt *Runtime) Config() Config { return rt.cfg }
 func (rt *Runtime) NewThread() *Thread {
 	th := &Thread{rt: rt}
 	rt.mu.Lock()
-	th.rngState = uint64(len(rt.threads))*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D
+	th.rngState = mixSeed(rt.seed, uint64(len(rt.threads)))
 	rt.threads = append(rt.threads, th)
 	snap := append([]*Thread(nil), rt.threads...)
 	rt.thSnap.Store(&snap)

@@ -118,6 +118,15 @@ type Thread struct {
 	// privatization-safety quiescence.
 	activeSince atomic.Uint64
 
+	// eagerSub marks an in-flight emulated-hardware attempt: subscribed to
+	// the serial lock (holding nothing) yet writing eagerly in place. Serial
+	// writers drain these after acquiring the lock — the stand-in for real
+	// RTM aborting hardware transactions on the lock's cache-line
+	// invalidation — since an undo-log rollback racing an uninstrumented
+	// serial store would otherwise clobber committed data. Published before
+	// the subscription check, mirroring activeSince (see beginSpeculative).
+	eagerSub atomic.Bool
+
 	commits atomic.Uint64 // per-thread, for abort-rate variance (§4)
 	aborts  atomic.Uint64
 
@@ -181,8 +190,9 @@ type Tx struct {
 	props Props
 
 	serial    bool
-	ro        bool   // read-only fast path attempt (orec algorithms only)
-	lockWord  uint64 // odd; unique per attempt
+	ro        bool      // read-only fast path attempt (orec algorithms only)
+	algo      Algorithm // pinned at begin from the dynamic config; never changes mid-attempt
+	lockWord  uint64    // odd; unique per attempt
 	start     uint64 // clock snapshot (MLWT/Lazy) or sequence snapshot (NOrec/TML)
 	htmSeq    uint64 // serial-lock subscription sequence (HTM)
 	roSeq     uint64 // serial-lock subscription sequence (read-only fast path)
@@ -298,12 +308,18 @@ func (th *Thread) Run(props Props, fn func(*Tx)) error {
 		panic("stm: StartSerial is only meaningful for relaxed transactions")
 	}
 
-	serial := rt.cfg.Algorithm == SerialAlg
+	// serial is sticky across attempts once escalation (in-flight switch,
+	// abort-serial, watchdog) demands it; an attempt also runs serial when
+	// the dynamic config says SerialAlg, decided per attempt in begin so a
+	// controller swapping the domain back to a speculative algorithm takes
+	// effect on the very next attempt.
+	serial := false
 	// The read-only fast path exists for the orec-based algorithms, where a
 	// reader otherwise pays serial-lock read acquisition and release on every
 	// attempt. NOrec's read-only commit is already free, HTM already
-	// subscribes, and TML/serial have nothing to skip.
-	ro := props.ReadOnly && (rt.cfg.Algorithm == MLWT || rt.cfg.Algorithm == LazyAlg)
+	// subscribes, and TML/serial have nothing to skip; begin applies the hint
+	// against the algorithm current at each attempt.
+	wantRO := props.ReadOnly
 	if props.StartSerial {
 		serial = true
 		rt.stats.StartSerial.Add(1)
@@ -335,10 +351,10 @@ func (th *Thread) Run(props Props, fn func(*Tx)) error {
 
 	consec := 0 // consecutive aborts of this source-level transaction
 	for {
-		if rt.cfg.CM == CMHourglass && !serial {
+		if rt.dynLoad().CM == CMHourglass && !serial {
 			th.gateWait()
 		}
-		tx := th.begin(props, serial, ro && !serial)
+		tx := th.begin(props, serial, wantRO && !serial)
 		res := tx.execute(fn)
 		switch res {
 		case resCommit:
@@ -347,7 +363,10 @@ func (th *Thread) Run(props Props, fn func(*Tx)) error {
 			if tx.serial {
 				rt.stats.SerialCommits.Add(1)
 			}
-			if rt.cfg.CM == CMHourglass {
+			if th.id != 0 {
+				// Release the hourglass gate if this thread ever closed it —
+				// unconditional on the current CM, which the controller may
+				// have swapped away from hourglass mid-transaction.
 				th.gateRelease()
 			}
 			if o := rt.obs.Load(); o != nil || th.trace != nil {
@@ -373,7 +392,7 @@ func (th *Thread) Run(props Props, fn func(*Tx)) error {
 			if o := rt.obs.Load(); o != nil || th.trace != nil {
 				tx.obsRecord(o, txobs.KROUpgrade, causeAt("ro upgrade: write in read-only transaction", props.Site))
 			}
-			ro = false
+			wantRO = false
 			th.finish(tx, false)
 			continue
 		case resRetry:
@@ -406,7 +425,11 @@ func (th *Thread) Run(props Props, fn func(*Tx)) error {
 			if props.MaxRetries > 0 && consec >= props.MaxRetries {
 				return ErrRetryLimit
 			}
-			if rt.cfg.Algorithm == HTM && consec >= rt.cfg.HTMRetries {
+			// Contention-management decisions read the configuration fresh:
+			// the controller may have retuned CM, retry budget, or backoff
+			// curve while the attempt ran.
+			d := rt.dynLoad()
+			if d.Algorithm == HTM && consec >= rt.cfg.HTMRetries {
 				// Lock-elision fallback: take the global lock for real.
 				rt.stats.HTMFallbacks.Add(1)
 				if o := rt.obs.Load(); o != nil || th.trace != nil {
@@ -415,9 +438,9 @@ func (th *Thread) Run(props Props, fn func(*Tx)) error {
 				serial = true
 				continue
 			}
-			switch rt.cfg.CM {
+			switch d.CM {
 			case CMSerialize:
-				if consec >= rt.cfg.SerializeAfter {
+				if consec >= d.SerializeAfter {
 					rt.stats.AbortSerial.Add(1)
 					// The abort-serial event inherits the conflict that pushed
 					// the attempt over the limit, so serialization-for-progress
@@ -428,7 +451,7 @@ func (th *Thread) Run(props Props, fn func(*Tx)) error {
 					serial = true
 				}
 			case CMBackoff:
-				th.backoff(consec)
+				th.backoff(consec, d.Backoff)
 			case CMHourglass:
 				if consec >= rt.cfg.HourglassAfter {
 					th.gateAcquire()
@@ -445,8 +468,8 @@ func (th *Thread) Run(props Props, fn func(*Tx)) error {
 			// the next attempt serial-irrevocable for guaranteed progress.
 			switch th.escalate.Load() {
 			case escalateBackoff:
-				if rt.cfg.CM != CMBackoff {
-					th.backoff(consec)
+				if d.CM != CMBackoff {
+					th.backoff(consec, d.Backoff)
 				}
 			case escalateSerialize:
 				serial = true
@@ -465,7 +488,7 @@ const (
 	resROUpgrade
 )
 
-func (th *Thread) begin(props Props, serial, ro bool) *Tx {
+func (th *Thread) begin(props Props, serial, wantRO bool) *Tx {
 	rt := th.rt
 	tx := &th.tx
 	redoW, redoA := tx.redoW, tx.redoA
@@ -473,8 +496,6 @@ func (th *Thread) begin(props Props, serial, ro bool) *Tx {
 		th:       th,
 		rt:       rt,
 		props:    props,
-		serial:   serial,
-		ro:       ro,
 		lockWord: lockWords.Add(1)<<1 | 1,
 		reads:    tx.reads[:0],
 		owned:    tx.owned[:0],
@@ -488,6 +509,12 @@ func (th *Thread) begin(props Props, serial, ro bool) *Tx {
 	tx.redoW, tx.redoA = redoW, redoA
 	tx.traced = th.trace != nil
 	rt.stats.Starts.Add(1)
+	if !serial {
+		// Pin the dynamic configuration and acquire the attempt's serial-lock
+		// side; a domain reconfigured to SerialAlg makes this attempt serial.
+		serial = !th.beginSpeculative(tx, wantRO)
+	}
+	tx.serial = serial
 	if serial {
 		if in := rt.cfg.Fault; in != nil && in.Fire(fault.STMSerialDelay) {
 			// Stretch the window in which the writer side of the serial lock
@@ -502,29 +529,19 @@ func (th *Thread) begin(props Props, serial, ro bool) *Tx {
 		} else {
 			rt.serial.Lock()
 		}
+		// The acquisition doomed subscribed hardware attempts; wait for their
+		// eager in-place state to be rolled back before running irrevocably.
+		rt.drainEagerSubscribed()
 		if tx.traced {
 			rt.noteSerialOwner(tx.sitePtr())
 		}
+		tx.algo = rt.dynLoad().Algorithm // stable under the write lock
 	} else {
-		switch {
-		case ro:
-			// Read-only fast path: subscribe to the serial lock (loads only —
-			// zero serial-lock traffic) the way HTM elision does. Commit
-			// re-checks the subscription, so a serial writer's uninstrumented
-			// stores can never leak into a committed read-only snapshot.
-			tx.roSeq = rt.serial.subscribe()
-		case rt.cfg.Algorithm == HTM:
-			// Hardware transactions subscribe to the lock instead of taking
-			// its read side (lock elision).
-			tx.htmSeq = rt.serial.subscribe()
-		default:
-			rt.serial.RLock()
-		}
-		// Read-only attempts still publish activeSince: it is a private-line
-		// store, and it is what keeps writers' privatization-safety quiescence
+		// beginSpeculative already pinned tx.algo, acquired the read side or
+		// the subscription (read-only fast path, HTM elision), and published
+		// activeSince — which keeps writers' privatization-safety quiescence
 		// covering fast-path readers too.
-		th.activeSince.Store(rt.txSeq.Add(1))
-		switch rt.cfg.Algorithm {
+		switch tx.algo {
 		case MLWT, HTM, LazyAlg:
 			tx.start = rt.clock.Load()
 		case NOrec:
@@ -534,7 +551,7 @@ func (th *Thread) begin(props Props, serial, ro bool) *Tx {
 		}
 		// A read-only attempt never populates its redo maps (the first write
 		// barrier upgrades before touching them), so skip the map setup.
-		if !ro && (rt.cfg.Algorithm == LazyAlg || rt.cfg.Algorithm == NOrec) {
+		if !tx.ro && (tx.algo == LazyAlg || tx.algo == NOrec) {
 			if tx.redoW == nil {
 				tx.redoW = make(map[*atomic.Uint64]wordRedo)
 				tx.redoA = make(map[*TAny]*box)
@@ -642,7 +659,7 @@ func (tx *Tx) loadWord(id uint64, p *atomic.Uint64) uint64 {
 	if tx.serial {
 		return p.Load()
 	}
-	switch tx.rt.cfg.Algorithm {
+	switch tx.algo {
 	case MLWT:
 		return tx.orecLoad(id, func() uint64 { return p.Load() })
 	case HTM:
@@ -687,12 +704,15 @@ func (tx *Tx) storeWord(id uint64, p *atomic.Uint64, v uint64) {
 		p.Store(v)
 		return
 	}
-	switch tx.rt.cfg.Algorithm {
+	switch tx.algo {
 	case MLWT, HTM:
+		if tx.algo == HTM {
+			tx.htmMarkEager()
+		}
 		tx.orecAcquire(id)
 		tx.undoW = append(tx.undoW, wordSlot{p: p, v: p.Load()})
 		p.Store(v)
-		if tx.rt.cfg.Algorithm == HTM {
+		if tx.algo == HTM {
 			tx.htmCheckCapacity()
 		}
 	case LazyAlg, NOrec:
@@ -709,11 +729,11 @@ func (tx *Tx) loadAny(a *TAny) *box {
 	if tx.serial {
 		return a.p.Load()
 	}
-	switch tx.rt.cfg.Algorithm {
+	switch tx.algo {
 	case MLWT, HTM:
 		var b *box
 		tx.orecLoad(a.id, func() uint64 { b = a.p.Load(); return 0 })
-		if tx.rt.cfg.Algorithm == HTM {
+		if tx.algo == HTM {
 			tx.htmCheckCapacity()
 		}
 		return b
@@ -753,12 +773,15 @@ func (tx *Tx) storeAny(a *TAny, b *box) {
 		a.p.Store(b)
 		return
 	}
-	switch tx.rt.cfg.Algorithm {
+	switch tx.algo {
 	case MLWT, HTM:
+		if tx.algo == HTM {
+			tx.htmMarkEager()
+		}
 		tx.orecAcquire(a.id)
 		tx.undoA = append(tx.undoA, anySlot{a: a, b: a.p.Load()})
 		a.p.Store(b)
-		if tx.rt.cfg.Algorithm == HTM {
+		if tx.algo == HTM {
 			tx.htmCheckCapacity()
 		}
 	case LazyAlg, NOrec:
@@ -973,7 +996,7 @@ func (tx *Tx) commitProtocol() bool {
 	if tx.ro {
 		return tx.roCommit()
 	}
-	switch rt.cfg.Algorithm {
+	switch tx.algo {
 	case HTM:
 		// The lock subscription stands in for real HTM's cache-line
 		// monitoring: any serial acquisition since begin aborts us.
@@ -1097,6 +1120,9 @@ func (tx *Tx) roCommit() bool {
 // finished, so their doomed eager writes and rollbacks cannot be observed by
 // this thread's subsequent nontransactional (privatized) accesses.
 func (tx *Tx) endSpeculation(wrote bool) {
+	if tx.algo == HTM {
+		tx.th.eagerSub.Store(false)
+	}
 	tx.th.activeSince.Store(0)
 	if wrote && !tx.rt.cfg.NoQuiesce {
 		tx.rt.quiesce(tx.rt.txSeq.Add(1))
@@ -1155,7 +1181,7 @@ func (tx *Tx) rollback() {
 		rt.serial.Unlock()
 		return
 	}
-	if rt.cfg.Algorithm == TML {
+	if tx.algo == TML {
 		tx.tmlRollback()
 		rt.serial.RUnlock()
 		tx.th.activeSince.Store(0)
@@ -1171,8 +1197,12 @@ func (tx *Tx) rollback() {
 		ow.o.v.Store(ow.prev)
 	}
 	// HTM and read-only fast-path attempts subscribed instead of taking the
-	// read lock; there is nothing to release.
-	if rt.cfg.Algorithm != HTM && !tx.ro {
+	// read lock; there is nothing to release. The eagerSub mark clears only
+	// after the undo restore above — a draining serial writer must not
+	// proceed while our in-place state is still visible.
+	if tx.algo == HTM {
+		tx.th.eagerSub.Store(false)
+	} else if !tx.ro {
 		rt.serial.RUnlock()
 	}
 	tx.th.activeSince.Store(0)
@@ -1222,20 +1252,18 @@ func (th *Thread) gateRelease() {
 	th.rt.gate.CompareAndSwap(id, 0)
 }
 
-// backoff sleeps for a randomized exponentially growing interval. Long waits
-// use the OS timer, which is exactly the preemption exposure the paper blames
-// for backoff's poor behaviour at high thread counts.
-func (th *Thread) backoff(consec int) {
+// backoff waits for an exponentially growing interval with deterministic
+// seeded jitter (see backoffDelay in dyn.go): the window shape is taken from
+// the dynamic config, so a controller can widen a degraded shard's curve
+// live. Long waits use the OS timer, which is exactly the preemption
+// exposure the paper blames for backoff's poor behaviour at high thread
+// counts; short waits burn scheduler yields instead.
+func (th *Thread) backoff(consec int, bc BackoffConfig) {
 	if o := th.rt.obs.Load(); o != nil {
 		t0 := time.Now()
 		defer func() { o.ObservePhase(txobs.PhaseBackoff, time.Since(t0)) }()
 	}
-	shift := consec
-	if shift > 12 {
-		shift = 12
-	}
-	ns := (uint64(1) << shift) * 64 // 128ns .. ~260µs
-	ns = ns/2 + th.rand()%(ns/2+1)  // jitter in [ns/2, ns]
+	ns := uint64(backoffDelay(&th.rngState, consec, bc))
 	if ns < 2048 {
 		for i := uint64(0); i < ns/16; i++ {
 			runtime.Gosched()

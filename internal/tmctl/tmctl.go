@@ -1,0 +1,511 @@
+// Package tmctl is the per-shard TM feedback controller: it samples each
+// shard runtime's live signals — abort-cause counters, serialization events,
+// the read-only fast-path share, the request tracer's anomaly detector, the
+// starvation watchdog — and hot-swaps the shard's STM algorithm, contention
+// backoff curve and retry budget through stm.Runtime.Reconfigure.
+//
+// The policy is a three-rung ladder with hysteresis:
+//
+//	Normal  — the branch's own algorithm; within Normal, read-dominated
+//	          shards lean on the orec algorithms' RO fast path (mlwt) and
+//	          write-heavy shards on commit-time acquisition (lazy).
+//	TML     — a pathological shard degrades to the tiny sequence-lock
+//	          algorithm: invisible readers, one writer, no orec traffic,
+//	          with a widened backoff window and a shortened retry budget.
+//	Serial  — the storm persists: every transaction runs under the serial
+//	          lock; throughput floors but progress is guaranteed.
+//
+// Transitions move one rung at a time, never before MinDwell has elapsed
+// since the last swap, and healing additionally demands HealWindows
+// consecutive calm sampling windows — a square-wave contention signal
+// flipping faster than the dwell time cannot make the mode oscillate.
+// Each swap quiesces the shard through its serial lock (Reconfigure drains
+// in-flight transactions, flips the config pointer, releases), so no
+// transaction ever observes mixed-algorithm state.
+package tmctl
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/stm"
+	"repro/internal/txtrace"
+)
+
+// Mode is a rung of the degradation ladder.
+type Mode int
+
+const (
+	ModeNormal Mode = iota
+	ModeTML
+	ModeSerial
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNormal:
+		return "normal"
+	case ModeTML:
+		return "tml"
+	case ModeSerial:
+		return "serial"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode converts a user-facing mode name (the /debug/tmctl override
+// surface) into a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "normal":
+		return ModeNormal, nil
+	case "tml":
+		return ModeTML, nil
+	case "serial":
+		return ModeSerial, nil
+	}
+	return 0, fmt.Errorf("tmctl: unknown mode %q (normal|tml|serial)", s)
+}
+
+// Policy parameterizes the controller. The zero value is unusable; call
+// DefaultPolicy and tweak.
+type Policy struct {
+	// Interval is the sampling period.
+	Interval time.Duration
+
+	// DegradeAbortRatio: a window whose aborts/(aborts+commits) reaches this
+	// degrades the shard one rung.
+	DegradeAbortRatio float64
+	// DegradeSerialFrac: a window whose serialization events (start-serial,
+	// in-flight switches, abort-serial, watchdog escalations) reach this
+	// fraction of commits degrades the shard one rung.
+	DegradeSerialFrac float64
+	// HealAbortRatio: a window at or below this abort ratio counts as calm.
+	HealAbortRatio float64
+	// HealWindows consecutive calm windows promote the shard one rung.
+	HealWindows int
+	// MinDwell is the minimum time between mode swaps on one shard, in
+	// either direction — the hysteresis floor that prevents oscillation.
+	MinDwell time.Duration
+	// MinSamples: windows with fewer attempts than this carry no contention
+	// evidence; they count as calm (an idle shard must not stay degraded)
+	// but never as storm.
+	MinSamples uint64
+
+	// ROReadBias: within Normal mode, a window whose RO-fast-path commits
+	// reach this share of all commits retunes an orec shard to mlwt (eager,
+	// cheapest reads); below it the shard retunes to lazy (commit-time
+	// acquisition, narrowest write-conflict window). Set to a negative value
+	// to disable within-Normal retuning.
+	ROReadBias float64
+
+	// BackoffDegraded is the widened contention backoff installed on the TML
+	// and Serial rungs.
+	BackoffDegraded stm.BackoffConfig
+	// RetryBudgetDegraded is the shortened SerializeAfter installed on the
+	// TML rung (give up on optimism sooner while the storm lasts).
+	RetryBudgetDegraded int
+
+	// AnomalySensitivity halves the degrade thresholds while the tracer's
+	// anomaly detector has tripped within the last sampling window, when
+	// true (a detector trip is independent evidence the storm is real).
+	AnomalySensitivity bool
+}
+
+// DefaultPolicy returns the tuning used by `memcached -tmctl`.
+func DefaultPolicy() Policy {
+	return Policy{
+		Interval:            time.Second,
+		DegradeAbortRatio:   0.5,
+		DegradeSerialFrac:   0.25,
+		HealAbortRatio:      0.1,
+		HealWindows:         3,
+		MinDwell:            5 * time.Second,
+		MinSamples:          32,
+		ROReadBias:          0.75,
+		BackoffDegraded:     stm.BackoffConfig{BaseNs: 256, MaxShift: 14},
+		RetryBudgetDegraded: 4,
+		AnomalySensitivity:  true,
+	}
+}
+
+func (p Policy) withDefaults() Policy {
+	d := DefaultPolicy()
+	if p.Interval <= 0 {
+		p.Interval = d.Interval
+	}
+	if p.DegradeAbortRatio <= 0 {
+		p.DegradeAbortRatio = d.DegradeAbortRatio
+	}
+	if p.DegradeSerialFrac <= 0 {
+		p.DegradeSerialFrac = d.DegradeSerialFrac
+	}
+	if p.HealAbortRatio <= 0 {
+		p.HealAbortRatio = d.HealAbortRatio
+	}
+	if p.HealWindows <= 0 {
+		p.HealWindows = d.HealWindows
+	}
+	if p.MinDwell <= 0 {
+		p.MinDwell = d.MinDwell
+	}
+	if p.MinSamples == 0 {
+		p.MinSamples = d.MinSamples
+	}
+	if p.ROReadBias == 0 {
+		p.ROReadBias = d.ROReadBias
+	}
+	if p.BackoffDegraded == (stm.BackoffConfig{}) {
+		p.BackoffDegraded = d.BackoffDegraded
+	}
+	if p.RetryBudgetDegraded <= 0 {
+		p.RetryBudgetDegraded = d.RetryBudgetDegraded
+	}
+	return p
+}
+
+// shardCtl is the controller's per-shard state.
+type shardCtl struct {
+	rt   *stm.Runtime
+	base stm.DynConfig // the shard's learned Normal-mode configuration
+
+	mode     Mode
+	pinned   bool // manual override holds the mode; auto transitions paused
+	lastSwap time.Time
+	calm     int // consecutive calm windows toward healing
+
+	prev     stm.Snapshot
+	havePrev bool
+
+	// Status for observers, refreshed each tick.
+	lastAbortRatio float64
+	lastROShare    float64
+
+	// Swap counters ("stats reset" clears these; learned state survives).
+	degrades uint64
+	promotes uint64
+	retunes  uint64
+}
+
+// Controller drives one cache's shard runtimes. All state is behind mu; the
+// tick goroutine and the observation/override surfaces share it.
+type Controller struct {
+	mu     sync.Mutex
+	policy Policy
+	shards []*shardCtl
+	tracer *txtrace.Tracer // optional anomaly tap (nil: no tap)
+
+	prevAnoms    int // tracer anomaly count at the previous tick
+	anomalyTrips uint64
+
+	// Injectable clock and sampler for the hysteresis tests: the square-wave
+	// oscillation proof needs exact control of both the window signal and
+	// the dwell timeline.
+	now    func() time.Time
+	sample func(*stm.Runtime) stm.Snapshot
+
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
+	started bool
+}
+
+// New builds a controller over the given shard runtimes (one per shard, in
+// shard order). tracer may be nil. The controller does not tick until Start.
+// Each runtime's configuration at this moment is learned as its Normal-mode
+// base; a shard whose runtime cannot be reconfigured (NoSerialLock) must not
+// be handed to a controller.
+func New(policy Policy, rts []*stm.Runtime, tracer *txtrace.Tracer) *Controller {
+	c := &Controller{
+		policy: policy.withDefaults(),
+		tracer: tracer,
+		now:    time.Now,
+		sample: (*stm.Runtime).Stats,
+	}
+	for _, rt := range rts {
+		c.shards = append(c.shards, &shardCtl{rt: rt, base: rt.DynConfig()})
+	}
+	return c
+}
+
+// Policy returns the controller's (defaulted) policy.
+func (c *Controller) Policy() Policy {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.policy
+}
+
+// Start launches the sampling goroutine. Safe to call once.
+func (c *Controller) Start() {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = true
+	c.stopCh = make(chan struct{})
+	interval := c.policy.Interval
+	c.mu.Unlock()
+
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stopCh:
+				return
+			case <-t.C:
+				c.Tick()
+			}
+		}
+	}()
+}
+
+// Stop halts the sampling goroutine and waits for it. The shards keep
+// whatever configuration they last swapped to.
+func (c *Controller) Stop() {
+	c.mu.Lock()
+	if !c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = false
+	stop := c.stopCh
+	c.mu.Unlock()
+	close(stop)
+	c.wg.Wait()
+}
+
+// Tick runs one sampling-and-decision pass over every shard. Exported so
+// tests (and the torture harness) can drive the controller deterministically
+// without the wall-clock goroutine.
+func (c *Controller) Tick() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+
+	// Anomaly tap: did the tracer's detector trip since the last tick?
+	anomalous := false
+	if c.tracer != nil && c.policy.AnomalySensitivity {
+		n := len(c.tracer.Anomalies())
+		if n > c.prevAnoms {
+			anomalous = true
+			c.anomalyTrips += uint64(n - c.prevAnoms)
+		}
+		c.prevAnoms = n
+	}
+
+	for _, s := range c.shards {
+		c.tickShard(s, now, anomalous)
+	}
+}
+
+// tickShard judges one shard's window. Caller holds mu.
+func (c *Controller) tickShard(s *shardCtl, now time.Time, anomalous bool) {
+	snap := c.sample(s.rt)
+	if !s.havePrev || snap.Starts < s.prev.Starts {
+		// First window, or the counters went backwards (a "stats reset"
+		// raced the controller): re-seed the baseline, judge nothing.
+		s.prev, s.havePrev = snap, true
+		return
+	}
+	d := snap.Sub(s.prev)
+	s.prev = snap
+
+	attempts := d.Aborts + d.Commits
+	abortRatio := 0.0
+	roShare := 0.0
+	serialFrac := 0.0
+	if attempts > 0 {
+		abortRatio = float64(d.Aborts) / float64(attempts)
+	}
+	if d.Commits > 0 {
+		roShare = float64(d.ROFastCommits) / float64(d.Commits)
+		serial := d.StartSerial + d.InFlightSwitch + d.AbortSerial + d.WatchdogSerializes
+		serialFrac = float64(serial) / float64(d.Commits)
+	}
+	s.lastAbortRatio = abortRatio
+	s.lastROShare = roShare
+
+	if s.pinned {
+		return
+	}
+
+	degradeAbort := c.policy.DegradeAbortRatio
+	degradeSerial := c.policy.DegradeSerialFrac
+	if anomalous {
+		degradeAbort /= 2
+		degradeSerial /= 2
+	}
+
+	evidence := attempts >= c.policy.MinSamples
+	stormy := evidence && (abortRatio >= degradeAbort || serialFrac >= degradeSerial)
+	calm := !evidence || abortRatio <= c.policy.HealAbortRatio
+
+	if calm {
+		s.calm++
+	} else {
+		s.calm = 0
+	}
+
+	if now.Sub(s.lastSwap) < c.policy.MinDwell {
+		return
+	}
+
+	switch {
+	case stormy && s.mode < ModeSerial:
+		c.apply(s, s.mode+1, now)
+		s.degrades++
+		s.calm = 0
+	case s.mode > ModeNormal && s.calm >= c.policy.HealWindows:
+		c.apply(s, s.mode-1, now)
+		s.promotes++
+		s.calm = 0
+	case s.mode == ModeNormal && evidence && c.policy.ROReadBias > 0:
+		// Within Normal: retune orec shards toward the workload. Only
+		// mlwt<->lazy moves; other base algorithms are left alone.
+		cur := s.rt.Algorithm()
+		if cur != stm.MLWT && cur != stm.LazyAlg {
+			return
+		}
+		want := stm.LazyAlg
+		if roShare >= c.policy.ROReadBias {
+			want = stm.MLWT
+		}
+		if want != cur {
+			if err := s.rt.Reconfigure(func(dc *stm.DynConfig) { dc.Algorithm = want }); err == nil {
+				s.retunes++
+				s.lastSwap = now
+			}
+		}
+	}
+}
+
+// apply installs the configuration for mode on the shard and records the
+// swap time. Caller holds mu.
+func (c *Controller) apply(s *shardCtl, mode Mode, now time.Time) {
+	err := s.rt.Reconfigure(func(d *stm.DynConfig) {
+		switch mode {
+		case ModeNormal:
+			*d = s.base
+		case ModeTML:
+			*d = s.base
+			d.Algorithm = stm.TML
+			d.Backoff = c.policy.BackoffDegraded
+			d.SerializeAfter = c.policy.RetryBudgetDegraded
+		case ModeSerial:
+			*d = s.base
+			d.Algorithm = stm.SerialAlg
+			d.Backoff = c.policy.BackoffDegraded
+		}
+	})
+	if err != nil {
+		return
+	}
+	s.mode = mode
+	s.lastSwap = now
+}
+
+// Override forces a shard to a mode immediately, bypassing dwell and
+// thresholds. pin holds the shard there (automatic transitions pause) until
+// Release; without pin the controller may move it again after MinDwell.
+func (c *Controller) Override(shard int, mode Mode, pin bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if shard < 0 || shard >= len(c.shards) {
+		return fmt.Errorf("tmctl: shard %d out of range [0,%d)", shard, len(c.shards))
+	}
+	s := c.shards[shard]
+	prev := s.mode
+	c.apply(s, mode, c.now())
+	if s.mode != mode {
+		return fmt.Errorf("tmctl: reconfigure failed on shard %d", shard)
+	}
+	switch {
+	case mode > prev:
+		s.degrades++
+	case mode < prev:
+		s.promotes++
+	}
+	s.pinned = pin
+	s.calm = 0
+	return nil
+}
+
+// Release unpins a shard, handing it back to automatic control at its
+// current rung.
+func (c *Controller) Release(shard int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if shard < 0 || shard >= len(c.shards) {
+		return fmt.Errorf("tmctl: shard %d out of range [0,%d)", shard, len(c.shards))
+	}
+	c.shards[shard].pinned = false
+	return nil
+}
+
+// ResetSwapCounters zeroes the per-shard swap counters and the anomaly-trip
+// count ("stats reset"). Learned state — base configurations, current modes,
+// calm progress, dwell clocks — survives: a reset observes the controller,
+// it does not lobotomize it.
+func (c *Controller) ResetSwapCounters() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.shards {
+		s.degrades, s.promotes, s.retunes = 0, 0, 0
+	}
+	c.anomalyTrips = 0
+}
+
+// ShardStatus is one shard's controller view, for `stats tmctl` and
+// /debug/tmctl.
+type ShardStatus struct {
+	Shard      int     `json:"shard"`
+	Mode       string  `json:"mode"`
+	Algorithm  string  `json:"algorithm"`
+	Pinned     bool    `json:"pinned"`
+	AbortRatio float64 `json:"abort_ratio"` // last completed window
+	ROShare    float64 `json:"ro_share"`    // last completed window
+	CalmWins   int     `json:"calm_windows"`
+	Degrades   uint64  `json:"degrades"`
+	Promotes   uint64  `json:"promotes"`
+	Retunes    uint64  `json:"retunes"`
+}
+
+// Status is the controller-wide snapshot.
+type Status struct {
+	Interval     time.Duration `json:"interval_ns"`
+	Shards       []ShardStatus `json:"shards"`
+	Degrades     uint64        `json:"degrades"`
+	Promotes     uint64        `json:"promotes"`
+	Retunes      uint64        `json:"retunes"`
+	AnomalyTrips uint64        `json:"anomaly_trips"`
+}
+
+// Snapshot returns the controller's current view of every shard.
+func (c *Controller) Snapshot() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Status{Interval: c.policy.Interval, AnomalyTrips: c.anomalyTrips}
+	for i, s := range c.shards {
+		ss := ShardStatus{
+			Shard:      i,
+			Mode:       s.mode.String(),
+			Algorithm:  s.rt.Algorithm().String(),
+			Pinned:     s.pinned,
+			AbortRatio: s.lastAbortRatio,
+			ROShare:    s.lastROShare,
+			CalmWins:   s.calm,
+			Degrades:   s.degrades,
+			Promotes:   s.promotes,
+			Retunes:    s.retunes,
+		}
+		st.Shards = append(st.Shards, ss)
+		st.Degrades += s.degrades
+		st.Promotes += s.promotes
+		st.Retunes += s.retunes
+	}
+	return st
+}

@@ -1,0 +1,282 @@
+package tmctl
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/stm"
+)
+
+// fakeFeed drives a controller deterministically: a virtual clock advanced
+// by the test, and a synthetic per-tick contention signal converted into the
+// cumulative snapshots tickShard expects.
+type fakeFeed struct {
+	now   time.Time
+	accum stm.Snapshot
+}
+
+func newFeed(c *Controller) *fakeFeed {
+	f := &fakeFeed{now: time.Unix(1000, 0)}
+	c.now = func() time.Time { return f.now }
+	c.sample = func(*stm.Runtime) stm.Snapshot { return f.accum }
+	return f
+}
+
+// window appends one sampling window's worth of signal: commits and aborts
+// (ROFastCommits fixed at zero) — abort ratio = aborts/(aborts+commits).
+func (f *fakeFeed) window(commits, aborts uint64) {
+	f.accum.Commits += commits
+	f.accum.Aborts += aborts
+	f.accum.Starts += commits + aborts
+}
+
+func newTestController(p Policy) (*Controller, *fakeFeed) {
+	rt := stm.New(stm.Config{Algorithm: stm.MLWT, CM: stm.CMSerialize})
+	c := New(p, []*stm.Runtime{rt}, nil)
+	f := newFeed(c)
+	// Seed the baseline window so the next Tick computes a real delta.
+	c.Tick()
+	return c, f
+}
+
+// TestHysteresisSquareWave is the oscillation proof the issue asks for: a
+// contention signal flipping between storm and calm every window — faster
+// than MinDwell — must not flap the mode. The controller may degrade once
+// per dwell period at most, and with the square wave calm half the time the
+// heal path (HealWindows consecutive calm windows) never fires, so the
+// shard ratchets to Serial and stays there: swaps are bounded by the rung
+// count, not by the signal frequency.
+func TestHysteresisSquareWave(t *testing.T) {
+	p := Policy{
+		Interval:          100 * time.Millisecond,
+		DegradeAbortRatio: 0.5,
+		HealAbortRatio:    0.1,
+		HealWindows:       3,
+		MinDwell:          time.Second, // = 10 windows
+		MinSamples:        10,
+	}
+	c, f := newTestController(p)
+
+	for i := 0; i < 400; i++ {
+		if i%2 == 0 {
+			f.window(10, 90) // storm: abort ratio 0.9
+		} else {
+			f.window(100, 0) // calm: abort ratio 0
+		}
+		f.now = f.now.Add(100 * time.Millisecond)
+		c.Tick()
+	}
+
+	st := c.Snapshot()
+	swaps := st.Degrades + st.Promotes
+	// 400 windows, 200 of them stormy: an uncontrolled flapper would swap
+	// hundreds of times. The ladder has two rungs to descend and the calm
+	// streak never reaches HealWindows, so at most 2 degrades and 0
+	// promotes survive the hysteresis.
+	if st.Degrades != 2 || st.Promotes != 0 {
+		t.Fatalf("square wave: degrades=%d promotes=%d (want 2/0); status %+v",
+			st.Degrades, st.Promotes, st)
+	}
+	if swaps > 2 {
+		t.Fatalf("mode flapped: %d swaps under a square-wave signal", swaps)
+	}
+	if got := st.Shards[0].Mode; got != "serial" {
+		t.Fatalf("mode = %s, want serial (ratcheted down, heal never fires)", got)
+	}
+}
+
+// TestDegradeAndHeal walks the full round trip: a sustained storm marches
+// Normal -> TML -> Serial one dwell period per rung; a sustained calm heals
+// Serial -> TML -> Normal at HealWindows consecutive calm windows per rung
+// (bounded self-heal interval). The base configuration must be restored
+// exactly on return to Normal.
+func TestDegradeAndHeal(t *testing.T) {
+	p := Policy{
+		Interval:          100 * time.Millisecond,
+		DegradeAbortRatio: 0.5,
+		HealAbortRatio:    0.1,
+		HealWindows:       2,
+		MinDwell:          300 * time.Millisecond,
+		MinSamples:        10,
+	}
+	c, f := newTestController(p)
+	base := c.shards[0].base
+
+	tick := func(commits, aborts uint64) {
+		f.window(commits, aborts)
+		f.now = f.now.Add(100 * time.Millisecond)
+		c.Tick()
+	}
+
+	for i := 0; i < 10 && c.shards[0].mode != ModeSerial; i++ {
+		tick(10, 90)
+	}
+	if got := c.shards[0].mode; got != ModeSerial {
+		t.Fatalf("sustained storm did not reach serial (mode %v)", got)
+	}
+	if got := c.shards[0].rt.Algorithm(); got != stm.SerialAlg {
+		t.Fatalf("runtime algorithm = %v, want serial", got)
+	}
+
+	healed := -1
+	for i := 0; i < 20; i++ {
+		tick(100, 0)
+		if c.shards[0].mode == ModeNormal {
+			healed = i
+			break
+		}
+	}
+	if healed < 0 {
+		t.Fatal("shard did not self-heal within 20 calm windows")
+	}
+	st := c.Snapshot()
+	if st.Degrades != 2 || st.Promotes != 2 {
+		t.Fatalf("degrades=%d promotes=%d, want 2/2", st.Degrades, st.Promotes)
+	}
+	if got := c.shards[0].rt.DynConfig(); got != base {
+		t.Fatalf("healed config %+v != base %+v", got, base)
+	}
+}
+
+// TestIdleShardHeals: an idle shard (windows below MinSamples) carries no
+// storm evidence and must heal rather than stay degraded forever.
+func TestIdleShardHeals(t *testing.T) {
+	p := Policy{
+		HealWindows: 2,
+		MinDwell:    100 * time.Millisecond,
+		MinSamples:  10,
+	}
+	c, f := newTestController(p)
+	if err := c.Override(0, ModeSerial, false); err != nil {
+		t.Fatalf("Override: %v", err)
+	}
+	for i := 0; i < 10 && c.shards[0].mode != ModeNormal; i++ {
+		f.window(1, 0) // near-idle
+		f.now = f.now.Add(200 * time.Millisecond)
+		c.Tick()
+	}
+	if got := c.shards[0].mode; got != ModeNormal {
+		t.Fatalf("idle shard stuck at %v", got)
+	}
+}
+
+// TestOverridePin: a pinned shard ignores automatic transitions entirely
+// until released.
+func TestOverridePin(t *testing.T) {
+	p := Policy{
+		DegradeAbortRatio: 0.5,
+		MinDwell:          100 * time.Millisecond,
+		MinSamples:        10,
+		HealWindows:       2,
+	}
+	c, f := newTestController(p)
+	if err := c.Override(0, ModeTML, true); err != nil {
+		t.Fatalf("Override: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		f.window(10, 90) // storm that would normally degrade further
+		f.now = f.now.Add(200 * time.Millisecond)
+		c.Tick()
+	}
+	if got := c.shards[0].mode; got != ModeTML {
+		t.Fatalf("pinned shard moved to %v", got)
+	}
+	if err := c.Release(0); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	for i := 0; i < 5 && c.shards[0].mode == ModeTML; i++ {
+		f.window(10, 90)
+		f.now = f.now.Add(200 * time.Millisecond)
+		c.Tick()
+	}
+	if got := c.shards[0].mode; got != ModeSerial {
+		t.Fatalf("released shard did not resume automatic control (mode %v)", got)
+	}
+
+	if err := c.Override(99, ModeTML, false); err == nil {
+		t.Fatal("Override out of range succeeded")
+	}
+}
+
+// TestResetSwapCountersPreservesLearnedState: "stats reset" semantics — the
+// counters zero exactly once, the mode, dwell clock and calm progress stay.
+func TestResetSwapCountersPreservesLearnedState(t *testing.T) {
+	p := Policy{
+		DegradeAbortRatio: 0.5,
+		HealAbortRatio:    0.1,
+		MinDwell:          100 * time.Millisecond,
+		MinSamples:        10,
+		HealWindows:       5,
+	}
+	c, f := newTestController(p)
+	f.window(10, 90)
+	f.now = f.now.Add(200 * time.Millisecond)
+	c.Tick()
+	if c.Snapshot().Degrades != 1 {
+		t.Fatalf("setup: degrades = %d, want 1", c.Snapshot().Degrades)
+	}
+	mode := c.shards[0].mode
+	c.ResetSwapCounters()
+	st := c.Snapshot()
+	if st.Degrades != 0 || st.Promotes != 0 || st.Retunes != 0 || st.AnomalyTrips != 0 {
+		t.Fatalf("counters not cleared: %+v", st)
+	}
+	if c.shards[0].mode != mode {
+		t.Fatalf("reset changed mode %v -> %v", mode, c.shards[0].mode)
+	}
+	if c.shards[0].base != c.shards[0].rt.DynConfig() && mode == ModeNormal {
+		t.Fatal("reset disturbed learned base config")
+	}
+}
+
+// TestRetuneByROShare: within Normal mode a read-dominated window retunes
+// the shard to mlwt and a write-heavy one to lazy, with the dwell time
+// gating each move.
+func TestRetuneByROShare(t *testing.T) {
+	p := Policy{
+		DegradeAbortRatio: 0.9,
+		MinDwell:          100 * time.Millisecond,
+		MinSamples:        10,
+		ROReadBias:        0.75,
+		HealWindows:       2,
+	}
+	c, f := newTestController(p)
+
+	// Write-heavy window: no RO fast-path commits.
+	f.window(100, 0)
+	f.now = f.now.Add(200 * time.Millisecond)
+	c.Tick()
+	if got := c.shards[0].rt.Algorithm(); got != stm.LazyAlg {
+		t.Fatalf("write-heavy window: algorithm %v, want lazy", got)
+	}
+
+	// Read-dominated window: 90% of commits on the RO fast path.
+	f.accum.Commits += 100
+	f.accum.ROFastCommits += 90
+	f.accum.Starts += 100
+	f.now = f.now.Add(200 * time.Millisecond)
+	c.Tick()
+	if got := c.shards[0].rt.Algorithm(); got != stm.MLWT {
+		t.Fatalf("read-dominated window: algorithm %v, want mlwt", got)
+	}
+	if got := c.Snapshot().Retunes; got != 2 {
+		t.Fatalf("retunes = %d, want 2", got)
+	}
+}
+
+// TestStatsResetMidFlight: counters going backwards (a stats reset between
+// ticks) must re-seed the baseline, not judge a bogus giant delta.
+func TestStatsResetMidFlight(t *testing.T) {
+	p := Policy{DegradeAbortRatio: 0.5, MinDwell: 100 * time.Millisecond, MinSamples: 10, HealWindows: 2}
+	c, f := newTestController(p)
+	f.window(1000, 0)
+	f.now = f.now.Add(200 * time.Millisecond)
+	c.Tick()
+	// Reset: cumulative counters drop to a small stormy-looking remainder.
+	f.accum = stm.Snapshot{Starts: 5, Commits: 1, Aborts: 4}
+	f.now = f.now.Add(200 * time.Millisecond)
+	c.Tick()
+	if got := c.shards[0].mode; got != ModeNormal {
+		t.Fatalf("controller degraded on a stats-reset artifact (mode %v)", got)
+	}
+}
