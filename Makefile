@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test check batch-race shard-race trace-race torture-smoke torture profile bench-smoke bench-shards bench-trace-overhead bench-tmctl
+.PHONY: all build vet lint test check batch-race shard-race trace-race txn-race torture-smoke torture profile bench-smoke bench-shards bench-trace-overhead bench-tmctl bench-txn
 
 all: check
 
@@ -27,7 +27,7 @@ test:
 # clean, passes its tests, survives shrunken fault schedules under the race
 # detector, and keeps the batched multi-get pipeline and the request-tracing
 # layer race-clean.
-check: build lint test batch-race shard-race trace-race torture-smoke
+check: build lint test batch-race shard-race trace-race txn-race torture-smoke
 
 # batch-race runs the multi-get / read-only fast-path tests under the race
 # detector: batch snapshot isolation against concurrent writers, the quiet-get
@@ -46,6 +46,17 @@ shard-race:
 # hot-label acceptance run, and the protocol/server span wiring.
 trace-race:
 	$(GO) test -race -count=1 -run 'RingOverflow|TraceResetToggleRace|FlightRecorderNamesHotLabel|HeadSamplingDeterminism|StatsSlowlog|StatsResetClearsSlowlog|DebugTraceEndpoint|ServerBindsSpans' ./internal/txobs ./internal/txtrace ./internal/engine ./internal/protocol ./internal/server
+
+# txn-race runs the wire-transaction stack under the race detector: the
+# engine's cross-shard ordered commit (conservation, serial fallback,
+# absent-read validation), the protocol transaction machine on both text and
+# binary, the connection-lifetime contract, and the full client library
+# (conflict retries, concurrent transfers through real TCP). The seeded
+# torture conservation run rides in torture-smoke's Torture pattern.
+txn-race:
+	$(GO) test -race -count=1 -run 'WireTx|TxSupported' ./internal/engine ./internal/server
+	$(GO) test -race -count=1 -run 'Tx' ./internal/protocol
+	$(GO) test -race -count=1 ./client
 
 # torture-smoke runs the seeded fault-injection harness in its shrunken
 # (-torture.short) form. The flag is registered per test package, so only the
@@ -81,6 +92,13 @@ bench-trace-overhead:
 # modes, abort ratios, client p99) to BENCH_tmctl.json.
 bench-tmctl:
 	$(GO) run ./cmd/mcbench -tmctl-storm -threads 4 -tmctl-out BENCH_tmctl.json
+
+# bench-txn measures wire-transaction commit throughput (single-key,
+# same-shard, cross-shard shapes) and the validation-conflict sweep over
+# shrinking hot-key pools, written to BENCH_txn.json with GOMAXPROCS/CPU
+# metadata.
+bench-txn:
+	$(GO) run ./cmd/mcbench -txn -threads 4 -ops 3000 -txn-shards 4 -txn-out BENCH_txn.json
 
 # profile runs a short mcbench with transaction observability on and prints
 # the serialization causes, conflict heat map, and latency summary.

@@ -45,6 +45,10 @@ func main() {
 		tmctlStorm = flag.Bool("tmctl-storm", false, "inject a single-hot-key contention storm against the feedback controller and write -tmctl-out")
 		tmctlOut   = flag.String("tmctl-out", "BENCH_tmctl.json", "output file for -tmctl-storm")
 		tmctlSeed  = flag.Uint64("tmctl-seed", 1, "fault-injector seed for -tmctl-storm")
+		txn        = flag.Bool("txn", false, "benchmark wire-transaction commits (single-key / same-shard / cross-shard shapes plus a conflict-rate sweep) and write -txn-out")
+		txnBranch  = flag.String("txn-branch", "it-max", "branch for -txn (must support wire transactions: IT family)")
+		txnShards  = flag.Int("txn-shards", 4, "shard count for -txn")
+		txnOut     = flag.String("txn-out", "BENCH_txn.json", "output file for -txn")
 	)
 	flag.Parse()
 
@@ -201,6 +205,36 @@ func main() {
 		fmt.Printf("tmctl storm on %s: hot shard %d degraded to %s after %dms, healed %dms after the storm (base restored: %v); storm p99 max %.2fms, recovered p99 %.2fms; %d degrades / %d promotes -> %s\n",
 			res.Branch, res.HotShard, res.DeepestMode, res.DegradeAfterMs, res.HealAfterMs, res.BaseRestored,
 			res.StormP99MaxMs, res.RecoveredP99Ms, res.Degrades, res.Promotes, *tmctlOut)
+	}
+	if *txn {
+		ran = true
+		b, err := engine.ParseBranch(*txnBranch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		probe := engine.New(engine.Config{Branch: b, Shards: *txnShards, HashPower: 8})
+		supported := probe.TxSupported()
+		if !supported {
+			log.Fatalf("branch %s does not support wire transactions (need an IT-family branch without -nolock)", b)
+		}
+		res := bench.RunTxnBench(b, ths[len(ths)-1], *txnShards, o)
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(*txnOut, out, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		for _, s := range res.Shapes {
+			fmt.Printf("txn %-11s %10.0f tx/s  conflicts %5.2f%%  serial fallbacks %5.2f%%\n",
+				s.Shape, s.TxPerSec, 100*s.ConflictRate, 100*s.SerialFallbackRate)
+		}
+		for _, p := range res.ConflictSweep {
+			fmt.Printf("txn hot=%-5d conflicts %5.2f%%  serial fallbacks %5.2f%%\n",
+				p.HotKeys, 100*p.ConflictRate, 100*p.SerialFallbackRate)
+		}
+		fmt.Printf("wrote %s\n", *txnOut)
 	}
 	if *profBranch != "" {
 		ran = true

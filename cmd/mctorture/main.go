@@ -5,6 +5,7 @@
 //	mctorture -branch it-oncommit -seed 42
 //	mctorture -branch all -runs 3          # 3 seeds across all 14 branches
 //	mctorture -branch ip -net              # through the TCP front end
+//	mctorture -branch it-max -txn -shards 4  # cross-shard wire-transaction conservation
 package main
 
 import (
@@ -21,6 +22,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "first schedule seed")
 	runs := flag.Int("runs", 1, "number of consecutive seeds per branch")
 	netMode := flag.Bool("net", false, "drive ops through the TCP front end with transport faults")
+	txnMode := flag.Bool("txn", false, "concurrent cross-shard wire-transaction transfers; checks a conserved global invariant (IT-family branches only, others are skipped)")
 	short := flag.Bool("short", false, "shrunken schedules (smoke mode)")
 	workers := flag.Int("workers", 0, "chaos workers (0 = default)")
 	ops := flag.Int("ops", 0, "phase-A ops per worker (0 = default)")
@@ -58,9 +60,17 @@ func main() {
 				Short:      *short,
 			}
 			var rep *torture.Report
-			if *netMode {
+			switch {
+			case *txnMode:
+				probe := engine.New(engine.Config{Branch: b, Shards: 2, HashPower: 8})
+				if !probe.TxSupported() {
+					fmt.Printf("torture %s: skipped (-txn needs wire-transaction support)\n", b)
+					continue
+				}
+				rep = torture.RunTxn(cfg)
+			case *netMode:
 				rep = torture.RunNetwork(cfg)
-			} else {
+			default:
 				rep = torture.Run(cfg)
 			}
 			if rep.Failed() {

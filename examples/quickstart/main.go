@@ -14,12 +14,13 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/stm"
+	"repro/internal/tm"
 )
 
 func main() {
 	rt := stm.New(stm.Config{Algorithm: stm.MLWT, CM: stm.CMSerialize})
-	tm := core.New(rt)
-	ctx := tm.NewContext()
+	ctx := core.New(rt).NewContext()
+	th := ctx.Thread()
 
 	// Shared state: two transactional words.
 	checking := stm.NewTWord(100)
@@ -27,7 +28,7 @@ func main() {
 
 	// __transaction_atomic { ... }: statically (here: dynamically) checked to
 	// contain no unsafe operations; never serializes.
-	if err := ctx.Atomic(func(tx *stm.Tx) {
+	if err := tm.Atomic(th, tm.Options{}, func(tx *stm.Tx) {
 		checking.Store(tx, checking.Load(tx)-30)
 		savings.Store(tx, savings.Load(tx)+30)
 	}); err != nil {
@@ -44,7 +45,7 @@ func main() {
 	// __transaction_relaxed { ... }: may perform unsafe operations (here,
 	// printing). The runtime rolls back the speculation and restarts the body
 	// serially and irrevocably — the "in-flight switch" of the paper.
-	_ = ctx.Relaxed(func(tx *stm.Tx) {
+	_ = tm.Relaxed(th, tm.Options{}, func(tx *stm.Tx) {
 		balance := checking.Load(tx)
 		if balance < 100 {
 			tx.Unsafe("fprintf(stderr, ...)") // the I/O below cannot be undone
@@ -54,7 +55,7 @@ func main() {
 
 	// The onCommit-handler alternative (§3.5): defer the I/O instead of
 	// serializing, keeping the transaction atomic.
-	_ = ctx.Atomic(func(tx *stm.Tx) {
+	_ = tm.Atomic(th, tm.Options{}, func(tx *stm.Tx) {
 		balance := checking.Load(tx)
 		tx.OnCommit(func() {
 			fmt.Printf("  [logged from an onCommit handler: balance=%d]\n", balance)
@@ -68,8 +69,8 @@ func main() {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		consumer := tm.NewContext()
-		_ = consumer.Atomic(func(tx *stm.Tx) {
+		consumer := rt.NewThread()
+		_ = tm.Atomic(consumer, tm.Options{}, func(tx *stm.Tx) {
 			if ready.Load(tx) == 0 {
 				tx.Retry() // sleep until `ready` changes — no condvar, no lost wake-up
 			}
@@ -77,12 +78,12 @@ func main() {
 		})
 	}()
 	time.Sleep(10 * time.Millisecond) // let the consumer block on its predicate
-	_ = ctx.Atomic(func(tx *stm.Tx) { ready.Store(tx, 1) })
+	_ = tm.Atomic(th, tm.Options{}, func(tx *stm.Tx) { ready.Store(tx, 1) })
 	<-done
 
 	// Serialization-cause profiling (§6 tooling).
 	rt.EnableProfiling()
-	_ = ctx.Relaxed(func(tx *stm.Tx) { tx.Unsafe("perror") })
+	_ = tm.Relaxed(th, tm.Options{}, func(tx *stm.Tx) { tx.Unsafe("perror") })
 	if p := rt.Profile(); p != nil {
 		fmt.Print(p)
 	}

@@ -1,0 +1,260 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// The -txn benchmark: wire-transaction commit throughput by shape, plus a
+// conflict-rate sweep.
+//
+// Three shapes isolate the commit path's cost layers:
+//
+//   - single_key: read one key, increment it. One shard touched — the commit
+//     is a single speculative transaction, the cheapest possible path.
+//   - same_shard: a two-key transfer whose keys hash to the same shard. Still
+//     one TM domain, but a bigger read/write set.
+//   - cross_shard: a two-key transfer across two shards — the N-domain
+//     ordered commit: two serial-irrevocable acquisitions (the second
+//     bounded), global fallback when the bounded pass loses.
+//
+// Every transaction validates its reads CAS-style, so shrinking the key pool
+// manufactures real validation conflicts; the sweep reports the conflict and
+// serial-fallback rates as the pool tightens.
+
+// TxnShapeResult is one workload shape's measurement.
+type TxnShapeResult struct {
+	Shape     string  `json:"shape"`
+	Seconds   float64 `json:"seconds"`
+	TxPerSec  float64 `json:"tx_per_sec"`
+	Attempts  uint64  `json:"attempts"`
+	Commits   uint64  `json:"commits"`
+	Conflicts uint64  `json:"conflicts"`
+	// SerialFallbacks counts cross-shard commits that lost the bounded
+	// ordered pass and re-ran under the global serial section.
+	SerialFallbacks    uint64  `json:"serial_fallbacks"`
+	ConflictRate       float64 `json:"conflict_rate"`
+	SerialFallbackRate float64 `json:"serial_fallback_rate"`
+}
+
+// TxnConflictPoint is one key-pool size in the conflict sweep.
+type TxnConflictPoint struct {
+	HotKeys            int     `json:"hot_keys"`
+	Attempts           uint64  `json:"attempts"`
+	Commits            uint64  `json:"commits"`
+	Conflicts          uint64  `json:"conflicts"`
+	SerialFallbacks    uint64  `json:"serial_fallbacks"`
+	ConflictRate       float64 `json:"conflict_rate"`
+	SerialFallbackRate float64 `json:"serial_fallback_rate"`
+}
+
+// TxnBenchResult is the full -txn run.
+type TxnBenchResult struct {
+	Branch        string             `json:"branch"`
+	Shards        int                `json:"shards"`
+	Threads       int                `json:"threads"`
+	GOMAXPROCS    int                `json:"gomaxprocs"`
+	CPUs          int                `json:"cpus"`
+	TxPerThread   int                `json:"tx_per_thread"`
+	Shapes        []TxnShapeResult   `json:"shapes"`
+	ConflictSweep []TxnConflictPoint `json:"conflict_sweep"`
+}
+
+// RunTxnBench measures wire-transaction commit throughput on branch b with
+// the given shard count. Panics (via engine.CommitTx's own gate) if b cannot
+// serve wire transactions — callers check engine TxSupported first.
+func RunTxnBench(b engine.Branch, threads, shards int, o Options) TxnBenchResult {
+	o = o.withDefaults()
+	procs := threads
+	if n := runtime.NumCPU(); procs > n {
+		procs = n
+	}
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+
+	res := TxnBenchResult{
+		Branch:      b.String(),
+		Shards:      shards,
+		Threads:     threads,
+		GOMAXPROCS:  procs,
+		CPUs:        runtime.NumCPU(),
+		TxPerThread: o.OpsPerThread,
+	}
+
+	for _, shape := range []string{"single_key", "same_shard", "cross_shard"} {
+		res.Shapes = append(res.Shapes, runTxnShape(b, threads, shards, shape, o))
+	}
+	// Conflict sweep: cross-shard transfers over shrinking key pools. The
+	// largest pool approximates no contention; the smallest is a brawl.
+	for _, hot := range []int{4096, 256, 32, 8} {
+		res.ConflictSweep = append(res.ConflictSweep, runTxnConflictPoint(b, threads, shards, hot, o))
+	}
+	return res
+}
+
+// txnKeyPools buckets generated keys by shard until the two pools the
+// workloads draw from — shard 0 and shard 1 (or 0 again on a 1-shard cache)
+// — hold count keys each.
+func txnKeyPools(c *engine.Cache, count int) [][][]byte {
+	pools := make([][][]byte, c.NumShards())
+	s2 := 1 % len(pools)
+	for i := 0; len(pools[0]) < count || len(pools[s2]) < count; i++ {
+		k := fmt.Appendf(nil, "txn-key-%06d", i)
+		s := c.ShardOf(k)
+		if len(pools[s]) < count {
+			pools[s] = append(pools[s], k)
+		}
+	}
+	return pools
+}
+
+func txnSeed(c *engine.Cache, pools [][][]byte) {
+	w := c.NewWorker()
+	for _, pool := range pools {
+		for _, k := range pool {
+			w.Set(k, 0, 0, []byte("1000000"))
+		}
+	}
+}
+
+func runTxnShape(b engine.Branch, threads, shards int, shape string, o Options) TxnShapeResult {
+	c := engine.New(engine.Config{Branch: b, Shards: shards, MemLimit: 64 << 20, HashPower: o.HashPower})
+	c.Start()
+	defer c.Stop()
+	const poolPerShard = 2048
+	pools := txnKeyPools(c, poolPerShard)
+	txnSeed(c, pools)
+
+	var attempts uint64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := 0; t < threads; t++ {
+		t := t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := c.NewWorker()
+			r := rngState(uint64(t)*0x9E37 + 7)
+			var n uint64
+			for i := 0; i < o.OpsPerThread; i++ {
+				n++
+				switch shape {
+				case "single_key":
+					k := pools[0][nextRand(&r)%poolPerShard]
+					_, _, cas, _ := w.Get(k)
+					w.CommitTx(
+						[]engine.TxRead{{Key: k, CAS: cas}},
+						[]engine.TxOp{{Kind: engine.TxIncr, Key: k, Delta: 1}},
+					)
+				case "same_shard":
+					a := pools[0][nextRand(&r)%poolPerShard]
+					bk := pools[0][nextRand(&r)%poolPerShard]
+					txnTransfer(w, a, bk, false)
+				default: // cross_shard
+					s2 := 1 % len(pools)
+					a := pools[0][nextRand(&r)%poolPerShard]
+					bk := pools[s2][nextRand(&r)%poolPerShard]
+					txnTransfer(w, a, bk, false)
+				}
+			}
+			mu.Lock()
+			attempts += n
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	dur := time.Since(start)
+
+	s := c.NewWorker().Stats()
+	out := TxnShapeResult{
+		Shape:           shape,
+		Seconds:         dur.Seconds(),
+		TxPerSec:        float64(attempts) / dur.Seconds(),
+		Attempts:        attempts,
+		Commits:         s.TxCommits,
+		Conflicts:       s.TxConflicts,
+		SerialFallbacks: s.TxSerialFallbacks,
+	}
+	if attempts > 0 {
+		out.ConflictRate = float64(s.TxConflicts) / float64(attempts)
+		out.SerialFallbackRate = float64(s.TxSerialFallbacks) / float64(attempts)
+	}
+	return out
+}
+
+// txnTransfer runs one validated two-key transfer: read both balances, move
+// one unit a→b. With yield set, the thread gives up its P between reading
+// and committing: on a box with fewer CPUs than threads, goroutines otherwise
+// run whole iterations back-to-back and the read→commit window never overlaps
+// a foreign commit, measuring the scheduler's preemption rate instead of
+// validation behavior.
+func txnTransfer(w *engine.Worker, a, b []byte, yield bool) engine.TxOutcome {
+	_, _, casA, _ := w.Get(a)
+	_, _, casB, _ := w.Get(b)
+	if yield {
+		runtime.Gosched()
+	}
+	return w.CommitTx(
+		[]engine.TxRead{{Key: a, CAS: casA}, {Key: b, CAS: casB}},
+		[]engine.TxOp{
+			{Kind: engine.TxDecr, Key: a, Delta: 1},
+			{Kind: engine.TxIncr, Key: b, Delta: 1},
+		},
+	)
+}
+
+func runTxnConflictPoint(b engine.Branch, threads, shards, hotKeys int, o Options) TxnConflictPoint {
+	c := engine.New(engine.Config{Branch: b, Shards: shards, MemLimit: 64 << 20, HashPower: o.HashPower})
+	c.Start()
+	defer c.Stop()
+	perShard := hotKeys / 2
+	if perShard < 1 {
+		perShard = 1
+	}
+	pools := txnKeyPools(c, perShard)
+	txnSeed(c, pools)
+	s2 := 1 % len(pools)
+
+	var attempts uint64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		t := t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := c.NewWorker()
+			r := rngState(uint64(t)*0xA5A5 + 3)
+			var n uint64
+			for i := 0; i < o.OpsPerThread; i++ {
+				n++
+				a := pools[0][nextRand(&r)%uint64(len(pools[0]))]
+				bk := pools[s2][nextRand(&r)%uint64(len(pools[s2]))]
+				txnTransfer(w, a, bk, true)
+			}
+			mu.Lock()
+			attempts += n
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	s := c.NewWorker().Stats()
+	out := TxnConflictPoint{
+		HotKeys:         hotKeys,
+		Attempts:        attempts,
+		Commits:         s.TxCommits,
+		Conflicts:       s.TxConflicts,
+		SerialFallbacks: s.TxSerialFallbacks,
+	}
+	if attempts > 0 {
+		out.ConflictRate = float64(s.TxConflicts) / float64(attempts)
+		out.SerialFallbackRate = float64(s.TxSerialFallbacks) / float64(attempts)
+	}
+	return out
+}

@@ -2,11 +2,12 @@
 // Specification (version 1.1) as evaluated by the paper, on top of the
 // internal/stm runtime:
 //
-//   - transaction declarations: __transaction_atomic and __transaction_relaxed
-//     (Atomic, Relaxed, and RelaxedStartSerial for relaxed transactions the
-//     compiler would prove unsafe on every path);
-//   - transaction expressions (the generic Expr, plus LoadWord/StoreWord
-//     sugar used when replacing volatile variables, §3.3);
+//   - transaction declarations: tm.Atomic for __transaction_atomic and
+//     tm.Relaxed (with the StartSerial option) for __transaction_relaxed —
+//     the blessed entry points live in internal/tm; this package holds only
+//     what has no tm equivalent;
+//   - transaction expressions (the generic Expr; the LoadWord/StoreWord
+//     volatile-replacement sugar of §3.3 lives in internal/tm);
 //   - function annotations: transaction_safe, transaction_callable, the GCC
 //     transaction_pure extension, and the treatment of un-annotated calls
 //     (Call / CallPure);
@@ -63,36 +64,6 @@ func (c *Ctx) Thread() *stm.Thread { return c.th }
 // handler (§3.5).
 func (c *Ctx) InTransaction() bool { return c.th.InTx() }
 
-// Atomic executes fn as a __transaction_atomic block. An unsafe operation
-// inside fn panics (the analogue of GCC's compile-time rejection). Returns
-// stm.ErrCanceled if fn cancels.
-//
-// Deprecated: use tm.Atomic(c.Thread(), tm.Options{}, fn); this wrapper
-// remains for one release.
-func (c *Ctx) Atomic(fn func(*stm.Tx)) error {
-	return tm.Atomic(c.th, tm.Options{}, fn)
-}
-
-// Relaxed executes fn as a __transaction_relaxed block: unsafe operations
-// trigger the in-flight switch to serial-irrevocable execution.
-//
-// Deprecated: use tm.Relaxed(c.Thread(), tm.Options{}, fn); this wrapper
-// remains for one release.
-func (c *Ctx) Relaxed(fn func(*stm.Tx)) error {
-	return tm.Relaxed(c.th, tm.Options{}, fn)
-}
-
-// RelaxedStartSerial executes fn as a relaxed transaction that the compiler
-// determined performs an unsafe operation on every code path, so it begins
-// serially instead of paying for instrumentation up to the switch point
-// (the "Start Serial" column of the paper's tables).
-//
-// Deprecated: use tm.Relaxed(c.Thread(), tm.With(tm.StartSerial()), fn); this
-// wrapper remains for one release.
-func (c *Ctx) RelaxedStartSerial(fn func(*stm.Tx)) error {
-	return tm.Relaxed(c.th, tm.Options{StartSerial: true}, fn)
-}
-
 // Expr evaluates fn as a transaction expression (the specification's
 // syntactic sugar for initializing a variable or evaluating a conditional
 // transactionally) and returns its result. Like GCC, no single-location
@@ -101,33 +72,8 @@ func (c *Ctx) RelaxedStartSerial(fn func(*stm.Tx)) error {
 func Expr[T any](c *Ctx, fn func(*stm.Tx) T) T {
 	var out T
 	// Transaction expressions cannot cancel; any error here is impossible.
-	_ = c.Atomic(func(tx *stm.Tx) { out = fn(tx) })
+	_ = tm.Atomic(c.th, tm.Options{}, func(tx *stm.Tx) { out = fn(tx) })
 	return out
-}
-
-// LoadWord reads a transactional word via a transaction expression — the
-// replacement for reading a volatile variable (§3.3). Its ordering guarantees
-// subsume a seq_cst atomic load, as the specification requires.
-//
-// Deprecated: use tm.LoadWord(c.Thread(), w).
-func (c *Ctx) LoadWord(w *stm.TWord) uint64 {
-	return tm.LoadWord(c.th, w)
-}
-
-// StoreWord writes a transactional word via a mini-transaction — the
-// replacement for writing a volatile variable.
-//
-// Deprecated: use tm.StoreWord(c.Thread(), w, v).
-func (c *Ctx) StoreWord(w *stm.TWord, v uint64) {
-	tm.StoreWord(c.th, w, v)
-}
-
-// AddWord atomically adds delta to w and returns the new value — the
-// replacement for a lock incr reference-count update (§3.3).
-//
-// Deprecated: use tm.AddWord(c.Thread(), w, delta).
-func (c *Ctx) AddWord(w *stm.TWord, delta uint64) uint64 {
-	return tm.AddWord(c.th, w, delta)
 }
 
 // AfterCommit runs fn when the current transaction (if any) commits, or

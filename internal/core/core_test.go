@@ -6,15 +6,16 @@ import (
 	"testing"
 
 	"repro/internal/stm"
+	"repro/internal/tm"
 )
 
 func newTM() *TM { return New(stm.New(stm.Config{})) }
 
 func TestAtomicCommits(t *testing.T) {
-	tm := newTM()
-	c := tm.NewContext()
+	m := newTM()
+	c := m.NewContext()
 	v := stm.NewTWord(0)
-	if err := c.Atomic(func(tx *stm.Tx) { v.Store(tx, 3) }); err != nil {
+	if err := tm.Atomic(c.Thread(), tm.Options{}, func(tx *stm.Tx) { v.Store(tx, 3) }); err != nil {
 		t.Fatal(err)
 	}
 	if v.LoadDirect() != 3 {
@@ -23,28 +24,28 @@ func TestAtomicCommits(t *testing.T) {
 }
 
 func TestExprAndVolatileSugar(t *testing.T) {
-	tm := newTM()
-	c := tm.NewContext()
+	m := newTM()
+	c := m.NewContext()
 	v := stm.NewTWord(10)
-	if got := c.LoadWord(v); got != 10 {
+	if got := tm.LoadWord(c.Thread(), v); got != 10 {
 		t.Errorf("LoadWord = %d", got)
 	}
-	c.StoreWord(v, 11)
+	tm.StoreWord(c.Thread(), v, 11)
 	if got := Expr(c, func(tx *stm.Tx) uint64 { return v.Load(tx) * 2 }); got != 22 {
 		t.Errorf("Expr = %d", got)
 	}
-	if got := c.AddWord(v, ^uint64(0)); got != 10 { // -1 two's complement
+	if got := tm.AddWord(c.Thread(), v, ^uint64(0)); got != 10 { // -1 two's complement
 		t.Errorf("AddWord(-1) = %d", got)
 	}
 }
 
 func TestInTransaction(t *testing.T) {
-	tm := newTM()
-	c := tm.NewContext()
+	m := newTM()
+	c := m.NewContext()
 	if c.InTransaction() {
 		t.Error("InTransaction outside = true")
 	}
-	_ = c.Atomic(func(tx *stm.Tx) {
+	_ = tm.Atomic(c.Thread(), tm.Options{}, func(tx *stm.Tx) {
 		if !c.InTransaction() {
 			t.Error("InTransaction inside = false")
 		}
@@ -52,10 +53,10 @@ func TestInTransaction(t *testing.T) {
 }
 
 func TestAfterCommit(t *testing.T) {
-	tm := newTM()
-	c := tm.NewContext()
+	m := newTM()
+	c := m.NewContext()
 	var order []string
-	_ = c.Atomic(func(tx *stm.Tx) {
+	_ = tm.Atomic(c.Thread(), tm.Options{}, func(tx *stm.Tx) {
 		c.AfterCommit(func() { order = append(order, "deferred") })
 		order = append(order, "body")
 	})
@@ -67,10 +68,10 @@ func TestAfterCommit(t *testing.T) {
 }
 
 func TestCallSafeFromAtomic(t *testing.T) {
-	tm := newTM()
-	c := tm.NewContext()
+	m := newTM()
+	c := m.NewContext()
 	v := stm.NewTWord(0)
-	_ = c.Atomic(func(tx *stm.Tx) {
+	_ = tm.Atomic(c.Thread(), tm.Options{}, func(tx *stm.Tx) {
 		Call(tx, AttrSafe, "tm_memcpy", func(tx *stm.Tx) { v.Store(tx, 1) })
 	})
 	if v.LoadDirect() != 1 {
@@ -79,8 +80,8 @@ func TestCallSafeFromAtomic(t *testing.T) {
 }
 
 func TestCallCallableFromAtomicPanics(t *testing.T) {
-	tm := newTM()
-	c := tm.NewContext()
+	m := newTM()
+	c := m.NewContext()
 	defer func() {
 		r := recover()
 		err, ok := r.(error)
@@ -88,17 +89,17 @@ func TestCallCallableFromAtomicPanics(t *testing.T) {
 			t.Fatalf("panic = %v, want ErrCallableFromAtomic", r)
 		}
 	}()
-	_ = c.Atomic(func(tx *stm.Tx) {
+	_ = tm.Atomic(c.Thread(), tm.Options{}, func(tx *stm.Tx) {
 		Call(tx, AttrCallable, "maybe_log", func(tx *stm.Tx) {})
 	})
 	t.Fatal("no panic")
 }
 
 func TestCallUnknownFromRelaxedSerializes(t *testing.T) {
-	tm := newTM()
-	c := tm.NewContext()
+	m := newTM()
+	c := m.NewContext()
 	ran := false
-	_ = c.Relaxed(func(tx *stm.Tx) {
+	_ = tm.Relaxed(c.Thread(), tm.Options{}, func(tx *stm.Tx) {
 		Call(tx, AttrUnknown, "vsnprintf", func(tx *stm.Tx) {
 			ran = true
 			if !tx.Serial() {
@@ -109,16 +110,16 @@ func TestCallUnknownFromRelaxedSerializes(t *testing.T) {
 	if !ran {
 		t.Fatal("function never ran")
 	}
-	if got := tm.Runtime().Stats().InFlightSwitch; got != 1 {
+	if got := m.Runtime().Stats().InFlightSwitch; got != 1 {
 		t.Errorf("InFlightSwitch = %d, want 1", got)
 	}
 }
 
 func TestCallCallableFromRelaxedDoesNotSerializeWhenSafePathTaken(t *testing.T) {
-	tm := newTM()
-	c := tm.NewContext()
+	m := newTM()
+	c := m.NewContext()
 	verbose := false
-	_ = c.Relaxed(func(tx *stm.Tx) {
+	_ = tm.Relaxed(c.Thread(), tm.Options{}, func(tx *stm.Tx) {
 		Call(tx, AttrCallable, "maybe_fprintf", func(tx *stm.Tx) {
 			if verbose {
 				tx.Unsafe("fprintf(stderr, ...)")
@@ -128,30 +129,30 @@ func TestCallCallableFromRelaxedDoesNotSerializeWhenSafePathTaken(t *testing.T) 
 			t.Error("serialized although the unsafe branch was not taken")
 		}
 	})
-	if got := tm.Runtime().Stats().InFlightSwitch; got != 0 {
+	if got := m.Runtime().Stats().InFlightSwitch; got != 0 {
 		t.Errorf("InFlightSwitch = %d, want 0", got)
 	}
 
 	// And when the flag is on, the same code serializes in flight (the
 	// fprintf example from §2 of the paper).
 	verbose = true
-	_ = c.Relaxed(func(tx *stm.Tx) {
+	_ = tm.Relaxed(c.Thread(), tm.Options{}, func(tx *stm.Tx) {
 		Call(tx, AttrCallable, "maybe_fprintf", func(tx *stm.Tx) {
 			if verbose {
 				tx.Unsafe("fprintf(stderr, ...)")
 			}
 		})
 	})
-	if got := tm.Runtime().Stats().InFlightSwitch; got != 1 {
+	if got := m.Runtime().Stats().InFlightSwitch; got != 1 {
 		t.Errorf("InFlightSwitch = %d, want 1", got)
 	}
 }
 
 func TestCallPure(t *testing.T) {
-	tm := newTM()
-	c := tm.NewContext()
+	m := newTM()
+	c := m.NewContext()
 	ran := false
-	_ = c.Atomic(func(tx *stm.Tx) {
+	_ = tm.Atomic(c.Thread(), tm.Options{}, func(tx *stm.Tx) {
 		CallPure(tx, func() { ran = true })
 	})
 	if !ran {
@@ -160,24 +161,24 @@ func TestCallPure(t *testing.T) {
 }
 
 func TestRelaxedStartSerialCounts(t *testing.T) {
-	tm := newTM()
-	c := tm.NewContext()
-	_ = c.RelaxedStartSerial(func(tx *stm.Tx) {
+	m := newTM()
+	c := m.NewContext()
+	_ = tm.Relaxed(c.Thread(), tm.With(tm.StartSerial()), func(tx *stm.Tx) {
 		if !tx.Serial() {
 			t.Error("not serial")
 		}
 	})
-	s := tm.Runtime().Stats()
+	s := m.Runtime().Stats()
 	if s.StartSerial != 1 {
 		t.Errorf("StartSerial = %d, want 1", s.StartSerial)
 	}
 }
 
 func TestCancelThroughSpecLayer(t *testing.T) {
-	tm := newTM()
-	c := tm.NewContext()
+	m := newTM()
+	c := m.NewContext()
 	v := stm.NewTWord(5)
-	err := c.Atomic(func(tx *stm.Tx) {
+	err := tm.Atomic(c.Thread(), tm.Options{}, func(tx *stm.Tx) {
 		v.Store(tx, 6)
 		tx.Cancel()
 	})
@@ -190,16 +191,16 @@ func TestCancelThroughSpecLayer(t *testing.T) {
 }
 
 func TestConcurrentContexts(t *testing.T) {
-	tm := newTM()
+	m := newTM()
 	ctr := stm.NewTWord(0)
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c := tm.NewContext()
+			c := m.NewContext()
 			for i := 0; i < 1000; i++ {
-				_ = c.Atomic(func(tx *stm.Tx) { ctr.Add(tx, 1) })
+				_ = tm.Atomic(c.Thread(), tm.Options{}, func(tx *stm.Tx) { ctr.Add(tx, 1) })
 			}
 		}()
 	}
@@ -227,14 +228,14 @@ func TestAttrString(t *testing.T) {
 // transaction (the case §2 says needs the annotation under separate
 // compilation).
 func TestNestedCancelPropagates(t *testing.T) {
-	tm := newTM()
-	c := tm.NewContext()
+	m := newTM()
+	c := m.NewContext()
 	v := stm.NewTWord(1)
-	err := c.Atomic(func(tx *stm.Tx) {
+	err := tm.Atomic(c.Thread(), tm.Options{}, func(tx *stm.Tx) {
 		v.Store(tx, 2)
 		// A nested atomic block (flattened) cancels: the whole outer
 		// transaction's effects must vanish.
-		_ = c.Atomic(func(inner *stm.Tx) {
+		_ = tm.Atomic(c.Thread(), tm.Options{}, func(inner *stm.Tx) {
 			inner.Cancel()
 		})
 		t.Error("statement after nested cancel executed")

@@ -3,11 +3,11 @@ package engine
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/access"
 	"repro/internal/assoc"
-	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/item"
 	"repro/internal/mcstats"
@@ -121,7 +121,6 @@ type shard struct {
 	cfg  branchCfg
 
 	rt *stm.Runtime // nil for lock branches
-	tm *core.TM
 
 	tab    *assoc.Table
 	lru    *item.LRU
@@ -153,6 +152,15 @@ type shard struct {
 	flushBefore *stm.TWord // flush_all watermark
 
 	casCounter *stm.TWord // CAS id source (cache-lock domain)
+
+	// Wire-transaction outcome counters (see wiretx.go): plain atomics, not
+	// TWords — they are incremented once per CommitTx after the outcome is
+	// known, outside any transaction, so a retried attempt cannot double
+	// count. A cross-shard transaction is attributed to its lowest touched
+	// shard.
+	txCommits         atomic.Uint64
+	txConflicts       atomic.Uint64
+	txSerialFallbacks atomic.Uint64
 
 	mu      sync.Mutex // registration of worker stat blocks
 	tblocks []*mcstats.Thread
@@ -197,7 +205,6 @@ func newShard(conf Config) *shard {
 			sc.WatchdogInterval = conf.Watchdog
 		}
 		c.rt = stm.New(sc)
-		c.tm = core.New(c.rt)
 		c.itemFlags = make([]*stm.TWord, conf.Stripes)
 		for i := range c.itemFlags {
 			c.itemFlags[i] = stm.NewTWord(0).Label(lblItemStripe)
@@ -217,7 +224,7 @@ func (c *shard) Runtime() *stm.Runtime { return c.rt }
 func (c *shard) newAgent() *agent {
 	a := &agent{c: c}
 	if c.cfg.tm {
-		a.tctx = c.tm.NewContext()
+		a.tctx = c.rt.NewThread()
 		// The single-source requirement slows the nontransactional clones
 		// once the tm_* library exists (§3.4).
 		a.dctx = access.DirectCtx{NaiveLibc: c.cfg.profile.SafeLibc}
@@ -242,7 +249,7 @@ func (c *shard) Stop() {
 	if c.retryCondSync() {
 		// Retry waiters wake on orec changes, so the shutdown flag must be
 		// written transactionally.
-		tm.StoreWord(c.tm.NewContext().Thread(), c.MxCanRun, 0)
+		tm.StoreWord(c.rt.NewThread(), c.MxCanRun, 0)
 	}
 	c.MxCanRun.StoreDirect(0)
 	close(c.stopCh)

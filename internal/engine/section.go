@@ -4,7 +4,6 @@ import (
 	"runtime"
 
 	"repro/internal/access"
-	"repro/internal/core"
 	"repro/internal/stm"
 	"repro/internal/tm"
 )
@@ -48,7 +47,7 @@ type profile struct {
 // and owns the TM context (transactional branches).
 type agent struct {
 	c    *shard
-	tctx *core.Ctx // nil for lock branches
+	tctx *stm.Thread // nil for lock branches
 	dctx access.DirectCtx
 
 	heldCache bool
@@ -103,7 +102,7 @@ func (a *agent) section(d domains, p profile, fn func(access.Ctx)) {
 	unsafePossible := (p.volatiles && !prof.TxVolatiles) ||
 		(p.libc && !prof.SafeLibc) ||
 		(p.io && !prof.OnCommitIO)
-	th := a.tctx.Thread()
+	th := a.tctx
 	o := tm.Options{Site: p.site, ReadOnly: p.ro}
 	switch {
 	case !unsafePossible:
@@ -132,11 +131,11 @@ func (a *agent) gstat(fn func(access.Ctx)) {
 		a.c.statsMu.Unlock()
 		return
 	}
-	if tx := a.tctx.Thread().Current(); tx != nil {
+	if tx := a.tctx.Current(); tx != nil {
 		fn(access.TxCtx{T: tx, Profile: a.c.cfg.profile})
 		return
 	}
-	_ = tm.Atomic(a.tctx.Thread(), tm.Options{Site: "stats"}, func(tx *stm.Tx) {
+	_ = tm.Atomic(a.tctx, tm.Options{Site: "stats"}, func(tx *stm.Tx) {
 		fn(access.TxCtx{T: tx, Profile: a.c.cfg.profile})
 	})
 }
@@ -148,14 +147,14 @@ func (a *agent) gstat(fn func(access.Ctx)) {
 
 func (a *agent) volatileLoad(w *stm.TWord) uint64 {
 	if a.c.cfg.tm && a.c.cfg.profile.TxVolatiles {
-		return tm.LoadWord(a.tctx.Thread(), w)
+		return tm.LoadWord(a.tctx, w)
 	}
 	return w.LoadDirect()
 }
 
 func (a *agent) volatileStore(w *stm.TWord, v uint64) {
 	if a.c.cfg.tm && a.c.cfg.profile.TxVolatiles {
-		tm.StoreWord(a.tctx.Thread(), w, v)
+		tm.StoreWord(a.tctx, w, v)
 		return
 	}
 	w.StoreDirect(v)
@@ -163,7 +162,7 @@ func (a *agent) volatileStore(w *stm.TWord, v uint64) {
 
 func (a *agent) volatileAdd(w *stm.TWord, delta uint64) uint64 {
 	if a.c.cfg.tm && a.c.cfg.profile.TxVolatiles {
-		return tm.AddWord(a.tctx.Thread(), w, delta)
+		return tm.AddWord(a.tctx, w, delta)
 	}
 	return w.AddDirect(delta)
 }
@@ -218,7 +217,7 @@ func (a *agent) itemUnlock(hv uint64) {
 		a.c.itemMus[s].Unlock()
 		return
 	}
-	_ = tm.Atomic(a.tctx.Thread(), tm.Options{Site: "item_lock"}, func(tx *stm.Tx) {
+	_ = tm.Atomic(a.tctx, tm.Options{Site: "item_lock"}, func(tx *stm.Tx) {
 		a.c.itemFlags[s].Store(tx, 0)
 	})
 }
@@ -226,7 +225,7 @@ func (a *agent) itemUnlock(hv uint64) {
 // itemTryLockTM is the mini-transaction acquire of Figure 1a's tm_trylock.
 func (a *agent) itemTryLockTM(s int) bool {
 	ok := false
-	_ = tm.Atomic(a.tctx.Thread(), tm.Options{Site: "item_lock"}, func(tx *stm.Tx) {
+	_ = tm.Atomic(a.tctx, tm.Options{Site: "item_lock"}, func(tx *stm.Tx) {
 		ok = false
 		if a.c.itemFlags[s].Load(tx) == 0 {
 			a.c.itemFlags[s].Store(tx, 1)

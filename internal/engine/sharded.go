@@ -143,6 +143,15 @@ func shardIndex(hv uint64, n int) int {
 // NumShards returns the number of independent TM domains.
 func (c *Cache) NumShards() int { return len(c.shards) }
 
+// ShardOf reports which TM domain key routes to (workload construction:
+// benchmarks and tests that need same-shard or cross-shard key sets).
+func (c *Cache) ShardOf(key []byte) int {
+	if len(c.shards) == 1 {
+		return 0
+	}
+	return shardIndex(assoc.Hash(key), len(c.shards))
+}
+
 // Branch returns the branch the cache runs under.
 func (c *Cache) Branch() Branch { return c.conf.Branch }
 
@@ -558,7 +567,7 @@ func (w *Worker) Controller() *tmctl.Controller { return w.c.Controller() }
 func (w *Worker) SetTxTrace(sink stm.TraceSink) {
 	for _, sw := range w.ws {
 		if sw.tctx != nil {
-			tm.SetTrace(sw.tctx.Thread(), sink)
+			tm.SetTrace(sw.tctx, sink)
 		}
 	}
 }
@@ -592,6 +601,9 @@ func (w *Worker) Stats() Snapshot {
 		s.HashItems += ss.HashItems
 		s.HashBuckets += ss.HashBuckets
 		s.SlabBytes += ss.SlabBytes
+		s.TxCommits += ss.TxCommits
+		s.TxConflicts += ss.TxConflicts
+		s.TxSerialFallbacks += ss.TxSerialFallbacks
 		s.STM = s.STM.Add(ss.STM)
 	}
 	return s

@@ -2,6 +2,7 @@ package engine_test
 
 import (
 	"flag"
+	"fmt"
 	"testing"
 
 	"repro/internal/engine"
@@ -110,6 +111,34 @@ func TestTortureSharded(t *testing.T) {
 				})
 				if rep.Failed() {
 					// Replay: mctorture -branch <b> -seed <seed> -shards 4
+					t.Errorf("%s", rep)
+				} else {
+					t.Logf("%s", rep)
+				}
+			}
+		})
+	}
+}
+
+// TestTortureTxn is the wire-transaction atomicity proof: concurrent
+// cross-shard transfers through CommitTx's N-domain ordered commit while the
+// STM and maintenance fault points fire, checked against a conserved unit
+// total. A torn commit — one shard's serial domain applied, another's not —
+// or a validation that passes on a stale read surfaces as a wrong ledger sum.
+func TestTortureTxn(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range tortureSeeds {
+				rep := torture.RunTxn(torture.Config{
+					Branch: engine.ITOnCommit,
+					Seed:   seed,
+					Shards: shards,
+					Short:  *tortureShort,
+				})
+				if rep.Failed() {
+					// Replay: mctorture -txn -branch it-oncommit -seed <seed> -shards <n>
 					t.Errorf("%s", rep)
 				} else {
 					t.Logf("%s", rep)

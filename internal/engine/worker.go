@@ -681,7 +681,13 @@ type Snapshot struct {
 	HashItems   uint64
 	HashBuckets uint64
 	SlabBytes   uint64
-	STM         stm.Snapshot
+	// Wire-transaction counters (tx_commits / tx_conflicts /
+	// tx_serial_fallbacks in the stats surface), attributed to the lowest
+	// shard a transaction touched.
+	TxCommits         uint64
+	TxConflicts       uint64
+	TxSerialFallbacks uint64
+	STM               stm.Snapshot
 }
 
 // ResetStats zeroes this shard's command counters: every per-thread block
@@ -713,6 +719,12 @@ func (w *shardWorker) ResetStats() {
 		g.SetWord(w.c.gstats.HashExpands, 0)
 		// Gauges (CurrItems, CurrBytes) survive reset, as in memcached.
 	})
+	// Wire-transaction counters live on the shard (each shard's worker clears
+	// exactly its own shard's, so the router's per-shard reset loop clears
+	// each exactly once).
+	w.c.txCommits.Store(0)
+	w.c.txConflicts.Store(0)
+	w.c.txSerialFallbacks.Store(0)
 	if w.c.rt != nil {
 		w.c.rt.ResetStats()
 	}
@@ -777,6 +789,9 @@ func (w *shardWorker) Stats() Snapshot {
 	w.section(domains{slabs: true}, profile{}, func(ctx access.Ctx) {
 		s.SlabBytes = w.c.slabs.Allocated(ctx)
 	})
+	s.TxCommits = w.c.txCommits.Load()
+	s.TxConflicts = w.c.txConflicts.Load()
+	s.TxSerialFallbacks = w.c.txSerialFallbacks.Load()
 	if w.c.rt != nil {
 		s.STM = w.c.rt.Stats()
 	}

@@ -38,6 +38,11 @@ const (
 	OpStat      = 0x10
 	OpTouch     = 0x1c
 	OpGAT       = 0x1d
+
+	// Wire-transaction extension opcodes (vendor range, see wiretx.go).
+	OpTxBegin  = 0xe0
+	OpTxCommit = 0xe1
+	OpTxAbort  = 0xe2
 )
 
 // Response status codes.
@@ -173,6 +178,12 @@ func binOpName(op byte) string {
 		return "version"
 	case OpQuit:
 		return "quit"
+	case OpTxBegin:
+		return "txbegin"
+	case OpTxCommit:
+		return "txcommit"
+	case OpTxAbort:
+		return "txabort"
 	default:
 		return fmt.Sprintf("op_0x%02x", op)
 	}
@@ -180,6 +191,17 @@ func binOpName(op byte) string {
 
 // dispatchBinary routes one parsed binary frame.
 func (c *Conn) dispatchBinary(req binHeader, extras, key, value []byte) error {
+	switch req.opcode {
+	case OpTxBegin:
+		return c.binTxBegin(req)
+	case OpTxCommit:
+		return c.binTxCommit(req)
+	case OpTxAbort:
+		return c.binTxAbort(req)
+	}
+	if c.tx != nil {
+		return c.dispatchBinaryInTx(req, extras, key, value)
+	}
 	switch req.opcode {
 	case OpGetQ, OpGetKQ:
 		if len(extras) != 0 {

@@ -79,6 +79,11 @@ type Conn struct {
 
 	gatActive  bool
 	gatExptime uint64
+
+	// tx is the connection's open wire transaction (nil outside txbegin/
+	// txcommit). It lives entirely in this struct — no engine resource is
+	// held — so dropping the connection drops the transaction.
+	tx *txState
 }
 
 // NewConn wraps a transport with a protocol handler bound to a worker.
@@ -130,6 +135,7 @@ func (c *Conn) SetSpans(cs *txtrace.ConnSpans) { c.spans = cs }
 // buffered replies are flushed before it returns.
 func (c *Conn) Serve() error {
 	err := c.serveLoop()
+	c.tx = nil // disconnect is the implicit txabort
 	if ferr := c.flushNow(); err == nil {
 		err = ferr
 	}
@@ -217,6 +223,17 @@ func (c *Conn) dispatchTextTimed(cmd string, args [][]byte) error {
 
 // dispatchText routes one parsed text command.
 func (c *Conn) dispatchText(cmd string, args [][]byte) error {
+	switch cmd {
+	case "txbegin":
+		return c.cmdTxBegin(args)
+	case "txcommit":
+		return c.cmdTxCommit()
+	case "txabort":
+		return c.cmdTxAbort(args)
+	}
+	if c.tx != nil {
+		return c.dispatchTextInTx(cmd, args)
+	}
 	switch cmd {
 	case "get", "gets":
 		return c.cmdGet(args, cmd == "gets", false)
@@ -517,6 +534,9 @@ func (c *Conn) cmdStats() error {
 	stat("tm_htm_fallbacks", s.STM.HTMFallbacks)
 	stat("tm_ro_fast_commit", s.STM.ROFastCommits)
 	stat("tm_ro_upgrade", s.STM.ROUpgrades)
+	stat("tx_commits", s.TxCommits)
+	stat("tx_conflicts", s.TxConflicts)
+	stat("tx_serial_fallbacks", s.TxSerialFallbacks)
 	if c.connErrs != nil {
 		stat("conn_errors_io", c.connErrs.IO.Load())
 		stat("conn_errors_protocol", c.connErrs.Protocol.Load())
@@ -804,5 +824,5 @@ func (c *Conn) replyMaybe(rest [][]byte, s string) error {
 }
 
 func (c *Conn) clientError(msg string) error {
-	return c.reply("CLIENT_ERROR " + msg + "\r\n")
+	return c.replyError(&ClientError{Msg: msg, Status: StatusInvalidArgs})
 }

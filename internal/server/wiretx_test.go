@@ -1,0 +1,96 @@
+package server
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// TestWireTxConnLifetime pins the server-side transaction lifetime contract:
+// a wire transaction is per-connection state that dies with the connection —
+// an abrupt disconnect mid-transaction leaves nothing behind, and a server
+// Close while a transaction is open drains cleanly.
+func TestWireTxConnLifetime(t *testing.T) {
+	cache := engine.New(engine.Config{Branch: engine.ITMax, HashPower: 10, Shards: 2, MemLimit: 16 << 20})
+	cache.Start()
+	defer cache.Stop()
+	s, err := Listen(cache, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+
+	send := func(conn net.Conn, r *bufio.Reader, cmd, want string) {
+		t.Helper()
+		if _, err := conn.Write([]byte(cmd)); err != nil {
+			t.Fatalf("write %q: %v", cmd, err)
+		}
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read reply to %q: %v", cmd, err)
+		}
+		if got := strings.TrimRight(line, "\r\n"); got != want {
+			t.Fatalf("reply to %q = %q, want %q", cmd, got, want)
+		}
+	}
+
+	// Connection 1: open a transaction, queue a write, vanish.
+	c1, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	r1 := bufio.NewReader(c1)
+	send(c1, r1, "txbegin\r\n", "STARTED")
+	send(c1, r1, "set orphan 0 0 1\r\no\r\n", "QUEUED")
+	c1.Close()
+
+	// Connection 2: the orphaned transaction must not have applied, and a
+	// fresh transaction on a fresh connection works.
+	c2, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	r2 := bufio.NewReader(c2)
+	send(c2, r2, "get orphan\r\n", "END")
+	send(c2, r2, "txbegin\r\n", "STARTED")
+	send(c2, r2, "set k 0 0 1\r\nv\r\n", "QUEUED")
+	send(c2, r2, "txcommit\r\n", "TXRESULT 1")
+	if line, _ := r2.ReadString('\n'); strings.TrimRight(line, "\r\n") != "STORED" {
+		t.Fatalf("op result = %q", line)
+	}
+	if line, _ := r2.ReadString('\n'); strings.TrimRight(line, "\r\n") != "END" {
+		t.Fatalf("terminator = %q", line)
+	}
+
+	// Connection 3 holds a transaction open across server Close: drain must
+	// not hang on it (the transaction holds no engine resource).
+	c3, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	r3 := bufio.NewReader(c3)
+	send(c3, r3, "txbegin\r\n", "STARTED")
+	send(c3, r3, "delete k\r\n", "QUEUED")
+
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung on an open transaction")
+	}
+	c2.Close()
+	c3.Close()
+
+	// The undrained queued delete never applied.
+	w := cache.NewWorker()
+	if v, _, _, ok := w.Get([]byte("k")); !ok || string(v) != "v" {
+		t.Fatalf("k = %q, %v — open transaction applied at shutdown", v, ok)
+	}
+}

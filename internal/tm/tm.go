@@ -10,7 +10,8 @@
 //
 // Options are plain data, so hot call sites may build them once (or use the
 // zero value) and skip the closure allocations of the variadic form. The old
-// core.Ctx entry points remain as thin deprecated wrappers for one release.
+// core.Ctx wrappers have been deleted; this package is the one blessed
+// transaction API.
 package tm
 
 import (
@@ -29,6 +30,12 @@ type Options struct {
 	// instead of paying for instrumented execution up to the switch point.
 	// Meaningless (and rejected by the runtime) for atomic transactions.
 	StartSerial bool
+	// TrySerial, with StartSerial, bounds the serial write-lock acquisition:
+	// if the lock stays busy past a short spin the run returns
+	// stm.ErrSerialBusy with no effects. The cross-shard commit path sets it
+	// on every domain after the first so overlapping committers cannot
+	// deadlock — the loser unwinds and retries in ascending shard order.
+	TrySerial bool
 	// Site labels the source-level transaction for conflict attribution and
 	// serialization-cause profiling.
 	Site string
@@ -57,6 +64,10 @@ func ReadOnly() Option { return func(o *Options) { o.ReadOnly = true } }
 // Options.StartSerial).
 func StartSerial() Option { return func(o *Options) { o.StartSerial = true } }
 
+// TrySerial bounds the serial-lock acquisition of a StartSerial transaction
+// (see Options.TrySerial).
+func TrySerial() Option { return func(o *Options) { o.TrySerial = true } }
+
 // Label names the transaction site (see Options.Site).
 func Label(site string) Option { return func(o *Options) { o.Site = site } }
 
@@ -67,6 +78,7 @@ func (o Options) props(kind stm.Kind) stm.Props {
 	return stm.Props{
 		Kind:        kind,
 		StartSerial: o.StartSerial,
+		TrySerial:   o.TrySerial,
 		Site:        o.Site,
 		ReadOnly:    o.ReadOnly,
 		MaxRetries:  o.MaxRetries,

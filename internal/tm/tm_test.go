@@ -79,44 +79,97 @@ func TestMaxRetriesOptionPropagates(t *testing.T) {
 	}
 }
 
-// TestDeprecatedWrappersEquivalent is the behavioral-equivalence test for the
-// old core.Ctx entry points: each deprecated wrapper must do exactly what its
-// tm replacement does — same effects, same stats deltas, same kind of
-// transaction.
-func TestDeprecatedWrappersEquivalent(t *testing.T) {
+// TestFrontDoorEquivalentToRawRun is the behavioral-equivalence test that
+// guarded the core.Ctx shim deletion: the tm entry points must do exactly what
+// a hand-built stm.Props run does — same effects, same stats deltas, same kind
+// of transaction — so callers ported off the shims (which themselves delegated
+// here) observe no behavior change.
+func TestFrontDoorEquivalentToRawRun(t *testing.T) {
 	type counters struct {
 		commits, startSerial, roFast uint64
 	}
-	// run executes one workload shape through either the deprecated wrappers
-	// (legacy=true) or the tm package, on a fresh runtime, and returns the
-	// final word value plus the stats counters.
-	run := func(legacy bool) (uint64, counters) {
+	// run executes one workload shape either through raw stm.Thread.Run with
+	// hand-built Props (raw=true) or through the tm package, on a fresh
+	// runtime, and returns the final word value plus the stats counters.
+	run := func(raw bool) (uint64, counters) {
 		rt := stm.New(stm.Config{Algorithm: stm.MLWT})
 		ctx := core.New(rt).NewContext()
 		th := ctx.Thread()
 		v := stm.NewTWord(0)
 
-		if legacy {
-			_ = ctx.Atomic(func(tx *stm.Tx) { v.Store(tx, 5) })
-			_ = ctx.Relaxed(func(tx *stm.Tx) { v.Store(tx, v.Load(tx)*2) })
-			_ = ctx.RelaxedStartSerial(func(tx *stm.Tx) { v.Store(tx, v.Load(tx)+1) })
-			ctx.StoreWord(v, ctx.LoadWord(v)+ctx.AddWord(v, 3))
+		if raw {
+			_ = th.Run(stm.Props{Kind: stm.Atomic}, func(tx *stm.Tx) { v.Store(tx, 5) })
+			_ = th.Run(stm.Props{Kind: stm.Relaxed}, func(tx *stm.Tx) { v.Store(tx, v.Load(tx)*2) })
+			_ = th.Run(stm.Props{Kind: stm.Relaxed, StartSerial: true}, func(tx *stm.Tx) { v.Store(tx, v.Load(tx)+1) })
+			var load, add uint64
+			_ = th.Run(stm.Props{Kind: stm.Atomic, ReadOnly: true}, func(tx *stm.Tx) { load = v.Load(tx) })
+			_ = th.Run(stm.Props{Kind: stm.Atomic}, func(tx *stm.Tx) { add = v.Add(tx, 3) })
+			_ = th.Run(stm.Props{Kind: stm.Atomic}, func(tx *stm.Tx) { v.Store(tx, load+add) })
 		} else {
 			_ = tm.Atomic(th, tm.Options{}, func(tx *stm.Tx) { v.Store(tx, 5) })
 			_ = tm.Relaxed(th, tm.Options{}, func(tx *stm.Tx) { v.Store(tx, v.Load(tx)*2) })
 			_ = tm.Relaxed(th, tm.With(tm.StartSerial()), func(tx *stm.Tx) { v.Store(tx, v.Load(tx)+1) })
-			tm.StoreWord(th, v, tm.LoadWord(th, v)+tm.AddWord(th, v, 3))
+			load := tm.LoadWord(th, v)
+			add := tm.AddWord(th, v, 3)
+			tm.StoreWord(th, v, load+add)
 		}
 		s := rt.Stats()
 		return v.LoadDirect(), counters{s.Commits, s.StartSerial, s.ROFastCommits}
 	}
 
-	oldVal, oldStats := run(true)
+	rawVal, rawStats := run(true)
 	newVal, newStats := run(false)
-	if oldVal != newVal {
-		t.Errorf("final value: deprecated wrappers %d, tm %d", oldVal, newVal)
+	if rawVal != newVal {
+		t.Errorf("final value: raw Props %d, tm %d", rawVal, newVal)
 	}
-	if oldStats != newStats {
-		t.Errorf("stats deltas: deprecated wrappers %+v, tm %+v", oldStats, newStats)
+	if rawStats != newStats {
+		t.Errorf("stats deltas: raw Props %+v, tm %+v", rawStats, newStats)
+	}
+}
+
+// TestTrySerialBusy pins the bounded serial acquisition used by the
+// cross-shard commit path: while one thread holds the serial lock, a
+// TrySerial transaction on another thread returns stm.ErrSerialBusy without
+// running its body; once the lock is free it runs serially and commits.
+func TestTrySerialBusy(t *testing.T) {
+	rt := stm.New(stm.Config{Algorithm: stm.MLWT})
+	holder := rt.NewThread()
+	other := rt.NewThread()
+	v := stm.NewTWord(0)
+
+	hold := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = tm.Relaxed(holder, tm.With(tm.StartSerial()), func(tx *stm.Tx) {
+			close(hold)
+			<-release
+		})
+	}()
+	<-hold
+
+	ran := false
+	err := tm.Relaxed(other, tm.With(tm.StartSerial(), tm.TrySerial()), func(tx *stm.Tx) { ran = true })
+	if !errors.Is(err, stm.ErrSerialBusy) {
+		t.Fatalf("err = %v, want ErrSerialBusy", err)
+	}
+	if ran {
+		t.Fatal("body ran although the serial lock was busy")
+	}
+
+	close(release)
+	<-done
+	if err := tm.Relaxed(other, tm.With(tm.StartSerial(), tm.TrySerial()), func(tx *stm.Tx) {
+		if !tx.Serial() {
+			t.Error("TrySerial transaction not serial")
+		}
+		ran = true
+		v.Store(tx, 7)
+	}); err != nil {
+		t.Fatalf("uncontended TrySerial: %v", err)
+	}
+	if !ran || v.LoadDirect() != 7 {
+		t.Fatalf("uncontended TrySerial did not commit (ran=%v v=%d)", ran, v.LoadDirect())
 	}
 }

@@ -116,6 +116,11 @@ type Report struct {
 	ModeSwaps   uint64 // forced controller swaps executed (Config.ModeFlaps)
 	Faults      string // injector summary (point, rate, hits, fires)
 	Elapsed     time.Duration
+
+	// Wire-transaction counters, populated by RunTxn only.
+	TxCommits         uint64
+	TxConflicts       uint64
+	TxSerialFallbacks uint64
 }
 
 // Failed reports whether any invariant was violated.
@@ -126,6 +131,10 @@ func (r *Report) String() string {
 		flaps := ""
 		if r.ModeSwaps > 0 {
 			flaps = fmt.Sprintf(", %d mode swaps", r.ModeSwaps)
+		}
+		if r.TxCommits > 0 {
+			flaps += fmt.Sprintf(", %d tx commits (%d conflicts, %d serial fallbacks)",
+				r.TxCommits, r.TxConflicts, r.TxSerialFallbacks)
 		}
 		return fmt.Sprintf("torture %s seed=%d: ok (%d faults fired, %d hash expansions%s, %v)",
 			r.Branch, r.Seed, r.FaultsFired, r.HashExpands, flaps, r.Elapsed.Round(time.Millisecond))
