@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test check batch-race shard-race trace-race txn-race torture-smoke torture profile bench-smoke bench-shards bench-trace-overhead bench-tmctl bench-txn
+.PHONY: all build vet lint test check batch-race shard-race trace-race txn-race event-race torture-smoke torture profile bench-smoke bench-shards bench-trace-overhead bench-tmctl bench-txn bench-conns
 
 all: check
 
@@ -27,7 +27,7 @@ test:
 # clean, passes its tests, survives shrunken fault schedules under the race
 # detector, and keeps the batched multi-get pipeline and the request-tracing
 # layer race-clean.
-check: build lint test batch-race shard-race trace-race txn-race torture-smoke
+check: build lint test batch-race shard-race trace-race txn-race event-race torture-smoke
 
 # batch-race runs the multi-get / read-only fast-path tests under the race
 # detector: batch snapshot isolation against concurrent writers, the quiet-get
@@ -57,6 +57,15 @@ txn-race:
 	$(GO) test -race -count=1 -run 'WireTx|TxSupported' ./internal/engine ./internal/server
 	$(GO) test -race -count=1 -run 'Tx' ./internal/protocol
 	$(GO) test -race -count=1 ./client
+
+# event-race runs the event-driven transport under the race detector: the
+# poller accept-storm/concurrent-close smoke (both epoll and the fallback),
+# the event-loop server suite (graceful drain, idle reaping, MaxConns
+# backpressure, wire-tx implicit abort on disconnect), the heal-probe
+# escalation ladder, and the buffer-pool leak guard.
+event-race:
+	$(GO) test -race -count=1 ./internal/poller
+	$(GO) test -race -count=1 -run 'EventLoop|HealProbe|BufferPool' ./internal/server ./internal/tmctl
 
 # torture-smoke runs the seeded fault-injection harness in its shrunken
 # (-torture.short) form. The flag is registered per test package, so only the
@@ -99,6 +108,14 @@ bench-tmctl:
 # metadata.
 bench-txn:
 	$(GO) run ./cmd/mcbench -txn -threads 4 -ops 3000 -txn-shards 4 -txn-out BENCH_txn.json
+
+# bench-conns runs the connection-scale ladder: hold 1k/10k (100k when the
+# descriptor limit allows) idle connections against the event-loop and
+# goroutine-per-conn transports, record RSS and goroutine growth per rung,
+# then run an identical 64-conn active mix on each; written to
+# BENCH_conns.json. Rungs over RLIMIT_NOFILE are recorded as skipped.
+bench-conns:
+	$(GO) run ./cmd/mcbench -conns -conns-points 1000,10000,100000 -conns-active 64 -conns-active-ops 1500 -conns-out BENCH_conns.json
 
 # profile runs a short mcbench with transaction observability on and prints
 # the serialization causes, conflict heat map, and latency summary.

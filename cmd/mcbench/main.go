@@ -49,8 +49,27 @@ func main() {
 		txnBranch  = flag.String("txn-branch", "it-max", "branch for -txn (must support wire transactions: IT family)")
 		txnShards  = flag.Int("txn-shards", 4, "shard count for -txn")
 		txnOut     = flag.String("txn-out", "BENCH_txn.json", "output file for -txn")
+		connSweep  = flag.Bool("conns", false, "connection-scale sweep: hold idle connection ladders against both transports (event-loop vs goroutine-per-conn), measure RSS/goroutines per rung plus an active mix, write -conns-out")
+		connPoints = flag.String("conns-points", "1000,10000,100000", "comma-separated idle connection counts for -conns (rungs over RLIMIT_NOFILE are recorded as skipped)")
+		connShards = flag.Int("conns-shards", 4, "shard count for -conns")
+		connWorker = flag.Int("conns-workers", 0, "event-loop worker count for -conns (0 = server default)")
+		connActive = flag.Int("conns-active", 64, "active-mix connection count for -conns")
+		connOps    = flag.Int("conns-active-ops", 1500, "active-mix request-response rounds per connection for -conns")
+		connOut    = flag.String("conns-out", "BENCH_conns.json", "output file for -conns")
+		connAgent  = flag.Bool("conns-agent", false, "internal: run as the connection-holding agent for -conns")
+		connAddr   = flag.String("conns-addr", "", "internal: server address for -conns-agent")
+		connN      = flag.Int("conns-n", 0, "internal: connections for -conns-agent to hold")
 	)
 	flag.Parse()
+
+	// Agent mode: forked by -conns before anything else so a bare re-exec
+	// never falls through into the benchmark driver.
+	if *connAgent {
+		if err := bench.RunConnAgent(*connAddr, *connN); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var ths []int
 	for _, part := range strings.Split(*threads, ",") {
@@ -235,6 +254,52 @@ func main() {
 				p.HotKeys, 100*p.ConflictRate, 100*p.SerialFallbackRate)
 		}
 		fmt.Printf("wrote %s\n", *txnOut)
+	}
+	if *connSweep {
+		ran = true
+		b, err := engine.ParseBranch(*roBranch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var pts []int
+		for _, part := range strings.Split(*connPoints, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				log.Fatalf("bad -conns-points %q", *connPoints)
+			}
+			pts = append(pts, n)
+		}
+		exe, err := os.Executable()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := bench.RunConnScale(b, *connShards, *connWorker, pts, *connActive, *connOps, exe)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(*connOut, out, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		for _, tr := range res.Transports {
+			for _, p := range tr.Points {
+				if p.Skipped {
+					fmt.Printf("%-18s %7d conns: skipped (%s)\n", tr.Transport, p.RequestedConns, p.SkipReason)
+					continue
+				}
+				fmt.Printf("%-18s %7d conns: rss +%d KB (%.0f B/conn), goroutines %d -> %d\n",
+					tr.Transport, p.HeldConns, p.RSSDeltaKB, p.RSSPerConnB,
+					p.GoroutinesBaseline, p.GoroutinesHeld)
+			}
+			fmt.Printf("%-18s active mix %d conns: %.0f ops/s, p50 %.3fms p99 %.3fms\n",
+				tr.Transport, tr.Active.Conns, tr.Active.OpsPerSec, tr.Active.P50Ms, tr.Active.P99Ms)
+		}
+		fmt.Printf("rss ratio (event/goroutine) at %d conns: %.3f; active tput ratio %.3f -> %s\n",
+			res.RSSRatioAtConns, res.RSSRatio, res.ActiveTputRatio, *connOut)
 	}
 	if *profBranch != "" {
 		ran = true

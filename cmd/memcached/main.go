@@ -15,6 +15,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
 	"repro/internal/engine"
@@ -41,6 +42,8 @@ func main() {
 		tmCtl     = flag.Bool("tmctl", false, "enable the per-shard feedback controller (stats tmctl, /debug/tmctl)")
 		ctlIntvl  = flag.Duration("tmctl-interval", 0, "controller sampling interval (0 = default 1s)")
 		ctlDwell  = flag.Duration("tmctl-dwell", 0, "controller minimum dwell time between mode swaps on one shard (0 = default 5s)")
+		eventLoop = flag.Bool("event-loop", runtime.GOOS == "linux", "event-driven transport: epoll parks idle connections, a bounded shard-affine worker pool serves ready ones (default on linux; off = goroutine per connection)")
+		workers   = flag.Int("workers", 0, "event-loop execution workers (0 = shards+2, capped at 32)")
 	)
 	flag.Parse()
 
@@ -95,11 +98,19 @@ func main() {
 	} else if mode != txtrace.ModeOff {
 		cache.EnableTxTrace(mode)
 	}
-	srv, err := server.Listen(cache, *addr)
+	srv, err := server.ListenConfig(cache, server.Config{
+		Addr:      *addr,
+		EventLoop: *eventLoop,
+		Workers:   *workers,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("tm-memcached serving on %s (branch %s)", srv.Addr(), b)
+	transport := "goroutine-per-conn"
+	if srv.EventLoop() {
+		transport = "event-loop"
+	}
+	log.Printf("tm-memcached serving on %s (branch %s, %s transport)", srv.Addr(), b, transport)
 	var dbg interface{ Close() error }
 	if *debugAddr != "" {
 		d, bound, err := server.ListenDebug(cache, *debugAddr)

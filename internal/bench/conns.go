@@ -1,0 +1,432 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/protocol"
+	"repro/internal/server"
+)
+
+// The -conns benchmark: what does an idle connection cost, per transport?
+//
+// The goroutine-per-connection transport pays a goroutine stack plus a bufio
+// reader/writer pair for every connection, busy or not. The event-loop
+// transport parks idle connections in the kernel poller and releases their
+// buffers to a pool, so an idle connection should cost a registration entry
+// and little else. This benchmark holds a ladder of idle connection counts
+// against each transport, measures the server process's RSS growth and
+// goroutine count at each rung, then runs an identical active request mix at
+// a modest connection count to show the event loop does not tax the busy
+// path for what it saves on the idle one.
+//
+// The held connections live in a forked agent process (this binary re-exec'd
+// with -conns-agent): RLIMIT_NOFILE counts both halves of a loopback
+// connection against whoever owns them, so holding N connections in-process
+// would cost 2N descriptors and halve the reachable ladder. With the agent,
+// the server side and the client side each spend their own limit. Rungs that
+// still do not fit under the limit (with headroom for the listener, poller,
+// and active-mix sockets) are recorded as skipped with the reason rather
+// than silently dropped.
+
+// ConnPoint is one idle-connection rung for one transport.
+type ConnPoint struct {
+	RequestedConns int    `json:"requested_conns"`
+	HeldConns      int    `json:"held_conns"`
+	Skipped        bool   `json:"skipped,omitempty"`
+	SkipReason     string `json:"skip_reason,omitempty"`
+
+	RSSBaselineKB int64 `json:"rss_baseline_kb"`
+	RSSHeldKB     int64 `json:"rss_held_kb"`
+	RSSDeltaKB    int64 `json:"rss_delta_kb"`
+	// RSSPerConnB is the marginal resident cost of one idle connection.
+	RSSPerConnB float64 `json:"rss_per_conn_bytes"`
+
+	GoroutinesBaseline int `json:"goroutines_baseline"`
+	GoroutinesHeld     int `json:"goroutines_held"`
+
+	BuffersInUse int64 `json:"conn_buffers_inuse"`
+}
+
+// ConnActiveMix is the busy-path check: a fixed connection count running a
+// sequential request-response mix through real sockets.
+type ConnActiveMix struct {
+	Conns     int     `json:"conns"`
+	Ops       int     `json:"ops"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+}
+
+// ConnTransportResult is one transport's full ladder plus its active mix.
+type ConnTransportResult struct {
+	Transport string        `json:"transport"`
+	Points    []ConnPoint   `json:"points"`
+	Active    ConnActiveMix `json:"active_mix"`
+}
+
+// ConnScaleResult is the whole -conns run.
+type ConnScaleResult struct {
+	Branch       string `json:"branch"`
+	Shards       int    `json:"shards"`
+	GOMAXPROCS   int    `json:"gomaxprocs"`
+	CPUs         int    `json:"cpus"`
+	RlimitNofile uint64 `json:"rlimit_nofile"`
+
+	Transports []ConnTransportResult `json:"transports"`
+
+	// RSSRatioAtConns is the largest rung both transports actually held;
+	// RSSRatio is event-loop RSS delta over goroutine RSS delta there. The
+	// acceptance bar is <= 0.25 at 10k.
+	RSSRatioAtConns int     `json:"rss_ratio_at_conns"`
+	RSSRatio        float64 `json:"rss_ratio_event_vs_goroutine"`
+	// ActiveTputRatio is event-loop active-mix throughput over goroutine
+	// throughput: the busy path must stay within a few percent of 1.
+	ActiveTputRatio float64 `json:"active_tput_ratio_event_vs_goroutine"`
+}
+
+// agentHeadroom is the descriptor budget reserved for everything that is not
+// a held connection: listener, epoll fd, wake pipe, active-mix sockets,
+// stdio, and slack for the Go runtime.
+const agentHeadroom = 512
+
+// RunConnScale runs the connection ladder for both transports. exe is the
+// binary to re-exec as the holding agent (normally os.Executable()).
+func RunConnScale(b engine.Branch, shards, workers int, points []int, activeConns, activeOpsPerConn int, exe string) (ConnScaleResult, error) {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return ConnScaleResult{}, fmt.Errorf("getrlimit: %w", err)
+	}
+	res := ConnScaleResult{
+		Branch:       b.String(),
+		Shards:       shards,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		CPUs:         runtime.NumCPU(),
+		RlimitNofile: uint64(lim.Cur),
+	}
+	transports := []bool{true, false}
+	res.Transports = make([]ConnTransportResult, len(transports))
+	for i, eventLoop := range transports {
+		res.Transports[i].Transport = "goroutine-per-conn"
+		if eventLoop {
+			res.Transports[i].Transport = "event-loop"
+		}
+	}
+	// Active mixes run before the idle ladders: the big rungs churn tens of
+	// thousands of loopback sockets into TIME_WAIT, which would tax whichever
+	// transport's busy-path measurement ran after them.
+	for i, eventLoop := range transports {
+		tr := &res.Transports[i]
+		err := withConnServer(b, shards, workers, eventLoop, func(addr string) error {
+			tr.Active = runConnActiveMix(addr, activeConns, activeOpsPerConn)
+			return nil
+		})
+		if err != nil {
+			return res, fmt.Errorf("%s active mix: %w", tr.Transport, err)
+		}
+	}
+	for i, eventLoop := range transports {
+		tr := &res.Transports[i]
+		err := withConnServer(b, shards, workers, eventLoop, func(addr string) error {
+			for _, n := range points {
+				p, err := runConnPoint(addr, n, exe, lim.Cur)
+				if err != nil {
+					return fmt.Errorf("at %d conns: %w", n, err)
+				}
+				tr.Points = append(tr.Points, p)
+			}
+			return nil
+		})
+		if err != nil {
+			return res, fmt.Errorf("%s ladder: %w", tr.Transport, err)
+		}
+	}
+
+	// Ratio at the largest rung both transports held.
+	ev, gp := res.Transports[0], res.Transports[1]
+	for i := len(ev.Points) - 1; i >= 0; i-- {
+		e := ev.Points[i]
+		if e.Skipped || i >= len(gp.Points) || gp.Points[i].Skipped {
+			continue
+		}
+		g := gp.Points[i]
+		res.RSSRatioAtConns = e.HeldConns
+		if g.RSSDeltaKB > 0 {
+			res.RSSRatio = float64(e.RSSDeltaKB) / float64(g.RSSDeltaKB)
+		}
+		break
+	}
+	if gp.Active.OpsPerSec > 0 {
+		res.ActiveTputRatio = ev.Active.OpsPerSec / gp.Active.OpsPerSec
+	}
+	return res, nil
+}
+
+// withConnServer builds a fresh cache and server for one transport, seeds the
+// active-mix keyspace, runs fn against the listen address, and tears it all
+// down again.
+func withConnServer(b engine.Branch, shards, workers int, eventLoop bool, fn func(addr string) error) error {
+	c := engine.New(engine.Config{Branch: b, Shards: shards, MemLimit: 64 << 20, HashPower: 12})
+	c.Start()
+	defer c.Stop()
+	srv, err := server.ListenConfig(c, server.Config{Addr: "127.0.0.1:0", EventLoop: eventLoop, Workers: workers})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	// A small keyspace for the active mix.
+	w := c.NewWorker()
+	val := make([]byte, 100)
+	for i := 0; i < 1024; i++ {
+		w.Set(fmt.Appendf(nil, "connbench-%04d", i), 0, 0, val)
+	}
+	return fn(srv.Addr())
+}
+
+// settleRSS coaxes the runtime into returning what it can to the OS so RSS
+// reflects live memory, then samples it.
+func settleRSS() (int64, error) {
+	runtime.GC()
+	debug.FreeOSMemory()
+	time.Sleep(50 * time.Millisecond)
+	return readRSSKB()
+}
+
+func readRSSKB() (int64, error) {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "VmRSS:") {
+			f := strings.Fields(line)
+			if len(f) >= 2 {
+				return strconv.ParseInt(f[1], 10, 64)
+			}
+		}
+	}
+	return 0, fmt.Errorf("no VmRSS in /proc/self/status")
+}
+
+func runConnPoint(addr string, n int, exe string, rlimit uint64) (ConnPoint, error) {
+	p := ConnPoint{RequestedConns: n}
+	// The server spends one descriptor per held connection; the agent spends
+	// one per dialed connection. Both processes live under the same limit, so
+	// the rung must fit under it with headroom on each side.
+	if uint64(n)+agentHeadroom > rlimit {
+		p.Skipped = true
+		p.SkipReason = fmt.Sprintf("needs %d descriptors per process; RLIMIT_NOFILE is %d (hard limit, not raisable in this environment)", n+agentHeadroom, rlimit)
+		return p, nil
+	}
+
+	base, err := settleRSS()
+	if err != nil {
+		return p, err
+	}
+	p.RSSBaselineKB = base
+	p.GoroutinesBaseline = runtime.NumGoroutine()
+
+	cmd := exec.Command(exe, "-conns-agent", "-conns-addr", addr, "-conns-n", strconv.Itoa(n))
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return p, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return p, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return p, fmt.Errorf("starting agent: %w", err)
+	}
+	defer func() {
+		stdin.Close()
+		cmd.Wait()
+	}()
+
+	r := bufio.NewReader(stdout)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return p, fmt.Errorf("agent died before holding: %w", err)
+	}
+	var held int
+	if _, err := fmt.Sscanf(line, "HELD %d", &held); err != nil {
+		return p, fmt.Errorf("agent said %q", strings.TrimSpace(line))
+	}
+	p.HeldConns = held
+
+	rss, err := settleRSS()
+	if err != nil {
+		return p, err
+	}
+	p.RSSHeldKB = rss
+	p.RSSDeltaKB = rss - base
+	if held > 0 {
+		p.RSSPerConnB = float64(p.RSSDeltaKB) * 1024 / float64(held)
+	}
+	p.GoroutinesHeld = runtime.NumGoroutine()
+	p.BuffersInUse, _ = protocol.BufferGauges()
+
+	fmt.Fprintf(stdin, "CLOSE\n")
+	if _, err := r.ReadString('\n'); err != nil && held > 0 {
+		// The agent exits right after acking; EOF here is fine.
+		_ = err
+	}
+	return p, nil
+}
+
+// RunConnAgent is the forked half of the benchmark: dial and hold n idle
+// connections against addr, complete one command on each (so the server
+// counts them as served, not half-open), report, then hold until told to
+// close. Runs in its own process so its descriptors do not count against the
+// server's limit.
+func RunConnAgent(addr string, n int) error {
+	conns := make([]net.Conn, 0, n)
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, 128) // dial concurrency: outrun the accept loop without SYN-flooding it
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			var c net.Conn
+			var err error
+			for attempt := 0; attempt < 50; attempt++ {
+				c, err = net.Dial("tcp", addr)
+				if err == nil {
+					break
+				}
+				time.Sleep(time.Duration(10+attempt*10) * time.Millisecond)
+			}
+			if err == nil {
+				_, err = c.Write([]byte("version\r\n"))
+			}
+			if err == nil {
+				_, err = bufio.NewReaderSize(c, 64).ReadString('\n')
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				if c != nil {
+					c.Close()
+				}
+				return
+			}
+			conns = append(conns, c)
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil && len(conns) < n {
+		return fmt.Errorf("held %d/%d: %w", len(conns), n, firstErr)
+	}
+
+	fmt.Printf("HELD %d\n", len(conns))
+	line, err := bufio.NewReader(os.Stdin).ReadString('\n')
+	if err != nil {
+		return err // parent vanished; the deferred close still runs
+	}
+	if strings.TrimSpace(line) != "CLOSE" {
+		return fmt.Errorf("unexpected command %q", strings.TrimSpace(line))
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	conns = nil
+	fmt.Println("CLOSED")
+	return nil
+}
+
+// runConnActiveMix drives conns concurrent sequential clients, each doing
+// opsPerConn request-response rounds of an 80/20 get/set mix, and reports
+// merged latency quantiles and total throughput.
+func runConnActiveMix(addr string, conns, opsPerConn int) ConnActiveMix {
+	m := ConnActiveMix{Conns: conns}
+	lats := make([][]time.Duration, conns)
+	var wg sync.WaitGroup
+	var failed sync.Map
+	start := time.Now()
+	for i := 0; i < conns; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				failed.Store(i, err)
+				return
+			}
+			defer c.Close()
+			r := bufio.NewReader(c)
+			rng := rngState(uint64(i) + 0xBEEF)
+			ls := make([]time.Duration, 0, opsPerConn)
+			for op := 0; op < opsPerConn; op++ {
+				key := int(nextRand(&rng) % 1024)
+				t0 := time.Now()
+				if nextRand(&rng)%10 < 8 {
+					fmt.Fprintf(c, "get connbench-%04d\r\n", key)
+					for {
+						line, err := r.ReadString('\n')
+						if err != nil {
+							failed.Store(i, err)
+							return
+						}
+						if strings.HasPrefix(line, "END") {
+							break
+						}
+					}
+				} else {
+					fmt.Fprintf(c, "set connbench-%04d 0 0 100\r\n%s\r\n", key, strings.Repeat("x", 100))
+					if _, err := r.ReadString('\n'); err != nil {
+						failed.Store(i, err)
+						return
+					}
+				}
+				ls = append(ls, time.Since(t0))
+			}
+			lats[i] = ls
+		}()
+	}
+	wg.Wait()
+	m.Seconds = time.Since(start).Seconds()
+
+	var all []time.Duration
+	for _, ls := range lats {
+		all = append(all, ls...)
+	}
+	m.Ops = len(all)
+	if m.Seconds > 0 {
+		m.OpsPerSec = float64(m.Ops) / m.Seconds
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+		m.P50Ms = float64(all[len(all)*50/100]) / 1e6
+		m.P99Ms = float64(all[len(all)*99/100]) / 1e6
+	}
+	return m
+}

@@ -152,6 +152,10 @@ func (c *Cache) ShardOf(key []byte) int {
 	return shardIndex(assoc.Hash(key), len(c.shards))
 }
 
+// ShardOf reports which TM domain key routes to (the event-loop transport
+// uses it post-parse to keep a connection on a shard-affine worker queue).
+func (w *Worker) ShardOf(key []byte) int { return w.c.ShardOf(key) }
+
 // Branch returns the branch the cache runs under.
 func (c *Cache) Branch() Branch { return c.conf.Branch }
 

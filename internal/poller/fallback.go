@@ -1,0 +1,124 @@
+package poller
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"syscall"
+)
+
+// fallbackPoller implements Poller portably: each Arm parks one goroutine
+// inside syscall.RawConn.Read, which waits on the runtime netpoller for
+// readability WITHOUT consuming any bytes. That preserves the transport's
+// invariant that protocol data is only ever read by an execution worker.
+//
+// Cost: one (small-stack) goroutine per armed connection, but still zero
+// buffer bytes per idle connection — the pooled read/write buffers stay
+// released while parked. Close does not wait for parked waiters: they hold
+// no poller resources and unwind as soon as the owner closes their
+// connections (RawConn.Read returns an error on a closed fd).
+type fallbackPoller struct {
+	onReady func(Token)
+
+	mu     sync.Mutex
+	regs   map[Token]syscall.RawConn
+	next   uint64
+	closed bool
+}
+
+// NewFallback builds the portable goroutine-parking poller. On linux it is
+// only used by tests (New returns the epoll poller); elsewhere it is the
+// platform implementation.
+func NewFallback(onReady func(Token)) (Poller, error) {
+	return &fallbackPoller{
+		onReady: onReady,
+		regs:    make(map[Token]syscall.RawConn),
+	}, nil
+}
+
+func (p *fallbackPoller) Add(conn net.Conn) (Token, error) {
+	sc, ok := conn.(syscall.Conn)
+	if !ok {
+		return 0, fmt.Errorf("poller: %T does not expose a file descriptor", conn)
+	}
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return 0, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return 0, ErrClosed
+	}
+	p.next++
+	tok := Token(p.next)
+	p.regs[tok] = rc
+	return tok, nil
+}
+
+func (p *fallbackPoller) Arm(tok Token) error {
+	p.mu.Lock()
+	rc, ok := p.regs[tok]
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if !ok {
+		return fmt.Errorf("poller: arm of unregistered token %d", tok)
+	}
+	go func() {
+		err := waitReadable(rc)
+		p.mu.Lock()
+		_, live := p.regs[tok]
+		done := p.closed
+		p.mu.Unlock()
+		if done || !live {
+			return
+		}
+		// An error from the wait (conn closed under us) is still a readiness
+		// event: the owner's read will surface the real error and tear down.
+		_ = err
+		p.onReady(tok)
+	}()
+	return nil
+}
+
+// waitReadable blocks until the connection would not block on read, without
+// consuming a byte. RawConn.Read's contract is the netpoller's: the callback
+// must attempt the syscall itself and return false only on EAGAIN (the
+// runtime resets the descriptor's readiness before each wait, so a callback
+// that never probes the socket can sleep through data that arrived earlier).
+// MSG_PEEK makes the probe non-destructive: protocol bytes are only ever
+// read by an execution worker.
+func waitReadable(rc syscall.RawConn) error {
+	var buf [1]byte
+	return rc.Read(func(fd uintptr) bool {
+		n, _, err := syscall.Recvfrom(int(fd), buf[:], syscall.MSG_PEEK)
+		if err == syscall.EAGAIN || err == syscall.EWOULDBLOCK {
+			return false
+		}
+		// Data (n>0), EOF (n==0, err==nil), or a real error: all are
+		// readiness — the worker's read will surface whichever it is.
+		_ = n
+		return true
+	})
+}
+
+func (p *fallbackPoller) Remove(tok Token) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	delete(p.regs, tok)
+	return nil
+}
+
+func (p *fallbackPoller) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	p.regs = make(map[Token]syscall.RawConn)
+	return nil
+}

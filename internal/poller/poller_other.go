@@ -1,0 +1,7 @@
+//go:build !linux
+
+package poller
+
+func newPlatform(onReady func(Token)) (Poller, error) {
+	return NewFallback(onReady)
+}

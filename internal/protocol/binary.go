@@ -189,8 +189,11 @@ func binOpName(op byte) string {
 	}
 }
 
-// dispatchBinary routes one parsed binary frame.
+// dispatchBinary routes one parsed binary frame. Affinity defaults to
+// shared (-1); the single-key arms note the key's shard once validated.
+// Quiet-get runs stay shared: they batch many keys across shards.
 func (c *Conn) dispatchBinary(req binHeader, extras, key, value []byte) error {
+	c.noteShared()
 	switch req.opcode {
 	case OpTxBegin:
 		return c.binTxBegin(req)
@@ -216,6 +219,7 @@ func (c *Conn) dispatchBinary(req binHeader, extras, key, value []byte) error {
 		if len(extras) != 0 {
 			return c.binError(req, StatusInvalidArgs, []byte("Get takes no extras"))
 		}
+		c.noteKey(key)
 		val, flags, cas, ok := c.worker.Get(key)
 		if !ok {
 			return c.binError(req, StatusKeyNotFound, []byte("Not found"))
@@ -234,6 +238,7 @@ func (c *Conn) dispatchBinary(req binHeader, extras, key, value []byte) error {
 		}
 		flags := binary.BigEndian.Uint32(extras[0:4])
 		exptime := absoluteExptime(c.worker, uint64(binary.BigEndian.Uint32(extras[4:8])))
+		c.noteKey(key)
 		var res engine.StoreResult
 		switch {
 		case req.cas != 0:
@@ -261,6 +266,7 @@ func (c *Conn) dispatchBinary(req binHeader, extras, key, value []byte) error {
 		}
 
 	case OpAppend, OpPrepend:
+		c.noteKey(key)
 		var res engine.StoreResult
 		if req.opcode == OpAppend {
 			res = c.worker.Append(key, value)
@@ -277,6 +283,7 @@ func (c *Conn) dispatchBinary(req binHeader, extras, key, value []byte) error {
 			return c.binError(req, StatusInvalidArgs, nil)
 		}
 		exptime := absoluteExptime(c.worker, uint64(binary.BigEndian.Uint32(extras[0:4])))
+		c.noteKey(key)
 		if req.opcode == OpTouch {
 			if c.worker.Touch(key, exptime) {
 				return c.binReply(req, StatusOK, nil, nil, nil, 0)
@@ -292,6 +299,7 @@ func (c *Conn) dispatchBinary(req binHeader, extras, key, value []byte) error {
 		return c.binReply(req, StatusOK, fx[:], nil, val, cas)
 
 	case OpDelete:
+		c.noteKey(key)
 		if c.worker.Delete(key) {
 			return c.binReply(req, StatusOK, nil, nil, nil, 0)
 		}
@@ -304,6 +312,7 @@ func (c *Conn) dispatchBinary(req binHeader, extras, key, value []byte) error {
 		delta := binary.BigEndian.Uint64(extras[0:8])
 		initial := binary.BigEndian.Uint64(extras[8:16])
 		expRaw := binary.BigEndian.Uint32(extras[16:20])
+		c.noteKey(key)
 		var v uint64
 		var res engine.DeltaResult
 		if req.opcode == OpIncrement {

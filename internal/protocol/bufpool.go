@@ -1,0 +1,91 @@
+package protocol
+
+import (
+	"bufio"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// connBufSize is the pooled per-connection read/write buffer size. It
+// matches the bufio default the classic transport has always used, so the
+// two transports frame identically; only the lifetime differs.
+const connBufSize = 4096
+
+// The pooled transport's buffer economy: a connection owns a reader/writer
+// pair only from the moment a worker picks it up to the moment it parks
+// back in the poller. The steady-state number of live pairs is therefore
+// bounded by the worker count, not the connection count — that is where the
+// event-loop transport's RSS win at 100k idle connections comes from.
+var (
+	readerPool = sync.Pool{New: func() any {
+		return bufio.NewReaderSize(nil, connBufSize)
+	}}
+	writerPool = sync.Pool{New: func() any {
+		return bufio.NewWriterSize(io.Discard, connBufSize)
+	}}
+
+	// bufInUse counts connections currently holding a buffer pair; it is
+	// exact, and the leak-guard contract is that it returns to zero when
+	// every connection is drained. bufIdle approximates the pairs parked in
+	// the pools: Put increments it, a pool-hit Get decrements it, and the GC
+	// emptying a pool leaves it high until the next Get cycle — it is a
+	// capacity hint, not an accounting identity.
+	bufInUse atomic.Int64
+	bufIdle  atomic.Int64
+)
+
+// BufferGauges reports the pooled-buffer gauges surfaced as
+// conn_buffers_inuse / conn_buffers_idle in `stats` and /debug/vars.
+func BufferGauges() (inuse, idle int64) {
+	return bufInUse.Load(), bufIdle.Load()
+}
+
+// AttachBuffers equips a pooled connection with a reader/writer pair from
+// the process-wide pools. No-op when buffers are already attached or the
+// connection is not pooled (NewConn buffers are permanent).
+func (c *Conn) AttachBuffers() {
+	if !c.pooled || c.r != nil {
+		return
+	}
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(c.fbr)
+	bw := writerPool.Get().(*bufio.Writer)
+	bw.Reset(c.transport)
+	c.r, c.w = br, bw
+	bufInUse.Add(1)
+	for {
+		n := bufIdle.Load()
+		if n <= 0 || bufIdle.CompareAndSwap(n, n-1) {
+			break
+		}
+	}
+}
+
+// ReleaseBuffers returns the connection's buffer pair to the pools. A
+// connection may only release when no request bytes are buffered and all
+// replies are flushed; with force false the call refuses (returns false)
+// otherwise. force true is the teardown path: pending bytes are abandoned
+// with the connection.
+func (c *Conn) ReleaseBuffers(force bool) bool {
+	if !c.pooled || c.r == nil {
+		return true
+	}
+	if !force && (c.r.Buffered() > 0 || c.w.Buffered() > 0) {
+		return false
+	}
+	c.r.Reset(eofReader{})
+	readerPool.Put(c.r)
+	c.w.Reset(io.Discard)
+	writerPool.Put(c.w)
+	c.r, c.w = nil, nil
+	bufInUse.Add(-1)
+	bufIdle.Add(1)
+	return true
+}
+
+// eofReader is what a pooled bufio.Reader points at between owners, so a
+// use-after-release bug reads EOF instead of another connection's stream.
+type eofReader struct{}
+
+func (eofReader) Read([]byte) (int, error) { return 0, io.EOF }

@@ -69,6 +69,19 @@ type Conn struct {
 	w      *bufio.Writer
 	bw     buffersWriter // non-nil when the transport supports gathered writes
 
+	// transport and fbr let pooled connections re-attach buffers: the bufio
+	// pair is Reset onto these on every AttachBuffers. Classic (NewConn)
+	// connections keep their buffers for life and never touch them.
+	transport io.ReadWriter
+	fbr       *flushBeforeRead
+	pooled    bool
+
+	// trackShard/affinity record which TM shard the last command routed to
+	// (-1 for multi-shard or shard-agnostic commands). The event-loop
+	// transport reads Affinity after each burst to pick the request queue.
+	trackShard bool
+	affinity   int
+
 	ctl      Control
 	connErrs *mcstats.ConnErrors
 
@@ -94,11 +107,30 @@ type Conn struct {
 // fills, or — for large multi-get responses on capable transports — as one
 // gathered writev-style write.
 func NewConn(worker *engine.Worker, rw io.ReadWriter) *Conn {
-	c := &Conn{worker: worker, w: bufio.NewWriter(rw)}
+	c := newConnBase(worker, rw)
+	c.w = bufio.NewWriter(rw)
+	c.r = bufio.NewReader(c.fbr)
+	return c
+}
+
+// NewConnPooled builds a connection whose read/write buffers come from a
+// process-wide sync.Pool and are attached only while the connection is being
+// served (AttachBuffers / ReleaseBuffers). Idle pooled connections hold zero
+// buffer bytes. The worker binding is also deferred: the event-loop
+// transport lends each connection its execution worker's engine handle via
+// SetWorker at the start of every burst.
+func NewConnPooled(rw io.ReadWriter) *Conn {
+	c := newConnBase(nil, rw)
+	c.pooled = true
+	return c
+}
+
+func newConnBase(worker *engine.Worker, rw io.ReadWriter) *Conn {
+	c := &Conn{worker: worker, transport: rw, affinity: -1}
 	if bw, ok := rw.(buffersWriter); ok {
 		c.bw = bw
 	}
-	c.r = bufio.NewReader(&flushBeforeRead{c: c, r: rw})
+	c.fbr = &flushBeforeRead{c: c, r: rw}
 	return c
 }
 
@@ -131,6 +163,54 @@ func (c *Conn) SetConnErrors(e *mcstats.ConnErrors) { c.connErrs = e }
 // request tracing for this connection).
 func (c *Conn) SetSpans(cs *txtrace.ConnSpans) { c.spans = cs }
 
+// SetWorker rebinds the connection to an engine worker. The event-loop
+// transport shares a small pool of workers across all connections (a worker
+// registers per-shard stat blocks for life, so one per connection would leak
+// at 100k conns) and lends one to the connection for each burst.
+func (c *Conn) SetWorker(w *engine.Worker) { c.worker = w }
+
+// SetShardTracking enables per-command shard-affinity recording (see
+// Affinity). Off by default; the single-shard transport never asks.
+func (c *Conn) SetShardTracking(on bool) {
+	c.trackShard = on
+	c.affinity = -1
+}
+
+// Affinity reports the TM shard the connection's last routing-decidable
+// command touched, or -1 when the last command was multi-shard (multi-key
+// get, flush_all, stats, wire transactions) or tracking is off. The
+// event-loop transport uses it to keep a connection on a shard-affine
+// worker queue.
+func (c *Conn) Affinity() int { return c.affinity }
+
+// noteKey records the shard of a single-key command for Affinity.
+func (c *Conn) noteKey(key []byte) {
+	if c.trackShard {
+		c.affinity = c.worker.ShardOf(key)
+	}
+}
+
+// noteShared marks the current command as not shard-routable.
+func (c *Conn) noteShared() {
+	if c.trackShard {
+		c.affinity = -1
+	}
+}
+
+// InputBuffered reports how many request bytes are already buffered in
+// userspace. The event-loop transport keeps serving while this is non-zero:
+// parking a connection with buffered input would deadlock it, because the
+// poller only sees kernel-level readiness.
+func (c *Conn) InputBuffered() int {
+	if c.r == nil {
+		return 0
+	}
+	return c.r.Buffered()
+}
+
+// Flush writes any buffered replies to the transport.
+func (c *Conn) Flush() error { return c.flushNow() }
+
 // Serve processes commands until EOF, quit, or a transport error. Any
 // buffered replies are flushed before it returns.
 func (c *Conn) Serve() error {
@@ -144,42 +224,48 @@ func (c *Conn) Serve() error {
 
 func (c *Conn) serveLoop() error {
 	for {
-		if c.ctl != nil {
-			if err := c.ctl.BeforeCommand(); err != nil {
-				return err
-			}
-		}
-		first, err := c.r.Peek(1)
-		if err != nil {
-			if errors.Is(err, io.EOF) {
-				return nil
-			}
-			return err
-		}
-		if c.ctl != nil {
-			c.ctl.CommandStarted()
-		}
-		if first[0] >= binMagicReq {
-			// Any high first byte is framed as binary; serveBinaryOne rejects
-			// wrong magic with a status reply rather than misparsing the
-			// frame as a text command line.
-			err = c.serveBinaryOne()
-		} else {
-			err = c.serveTextOne()
-		}
-		if c.ctl != nil {
-			c.ctl.CommandDone()
-		}
-		if err != nil {
-			if errors.Is(err, ErrQuit) {
-				return nil
-			}
-			if errors.Is(err, io.EOF) {
+		if err := c.ServeOne(); err != nil {
+			if errors.Is(err, ErrQuit) || errors.Is(err, io.EOF) {
 				return nil
 			}
 			return err
 		}
 	}
+}
+
+// ServeOne serves exactly one command, including the Control boundary hooks.
+// It returns io.EOF on clean peer close and ErrQuit on a quit command; the
+// caller owns mapping those to a clean shutdown. The event-loop transport
+// calls this in a burst while InputBuffered is non-zero, then parks the
+// connection back in the poller.
+func (c *Conn) ServeOne() error {
+	if c.pooled && c.r == nil {
+		c.AttachBuffers()
+	}
+	if c.ctl != nil {
+		if err := c.ctl.BeforeCommand(); err != nil {
+			return err
+		}
+	}
+	first, err := c.r.Peek(1)
+	if err != nil {
+		return err
+	}
+	if c.ctl != nil {
+		c.ctl.CommandStarted()
+	}
+	if first[0] >= binMagicReq {
+		// Any high first byte is framed as binary; serveBinaryOne rejects
+		// wrong magic with a status reply rather than misparsing the
+		// frame as a text command line.
+		err = c.serveBinaryOne()
+	} else {
+		err = c.serveTextOne()
+	}
+	if c.ctl != nil {
+		c.ctl.CommandDone()
+	}
+	return err
 }
 
 // serveTextOne handles a single text-protocol command line.
@@ -221,8 +307,11 @@ func (c *Conn) dispatchTextTimed(cmd string, args [][]byte) error {
 	return c.dispatchText(cmd, args)
 }
 
-// dispatchText routes one parsed text command.
+// dispatchText routes one parsed text command. Affinity defaults to shared
+// (-1) per command; the single-key handlers below overwrite it with the
+// key's shard once parsed.
 func (c *Conn) dispatchText(cmd string, args [][]byte) error {
+	c.noteShared()
 	switch cmd {
 	case "txbegin":
 		return c.cmdTxBegin(args)
@@ -334,6 +423,9 @@ func (c *Conn) cmdGet(args [][]byte, withCAS, touch bool) error {
 		}
 		return c.reply("END\r\n")
 	}
+	if len(args) == 1 {
+		c.noteKey(args[0])
+	}
 	// get k1 k2 ...: one batched read-only transaction per bounded key group
 	// (engine.MultiGetBatch) instead of one transaction per key, and one
 	// gathered response instead of one write per VALUE line.
@@ -426,6 +518,7 @@ func (c *Conn) cmdStore(cmd string, args [][]byte) error {
 	// Relative expiry (≤ 30 days, memcached convention) is converted here.
 	exptime = absoluteExptime(c.worker, exptime)
 
+	c.noteKey(key)
 	var res engine.StoreResult
 	switch cmd {
 	case "set":
@@ -451,6 +544,7 @@ func (c *Conn) cmdDelete(args [][]byte) error {
 	if len(args) < 1 {
 		return c.clientError("delete requires a key")
 	}
+	c.noteKey(args[0])
 	if c.worker.Delete(args[0]) {
 		return c.replyMaybe(args[1:], "DELETED\r\n")
 	}
@@ -465,6 +559,7 @@ func (c *Conn) cmdDelta(cmd string, args [][]byte) error {
 	if err != nil {
 		return c.clientError("invalid numeric delta argument")
 	}
+	c.noteKey(args[0])
 	var v uint64
 	var res engine.DeltaResult
 	if cmd == "incr" {
@@ -490,6 +585,7 @@ func (c *Conn) cmdTouch(args [][]byte) error {
 	if err != nil {
 		return c.clientError("invalid exptime argument")
 	}
+	c.noteKey(args[0])
 	if c.worker.Touch(args[0], absoluteExptime(c.worker, exptime)) {
 		return c.replyMaybe(args[2:], "TOUCHED\r\n")
 	}
@@ -545,6 +641,9 @@ func (c *Conn) cmdStats() error {
 		stat("conn_batched_replies", c.connErrs.BatchedReplies.Load())
 		stat("conn_writev_batches", c.connErrs.WritevBatches.Load())
 	}
+	inuse, idle := BufferGauges()
+	stat("conn_buffers_inuse", uint64(inuse))
+	stat("conn_buffers_idle", uint64(idle))
 	return c.reply("END\r\n")
 }
 
@@ -631,6 +730,7 @@ func (c *Conn) cmdStatsTMCtl() error {
 		fmt.Fprintf(c.w, "STAT shard_%d_abort_ratio %.3f\r\n", s.Shard, s.AbortRatio)
 		fmt.Fprintf(c.w, "STAT shard_%d_ro_share %.3f\r\n", s.Shard, s.ROShare)
 		fmt.Fprintf(c.w, "STAT shard_%d_calm_windows %d\r\n", s.Shard, s.CalmWins)
+		fmt.Fprintf(c.w, "STAT shard_%d_heal_backoff_shift %d\r\n", s.Shard, s.HealShift)
 		fmt.Fprintf(c.w, "STAT shard_%d_degrades %d\r\n", s.Shard, s.Degrades)
 		fmt.Fprintf(c.w, "STAT shard_%d_promotes %d\r\n", s.Shard, s.Promotes)
 		fmt.Fprintf(c.w, "STAT shard_%d_retunes %d\r\n", s.Shard, s.Retunes)
@@ -804,9 +904,11 @@ func (c *Conn) flushIfIdle() error {
 	return c.flushNow()
 }
 
-// flushNow writes any buffered replies to the transport.
+// flushNow writes any buffered replies to the transport. A pooled
+// connection with buffers released (parked or torn down) has nothing
+// buffered by definition.
 func (c *Conn) flushNow() error {
-	if c.w.Buffered() == 0 {
+	if c.w == nil || c.w.Buffered() == 0 {
 		return nil
 	}
 	if c.connErrs != nil {

@@ -28,6 +28,7 @@ import (
 	"strconv"
 
 	"repro/internal/engine"
+	"repro/internal/protocol"
 	"repro/internal/tmctl"
 	"repro/internal/txtrace"
 )
@@ -60,6 +61,9 @@ func NewDebugHandler(cache *engine.Cache) http.Handler {
 			ringDropped = o.RingDropped()
 		}
 		vars["ring_dropped"] = ringDropped
+		inuse, idle := protocol.BufferGauges()
+		vars["conn_buffers_inuse"] = inuse
+		vars["conn_buffers_idle"] = idle
 		if ctl := cache.Controller(); ctl != nil {
 			vars["tmctl"] = ctl.Snapshot()
 		}

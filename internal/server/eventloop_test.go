@@ -1,0 +1,387 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/poller"
+	"repro/internal/protocol"
+)
+
+// transports runs a subtest per event-loop poller implementation (the
+// platform one and, via the newPoller seam, the portable fallback), so the
+// whole transport is exercised over both on every platform.
+func transports(t *testing.T, body func(t *testing.T)) {
+	t.Run("platform", body)
+	t.Run("fallback", func(t *testing.T) {
+		old := newPoller
+		newPoller = poller.NewFallback
+		defer func() { newPoller = old }()
+		body(t)
+	})
+}
+
+func TestEventLoopServesText(t *testing.T) {
+	transports(t, func(t *testing.T) {
+		s := startServerConfig(t, engine.ITOnCommit, Config{EventLoop: true})
+		if !s.EventLoop() {
+			t.Fatal("EventLoop() = false on an event-loop server")
+		}
+		roundTrip(t, s.Addr(), "set k 0 0 5\r\nhello\r\n", "STORED")
+		roundTrip(t, s.Addr(), "version\r\n", "VERSION")
+
+		// Same connection, many sequential commands: the park/arm/burst cycle
+		// must hold up across command boundaries.
+		conn, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		r := bufio.NewReader(conn)
+		for i := 0; i < 50; i++ {
+			fmt.Fprintf(conn, "set ek%d 0 0 2\r\nvv\r\n", i)
+			if line, _ := r.ReadString('\n'); line != "STORED\r\n" {
+				t.Fatalf("set %d: %q", i, line)
+			}
+			fmt.Fprintf(conn, "get ek%d\r\n", i)
+			if line, _ := r.ReadString('\n'); !strings.HasPrefix(line, "VALUE") {
+				t.Fatalf("get %d: %q", i, line)
+			}
+			r.ReadString('\n')
+			r.ReadString('\n')
+		}
+	})
+}
+
+func TestEventLoopPipelinedBurst(t *testing.T) {
+	transports(t, func(t *testing.T) {
+		s := startServerConfig(t, engine.ITOnCommit, Config{EventLoop: true, Workers: 2})
+		conn, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		// One write carrying many commands: the whole pipeline must be served
+		// as a burst (parking mid-pipeline with buffered input would hang).
+		var b strings.Builder
+		const n = 64
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&b, "set pk%d 0 0 3\r\nabc\r\n", i)
+		}
+		if _, err := conn.Write([]byte(b.String())); err != nil {
+			t.Fatal(err)
+		}
+		r := bufio.NewReader(conn)
+		for i := 0; i < n; i++ {
+			line, err := r.ReadString('\n')
+			if err != nil || line != "STORED\r\n" {
+				t.Fatalf("pipelined reply %d: %q %v", i, line, err)
+			}
+		}
+	})
+}
+
+func TestEventLoopShardedConcurrentClients(t *testing.T) {
+	c := engine.New(engine.Config{Branch: engine.ITOnCommit, HashPower: 8, Shards: 4})
+	c.Start()
+	s, err := ListenConfig(c, Config{Addr: "127.0.0.1:0", EventLoop: true, Workers: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		s.Close()
+		c.Stop()
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", s.Addr())
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			for op := 0; op < 40; op++ {
+				key := fmt.Sprintf("sk-%d-%d", i, op)
+				fmt.Fprintf(conn, "set %s 0 0 2\r\nvv\r\n", key)
+				if line, err := r.ReadString('\n'); err != nil || line != "STORED\r\n" {
+					t.Errorf("set: %q %v", line, err)
+					return
+				}
+				fmt.Fprintf(conn, "get %s\r\n", key)
+				if line, err := r.ReadString('\n'); err != nil || !strings.HasPrefix(line, "VALUE") {
+					t.Errorf("get: %q %v", line, err)
+					return
+				}
+				r.ReadString('\n')
+				r.ReadString('\n')
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestEventLoopGracefulDrainFinishesInFlightCommand(t *testing.T) {
+	transports(t, func(t *testing.T) {
+		s := startServerConfig(t, engine.ITOnCommit, Config{EventLoop: true, DrainTimeout: 5 * time.Second})
+
+		conn, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+
+		// Command header without its data block: a worker is now parked inside
+		// the command when Close begins.
+		fmt.Fprintf(conn, "set drained 0 0 5\r\nhel")
+		time.Sleep(100 * time.Millisecond)
+
+		closed := make(chan error, 1)
+		go func() { closed <- s.Close() }()
+
+		time.Sleep(50 * time.Millisecond)
+		fmt.Fprintf(conn, "lo\r\n")
+		line, err := bufio.NewReader(conn).ReadString('\n')
+		if err != nil || line != "STORED\r\n" {
+			t.Fatalf("in-flight command not drained: %q %v", line, err)
+		}
+		if err := <-closed; err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	})
+}
+
+func TestEventLoopIdleConnectionsReaped(t *testing.T) {
+	transports(t, func(t *testing.T) {
+		s := startServerConfig(t, engine.ITOnCommit, Config{EventLoop: true, IdleTimeout: 100 * time.Millisecond})
+		conn, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		fmt.Fprintf(conn, "version\r\n")
+		r := bufio.NewReader(conn)
+		if _, err := r.ReadString('\n'); err != nil {
+			t.Fatalf("first command: %v", err)
+		}
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := r.ReadString('\n'); err == nil {
+			t.Fatal("idle connection not reaped")
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if s.ConnErrors().Timeout.Load() == 1 {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("conn_errors_timeout = %d, want 1", s.ConnErrors().Timeout.Load())
+	})
+}
+
+func TestEventLoopMaxConnsBackpressure(t *testing.T) {
+	s := startServerConfig(t, engine.ITOnCommit, Config{EventLoop: true, MaxConns: 2})
+	var held []net.Conn
+	for i := 0; i < 2; i++ {
+		conn, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		fmt.Fprintf(conn, "version\r\n")
+		if _, err := bufio.NewReader(conn).ReadString('\n'); err != nil {
+			t.Fatalf("held conn %d not served: %v", i, err)
+		}
+		held = append(held, conn)
+	}
+	extra, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer extra.Close()
+	fmt.Fprintf(extra, "version\r\n")
+	extra.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	if _, err := bufio.NewReader(extra).ReadString('\n'); err == nil {
+		t.Fatal("third connection served while both slots were held")
+	}
+	held[0].Close()
+	extra.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := bufio.NewReader(extra).ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "VERSION") {
+		t.Fatalf("queued connection not served after slot freed: %q %v", line, err)
+	}
+}
+
+// TestEventLoopWireTxImplicitAbortOnDisconnect proves the wire-transaction
+// contract survives the transport refactor: a connection that dies
+// mid-transaction — including mid-request, with a command header already
+// parsed — leaves no trace in the cache.
+func TestEventLoopWireTxImplicitAbortOnDisconnect(t *testing.T) {
+	transports(t, func(t *testing.T) {
+		s := startServerConfig(t, engine.ITMax, Config{EventLoop: true})
+
+		conn, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := bufio.NewReader(conn)
+		fmt.Fprintf(conn, "txbegin\r\n")
+		if line, _ := r.ReadString('\n'); line != "STARTED\r\n" {
+			t.Fatalf("txbegin: %q", line)
+		}
+		fmt.Fprintf(conn, "set ghost 0 0 5\r\nhello\r\n")
+		if line, _ := r.ReadString('\n'); line != "QUEUED\r\n" {
+			t.Fatalf("queued set: %q", line)
+		}
+		// Drop mid-request: a new command's header, no data block, then RST.
+		fmt.Fprintf(conn, "set ghost2 0 0 5\r\nhe")
+		conn.Close()
+
+		// The queued mutation must never apply — the transaction was
+		// connection-local and the disconnect is its implicit abort — and the
+		// server must stay healthy for other clients.
+		time.Sleep(100 * time.Millisecond)
+		roundTrip(t, s.Addr(), "get ghost\r\n", "END")
+		roundTrip(t, s.Addr(), "set alive 0 0 2\r\nok\r\n", "STORED")
+	})
+}
+
+// TestEventLoopBufferPoolLeakGuard drains every connection and asserts the
+// in-use buffer gauge returns to its baseline: no burst path may leak a
+// pooled buffer pair, and parked connections must hold none.
+func TestEventLoopBufferPoolLeakGuard(t *testing.T) {
+	s := startServerConfig(t, engine.ITOnCommit, Config{EventLoop: true})
+	base, _ := protocol.BufferGauges()
+
+	const conns = 20
+	var cs []net.Conn
+	for i := 0; i < conns; i++ {
+		conn, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs = append(cs, conn)
+		r := bufio.NewReader(conn)
+		fmt.Fprintf(conn, "set lk%d 0 0 2\r\nvv\r\n", i)
+		if line, _ := r.ReadString('\n'); line != "STORED\r\n" {
+			t.Fatalf("set: %q", line)
+		}
+	}
+	// All connections are parked now (replies read ⇒ bursts over): parked
+	// connections hold zero buffers.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if inuse, _ := protocol.BufferGauges(); inuse == base {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if inuse, _ := protocol.BufferGauges(); inuse != base {
+		t.Fatalf("parked conns hold %d buffer pairs, want %d", inuse, base)
+	}
+
+	for _, c := range cs {
+		c.Close()
+	}
+	for time.Now().Before(deadline) {
+		if inuse, _ := protocol.BufferGauges(); inuse == base {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if inuse, _ := protocol.BufferGauges(); inuse != base {
+		t.Fatalf("conn_buffers_inuse = %d after drain, want %d", inuse, base)
+	}
+
+	// The stats surface must report the gauges.
+	resp := statsBlock(t, s.Addr())
+	if !strings.Contains(resp, "STAT conn_buffers_inuse ") ||
+		!strings.Contains(resp, "STAT conn_buffers_idle ") {
+		t.Fatalf("stats missing buffer gauges:\n%s", resp)
+	}
+}
+
+// statsBlock fetches a full `stats` response.
+func statsBlock(t *testing.T, addr string) string {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "stats\r\n")
+	r := bufio.NewReader(conn)
+	var b strings.Builder
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stats read: %v", err)
+		}
+		b.WriteString(line)
+		if line == "END\r\n" {
+			return b.String()
+		}
+	}
+}
+
+// TestEventLoopAcceptStormConcurrentClose is the -race smoke for the
+// transport: dialing clients, some sending, some slamming the door, while
+// Close races the storm. No leaks, no hangs, no race reports.
+func TestEventLoopAcceptStormConcurrentClose(t *testing.T) {
+	transports(t, func(t *testing.T) {
+		for round := 0; round < 10; round++ {
+			c := engine.New(engine.Config{Branch: engine.ITOnCommit, HashPower: 8})
+			c.Start()
+			s, err := ListenConfig(c, Config{Addr: "127.0.0.1:0", EventLoop: true, Workers: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for d := 0; d < 8; d++ {
+				d := d
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					conn, err := net.Dial("tcp", s.Addr())
+					if err != nil {
+						return
+					}
+					switch d % 3 {
+					case 0:
+						conn.Close() // immediate hangup
+					case 1:
+						fmt.Fprintf(conn, "set storm%d 0 0 2\r\nvv\r\n", d)
+						conn.Close() // hangup with reply possibly in flight
+					default:
+						fmt.Fprintf(conn, "version\r\n")
+						conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+						bufio.NewReader(conn).ReadString('\n')
+						conn.Close()
+					}
+				}()
+			}
+			done := make(chan struct{})
+			go func() {
+				s.Close()
+				close(done)
+			}()
+			wg.Wait()
+			select {
+			case <-done:
+			case <-time.After(15 * time.Second):
+				t.Fatal("Close hung during accept storm")
+			}
+			c.Stop()
+		}
+	})
+}

@@ -48,11 +48,26 @@ type Config struct {
 	// Fault, when non-nil, injects connection-level faults (drops, short
 	// reads/writes, slow trickling) into every connection's transport.
 	Fault *fault.Injector
+	// EventLoop selects the event-driven transport: idle sockets are parked
+	// in internal/poller (epoll on linux) holding zero buffer bytes and no
+	// goroutine, and ready connections are served in bursts by a bounded
+	// worker pool fed by shard-affine queues. False = the classic
+	// goroutine-per-connection transport.
+	EventLoop bool
+	// Workers bounds the event-loop execution tier (0 = NumShards+2,
+	// capped at 32). Ignored by the classic transport.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
 	if c.DrainTimeout == 0 {
 		c.DrainTimeout = 5 * time.Second
+	}
+	if c.EventLoop && c.ReadTimeout == 0 {
+		// A worker is lent to a connection for the duration of a command; an
+		// unbounded mid-command read would let one trickling client starve
+		// the pool, so the event-loop transport always bounds it.
+		c.ReadTimeout = 30 * time.Second
 	}
 	return c
 }
@@ -74,6 +89,10 @@ type Server struct {
 	draining atomic.Bool
 
 	connSeq atomic.Uint64 // connection ids for request-span attribution
+
+	// ev is the event-loop transport state; nil when cfg.EventLoop is off
+	// (classic goroutine-per-connection serving).
+	ev *evLoop
 
 	wg sync.WaitGroup
 }
@@ -101,10 +120,21 @@ func ListenConfig(cache *engine.Cache, cfg Config) (*Server, error) {
 	if cfg.MaxConns > 0 {
 		s.sem = make(chan struct{}, cfg.MaxConns)
 	}
+	if cfg.EventLoop {
+		ev, err := newEvLoop(s)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		s.ev = ev
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
 }
+
+// EventLoop reports whether the event-driven transport is active.
+func (s *Server) EventLoop() bool { return s.ev != nil }
 
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
@@ -132,7 +162,7 @@ func (s *Server) acceptLoop() {
 			}
 			return // listener closed
 		}
-		sc := &servConn{Conn: conn, srv: s}
+		sc := &servConn{Conn: conn, srv: s, ev: s.ev != nil}
 		s.mu.Lock()
 		if s.closed {
 			// Accepted concurrently with Close after its sweep: tear down
@@ -151,7 +181,11 @@ func (s *Server) acceptLoop() {
 		s.conns[sc] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
-		go s.handle(sc)
+		if s.ev != nil {
+			s.ev.adopt(sc)
+		} else {
+			go s.handle(sc)
+		}
 	}
 }
 
@@ -215,12 +249,17 @@ func (s *Server) Close() error {
 	for sc := range s.conns {
 		if sc.busy.Load() {
 			sc.Conn.SetDeadline(now.Add(s.cfg.DrainTimeout))
-		} else {
-			// Wake the blocked read-next-command immediately.
+		} else if s.ev == nil {
+			// Wake the blocked read-next-command immediately. Event-loop
+			// connections have no blocked read to wake; the transport sweeps
+			// its parked connections in shutdown below.
 			sc.Conn.SetDeadline(now)
 		}
 	}
 	s.mu.Unlock()
+	if s.ev != nil {
+		s.ev.shutdown()
+	}
 	s.wg.Wait()
 	return err
 }
@@ -234,14 +273,24 @@ var errDraining = errors.New("server: draining")
 type servConn struct {
 	net.Conn
 	srv  *Server
+	ev   bool        // served by the event-loop transport
 	busy atomic.Bool // inside a command (between CommandStarted and CommandDone)
 }
 
 // BeforeCommand refuses new commands while draining, and otherwise arms the
-// idle deadline the next-command read blocks under.
+// idle deadline the next-command read blocks under. Event-loop connections
+// never block waiting for the next command (the poller owns idle time and a
+// reaper enforces IdleTimeout), so they arm the ReadTimeout instead — it
+// bounds the burst's reads even if the readiness event was a bare RDHUP.
 func (sc *servConn) BeforeCommand() error {
 	if sc.srv.draining.Load() {
 		return errDraining
+	}
+	if sc.ev {
+		if t := sc.srv.cfg.ReadTimeout; t > 0 {
+			sc.Conn.SetReadDeadline(time.Now().Add(t))
+		}
+		return nil
 	}
 	if t := sc.srv.cfg.IdleTimeout; t > 0 {
 		sc.Conn.SetReadDeadline(time.Now().Add(t))

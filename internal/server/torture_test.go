@@ -34,3 +34,47 @@ func TestTortureNetwork(t *testing.T) {
 		})
 	}
 }
+
+// TestTortureNetworkEventLoop reruns the end-to-end chaos schedule over the
+// event-driven transport: same fault triad, same invariants, but every
+// connection rides the epoll front end and the shard-affine worker pool.
+func TestTortureNetworkEventLoop(t *testing.T) {
+	for _, b := range []engine.Branch{engine.Semaphore, engine.IPOnCommit} {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range []uint64{7, 0xFACADE} {
+				rep := torture.RunNetwork(torture.Config{
+					Branch:    b,
+					Seed:      seed,
+					Short:     *tortureShort,
+					EventLoop: true,
+				})
+				if rep.Failed() {
+					t.Errorf("%s", rep)
+				} else {
+					t.Logf("%s", rep)
+				}
+			}
+		})
+	}
+}
+
+// TestTortureNetworkEventLoopSharded drives the sharded cache through the
+// event-loop transport. The run enables tracing and fails on any
+// cross-shard orec conflict: the worker pool's affinity routing must never
+// let two TM domains meet on one ownership record.
+func TestTortureNetworkEventLoopSharded(t *testing.T) {
+	rep := torture.RunNetwork(torture.Config{
+		Branch:    engine.ITOnCommit,
+		Seed:      11,
+		Shards:    4,
+		Short:     *tortureShort,
+		EventLoop: true,
+	})
+	if rep.Failed() {
+		t.Errorf("%s", rep)
+	} else {
+		t.Logf("%s", rep)
+	}
+}

@@ -85,6 +85,15 @@ type Policy struct {
 	HealAbortRatio float64
 	// HealWindows consecutive calm windows promote the shard one rung.
 	HealWindows int
+	// HealBackoffMax caps the heal-probe escalation. Every promotion is a
+	// probe: if the shard degrades again before surviving HealWindows calm
+	// windows at the higher rung, the heal was premature and the next one
+	// demands HealWindows << shift calm windows, with shift growing by one
+	// per failed probe up to this cap. A probe that survives resets the
+	// shift to zero. This keeps a shard with genuinely bursty contention
+	// from ping-ponging across rungs at the dwell frequency while still
+	// letting a genuinely calmed shard heal on the first try.
+	HealBackoffMax int
 	// MinDwell is the minimum time between mode swaps on one shard, in
 	// either direction — the hysteresis floor that prevents oscillation.
 	MinDwell time.Duration
@@ -121,6 +130,7 @@ func DefaultPolicy() Policy {
 		DegradeSerialFrac:   0.25,
 		HealAbortRatio:      0.1,
 		HealWindows:         3,
+		HealBackoffMax:      4,
 		MinDwell:            5 * time.Second,
 		MinSamples:          32,
 		ROReadBias:          0.75,
@@ -146,6 +156,9 @@ func (p Policy) withDefaults() Policy {
 	}
 	if p.HealWindows <= 0 {
 		p.HealWindows = d.HealWindows
+	}
+	if p.HealBackoffMax <= 0 {
+		p.HealBackoffMax = d.HealBackoffMax
 	}
 	if p.MinDwell <= 0 {
 		p.MinDwell = d.MinDwell
@@ -174,6 +187,13 @@ type shardCtl struct {
 	pinned   bool // manual override holds the mode; auto transitions paused
 	lastSwap time.Time
 	calm     int // consecutive calm windows toward healing
+
+	// Heal-probe escalation: probing is set by every promotion and cleared
+	// when the shard survives HealWindows calm windows at the new rung (the
+	// probe succeeded) or degrades again (it failed). healShift widens the
+	// calm requirement of the NEXT heal exponentially after each failure.
+	probing   bool
+	healShift int
 
 	prev     stm.Snapshot
 	havePrev bool
@@ -350,19 +370,35 @@ func (c *Controller) tickShard(s *shardCtl, now time.Time, anomalous bool) {
 		s.calm = 0
 	}
 
+	// A promotion is a heal probe until it has survived HealWindows calm
+	// windows at the new rung; surviving pays back the whole escalation.
+	if s.probing && s.calm >= c.policy.HealWindows {
+		s.probing = false
+		s.healShift = 0
+	}
+
 	if now.Sub(s.lastSwap) < c.policy.MinDwell {
 		return
 	}
 
 	switch {
 	case stormy && s.mode < ModeSerial:
+		if s.probing {
+			// The storm returned before the probe could be confirmed: the
+			// heal failed. Demand exponentially more calm before retrying.
+			s.probing = false
+			if s.healShift < c.policy.HealBackoffMax {
+				s.healShift++
+			}
+		}
 		c.apply(s, s.mode+1, now)
 		s.degrades++
 		s.calm = 0
-	case s.mode > ModeNormal && s.calm >= c.policy.HealWindows:
+	case s.mode > ModeNormal && s.calm >= c.policy.HealWindows<<s.healShift:
 		c.apply(s, s.mode-1, now)
 		s.promotes++
 		s.calm = 0
+		s.probing = true
 	case s.mode == ModeNormal && evidence && c.policy.ROReadBias > 0:
 		// Within Normal: retune orec shards toward the workload. Only
 		// mlwt<->lazy moves; other base algorithms are left alone.
@@ -431,6 +467,10 @@ func (c *Controller) Override(shard int, mode Mode, pin bool) error {
 	}
 	s.pinned = pin
 	s.calm = 0
+	// An operator override is a statement about the shard the controller's
+	// probe history no longer reflects: start the heal ladder fresh.
+	s.probing = false
+	s.healShift = 0
 	return nil
 }
 
@@ -469,6 +509,8 @@ type ShardStatus struct {
 	AbortRatio float64 `json:"abort_ratio"` // last completed window
 	ROShare    float64 `json:"ro_share"`    // last completed window
 	CalmWins   int     `json:"calm_windows"`
+	HealShift  int     `json:"heal_backoff_shift"` // failed-probe escalation level
+	Probing    bool    `json:"heal_probing"`       // last promotion not yet confirmed
 	Degrades   uint64  `json:"degrades"`
 	Promotes   uint64  `json:"promotes"`
 	Retunes    uint64  `json:"retunes"`
@@ -498,6 +540,8 @@ func (c *Controller) Snapshot() Status {
 			AbortRatio: s.lastAbortRatio,
 			ROShare:    s.lastROShare,
 			CalmWins:   s.calm,
+			HealShift:  s.healShift,
+			Probing:    s.probing,
 			Degrades:   s.degrades,
 			Promotes:   s.promotes,
 			Retunes:    s.retunes,

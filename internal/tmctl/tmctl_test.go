@@ -280,3 +280,149 @@ func TestStatsResetMidFlight(t *testing.T) {
 		t.Fatalf("controller degraded on a stats-reset artifact (mode %v)", got)
 	}
 }
+
+// TestHealProbeEscalation: every promotion is a probe. A probe that fails —
+// the shard degrades again before surviving HealWindows calm windows at the
+// new rung — doubles the calm streak the next heal demands; a probe that
+// survives resets the requirement to the baseline. The whole timeline runs
+// on the injected clock, one window per tick.
+func TestHealProbeEscalation(t *testing.T) {
+	p := Policy{
+		Interval:          100 * time.Millisecond,
+		DegradeAbortRatio: 0.5,
+		HealAbortRatio:    0.1,
+		HealWindows:       2,
+		HealBackoffMax:    3,
+		MinDwell:          300 * time.Millisecond,
+		MinSamples:        10,
+		ROReadBias:        -1, // no retune noise in this test
+	}
+	c, f := newTestController(p)
+	s := c.shards[0]
+
+	tick := func(commits, aborts uint64) {
+		f.window(commits, aborts)
+		f.now = f.now.Add(100 * time.Millisecond)
+		c.Tick()
+	}
+	storm := func() { tick(10, 90) }
+	calm := func() { tick(100, 0) }
+	// calmUntilPromote returns how many calm windows the promotion took.
+	calmUntilPromote := func(limit int) int {
+		before := s.promotes
+		for i := 1; i <= limit; i++ {
+			calm()
+			if s.promotes > before {
+				return i
+			}
+		}
+		t.Fatalf("no promotion within %d calm windows (mode %v, shift %d)",
+			limit, s.mode, s.healShift)
+		return 0
+	}
+	// failProbe storms until the shard degrades again (dwell-gated).
+	failProbe := func() {
+		before := s.degrades
+		for i := 0; i < 10 && s.degrades == before; i++ {
+			storm()
+		}
+		if s.degrades == before {
+			t.Fatal("storm did not degrade the shard")
+		}
+	}
+
+	storm() // Normal -> TML (first dwell clock starts far in the past)
+	if s.mode != ModeTML {
+		t.Fatalf("mode %v after first storm, want tml", s.mode)
+	}
+
+	// First heal: baseline requirement. Dwell is 3 windows and HealWindows
+	// is 2, so the promotion lands on the first post-dwell calm window.
+	if n := calmUntilPromote(10); n != 3 {
+		t.Fatalf("first heal took %d calm windows, want 3 (dwell-bounded)", n)
+	}
+	if !s.probing || s.healShift != 0 {
+		t.Fatalf("after promote: probing=%v shift=%d, want probing shift 0", s.probing, s.healShift)
+	}
+
+	// The probe fails: storm returns before 2 calm windows pass.
+	failProbe()
+	if s.probing || s.healShift != 1 {
+		t.Fatalf("after failed probe: probing=%v shift=%d, want !probing shift 1", s.probing, s.healShift)
+	}
+
+	// Second heal now demands 2<<1 = 4 calm windows (dwell only covers 3).
+	if n := calmUntilPromote(10); n != 4 {
+		t.Fatalf("post-failure heal took %d calm windows, want 4", n)
+	}
+
+	// Fail again: shift escalates to 2, heal demands 8 windows.
+	failProbe()
+	if s.healShift != 2 {
+		t.Fatalf("second failed probe: shift %d, want 2", s.healShift)
+	}
+	if n := calmUntilPromote(20); n != 8 {
+		t.Fatalf("heal after two failures took %d calm windows, want 8", n)
+	}
+
+	// This probe survives: 2 calm windows at the higher rung confirm the
+	// heal and pay back the escalation entirely.
+	calm()
+	calm()
+	if s.probing || s.healShift != 0 {
+		t.Fatalf("surviving probe: probing=%v shift=%d, want confirmed shift 0", s.probing, s.healShift)
+	}
+	st := c.Snapshot().Shards[0]
+	if st.HealShift != 0 || st.Probing {
+		t.Fatalf("status heal_backoff_shift=%d heal_probing=%v, want 0/false", st.HealShift, st.Probing)
+	}
+
+	// And the next heal cycle is back to the baseline requirement.
+	failProbe() // degrade (not probing: shift must stay 0)
+	if s.healShift != 0 {
+		t.Fatalf("degrade outside a probe moved shift to %d", s.healShift)
+	}
+	if n := calmUntilPromote(10); n != 3 {
+		t.Fatalf("post-confirmation heal took %d calm windows, want 3 again", n)
+	}
+}
+
+// TestHealProbeEscalationCap: the shift never exceeds HealBackoffMax no
+// matter how many probes fail.
+func TestHealProbeEscalationCap(t *testing.T) {
+	p := Policy{
+		Interval:          100 * time.Millisecond,
+		DegradeAbortRatio: 0.5,
+		HealAbortRatio:    0.1,
+		HealWindows:       1,
+		HealBackoffMax:    1,
+		MinDwell:          100 * time.Millisecond,
+		MinSamples:        10,
+		ROReadBias:        -1,
+	}
+	c, f := newTestController(p)
+	s := c.shards[0]
+	tick := func(commits, aborts uint64) {
+		f.window(commits, aborts)
+		f.now = f.now.Add(200 * time.Millisecond) // every tick clears dwell
+		c.Tick()
+	}
+
+	tick(10, 90) // Normal -> TML
+	for round := 0; round < 4; round++ {
+		// Heal (1<<shift calm windows at most 2 here), then fail the probe.
+		for i := 0; i < 4 && s.mode != ModeNormal; i++ {
+			tick(100, 0)
+		}
+		if s.mode != ModeNormal {
+			t.Fatalf("round %d: heal never fired (shift %d)", round, s.healShift)
+		}
+		tick(10, 90) // probe fails immediately
+		if s.healShift > p.HealBackoffMax {
+			t.Fatalf("round %d: shift %d exceeds cap %d", round, s.healShift, p.HealBackoffMax)
+		}
+	}
+	if s.healShift != 1 {
+		t.Fatalf("final shift %d, want capped at 1", s.healShift)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/server"
+	"repro/internal/txobs"
 )
 
 // RunNetwork is the end-to-end variant of Run: the same two chaos phases,
@@ -51,6 +52,13 @@ func RunNetwork(cfg Config) *Report {
 	})
 	cache.Start()
 
+	// Sharded runs watch for domain bleed: an orec conflict between two
+	// shards would mean the transport's affinity routing broke isolation.
+	var obs *txobs.Observer
+	if cfg.Shards > 1 {
+		obs = cache.EnableTracing()
+	}
+
 	srv, err := server.ListenConfig(cache, server.Config{
 		Addr:         "127.0.0.1:0",
 		MaxConns:     cfg.Workers + 2,
@@ -59,6 +67,7 @@ func RunNetwork(cfg Config) *Report {
 		WriteTimeout: 2 * time.Second,
 		DrainTimeout: 5 * time.Second,
 		Fault:        in,
+		EventLoop:    cfg.EventLoop,
 	})
 	if err != nil {
 		rep.violatef("listen: %v", err)
@@ -120,6 +129,11 @@ func RunNetwork(cfg Config) *Report {
 	// Graceful drain: Close must return cleanly with no handler leaked.
 	if err := srv.Close(); err != nil {
 		rep.violatef("graceful drain: Close = %v", err)
+	}
+	if obs != nil {
+		if n := obs.CrossShardOrecConflicts(); n != 0 {
+			rep.violatef("cross_shard_orec_conflicts = %d, want 0: shard domains shared an orec", n)
+		}
 	}
 	cache.Stop()
 	if err := cache.ValidateQuiescent(); err != nil {

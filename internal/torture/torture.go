@@ -59,6 +59,11 @@ type Config struct {
 	// have nothing to swap; the flapper is skipped and ModeSwaps stays 0).
 	ModeFlaps int
 
+	// EventLoop runs the network phases over the event-driven transport
+	// (epoll front end + shard-affine worker pool) instead of goroutine per
+	// connection. Only RunNetwork/RunNetworkTxn consult it.
+	EventLoop bool
+
 	// Short shrinks the run for -race smoke tests (-torture.short).
 	Short bool
 }
