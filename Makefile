@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test check batch-race shard-race trace-race txn-race event-race torture-smoke torture profile bench-smoke bench-shards bench-trace-overhead bench-tmctl bench-txn bench-conns
+.PHONY: all build vet lint test check batch-race shard-race trace-race txn-race event-race fingerprint-race torture-smoke torture profile bench-smoke bench-shards bench-trace-overhead bench-tmctl bench-txn bench-conns bench-fingerprint-overhead
 
 all: check
 
@@ -27,7 +27,7 @@ test:
 # clean, passes its tests, survives shrunken fault schedules under the race
 # detector, and keeps the batched multi-get pipeline and the request-tracing
 # layer race-clean.
-check: build lint test batch-race shard-race trace-race txn-race event-race torture-smoke
+check: build lint test batch-race shard-race trace-race txn-race event-race fingerprint-race torture-smoke
 
 # batch-race runs the multi-get / read-only fast-path tests under the race
 # detector: batch snapshot isolation against concurrent writers, the quiet-get
@@ -66,6 +66,15 @@ txn-race:
 event-race:
 	$(GO) test -race -count=1 ./internal/poller
 	$(GO) test -race -count=1 -run 'EventLoop|HealProbe|BufferPool' ./internal/server ./internal/tmctl
+
+# fingerprint-race runs the workload-fingerprinting stack under the race
+# detector: the sketch/histogram/recorder concurrency suite, the engine
+# enable/disable/reset races (including the raced exactly-once reset), the
+# poller counter-parity check, the protocol stats surfaces with concurrent
+# `stats reset`, the tmctl hot-key gate, and the mctop live-server snapshot.
+fingerprint-race:
+	$(GO) test -race -count=1 ./internal/fingerprint ./internal/mctop
+	$(GO) test -race -count=1 -run 'Fingerprint|HotKeyGate|PollerCounter|StatsResetRaced|StatsFingerprint|OverflowSpill' ./internal/engine ./internal/tmctl ./internal/poller ./internal/server
 
 # torture-smoke runs the seeded fault-injection harness in its shrunken
 # (-torture.short) form. The flag is registered per test package, so only the
@@ -116,6 +125,14 @@ bench-txn:
 # BENCH_conns.json. Rungs over RLIMIT_NOFILE are recorded as skipped.
 bench-conns:
 	$(GO) run ./cmd/mcbench -conns -conns-points 1000,10000,100000 -conns-active 64 -conns-active-ops 1500 -conns-out BENCH_conns.json
+
+# bench-fingerprint-overhead measures the workload-fingerprinting cost
+# contract: never-enabled vs a repeat run (the measurement floor) vs
+# off-after-enable (must sit inside the floor, ≤ 2%) vs sampling live,
+# trials interleaved round-robin so process drift cancels, written to
+# BENCH_fingerprint_overhead.json.
+bench-fingerprint-overhead:
+	$(GO) run ./cmd/mcbench -fingerprint-overhead -ops 40000 -threads 4 -fingerprint-trials 11 -fingerprint-out BENCH_fingerprint_overhead.json
 
 # profile runs a short mcbench with transaction observability on and prints
 # the serialization causes, conflict heat map, and latency summary.

@@ -42,6 +42,9 @@ func main() {
 		traceOver  = flag.Bool("trace-overhead", false, "measure request-tracing overhead (baseline vs disabled vs sampled vs full) through the text protocol and write -trace-out")
 		traceOut   = flag.String("trace-out", "BENCH_trace_overhead.json", "output file for -trace-overhead")
 		traceTrial = flag.Int("trace-trials", 3, "trials per tracing configuration (median reported)")
+		fpOver     = flag.Bool("fingerprint-overhead", false, "measure workload-fingerprinting overhead (disabled vs off-after-enable vs enabled, with a repeat run bounding the measurement floor) and write -fingerprint-out")
+		fpOut      = flag.String("fingerprint-out", "BENCH_fingerprint_overhead.json", "output file for -fingerprint-overhead")
+		fpTrials   = flag.Int("fingerprint-trials", 3, "trials per fingerprinting configuration (median reported)")
 		tmctlStorm = flag.Bool("tmctl-storm", false, "inject a single-hot-key contention storm against the feedback controller and write -tmctl-out")
 		tmctlOut   = flag.String("tmctl-out", "BENCH_tmctl.json", "output file for -tmctl-storm")
 		tmctlSeed  = flag.Uint64("tmctl-seed", 1, "fault-injector seed for -tmctl-storm")
@@ -201,6 +204,27 @@ func main() {
 				p.Config, p.OpsPerSec, p.DeltaPct)
 		}
 		fmt.Printf("wrote %s\n", *traceOut)
+	}
+	if *fpOver {
+		ran = true
+		b, err := engine.ParseBranch(*roBranch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := bench.RunFingerprintOverhead(b, ths[len(ths)-1], *fpTrials, o)
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(*fpOut, out, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range res.Points {
+			fmt.Printf("fingerprint=%-17s %10.0f ops/s  delta vs disabled %+.2f%%\n",
+				p.Config, p.OpsPerSec, p.DeltaPct)
+		}
+		fmt.Printf("measurement floor %.2f%%; wrote %s\n", res.FloorPct, *fpOut)
 	}
 	if *tmctlStorm {
 		ran = true

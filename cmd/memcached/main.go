@@ -44,6 +44,7 @@ func main() {
 		ctlDwell  = flag.Duration("tmctl-dwell", 0, "controller minimum dwell time between mode swaps on one shard (0 = default 5s)")
 		eventLoop = flag.Bool("event-loop", runtime.GOOS == "linux", "event-driven transport: epoll parks idle connections, a bounded shard-affine worker pool serves ready ones (default on linux; off = goroutine per connection)")
 		workers   = flag.Int("workers", 0, "event-loop execution workers (0 = shards+2, capped at 32)")
+		fprint    = flag.Bool("fingerprint", false, "enable per-shard workload fingerprinting from startup (stats fingerprint, /debug/fingerprint, mctop; arms the tmctl hot-key gate)")
 	)
 	flag.Parse()
 
@@ -98,6 +99,9 @@ func main() {
 	} else if mode != txtrace.ModeOff {
 		cache.EnableTxTrace(mode)
 	}
+	if *fprint {
+		cache.EnableFingerprint()
+	}
 	srv, err := server.ListenConfig(cache, server.Config{
 		Addr:      *addr,
 		EventLoop: *eventLoop,
@@ -113,12 +117,12 @@ func main() {
 	log.Printf("tm-memcached serving on %s (branch %s, %s transport)", srv.Addr(), b, transport)
 	var dbg interface{ Close() error }
 	if *debugAddr != "" {
-		d, bound, err := server.ListenDebug(cache, *debugAddr)
+		d, bound, err := server.ListenDebugServer(cache, srv, *debugAddr)
 		if err != nil {
 			log.Fatal(err)
 		}
 		dbg = d
-		log.Printf("debug endpoint on http://%s/debug/vars (also /metrics, /debug/pprof/, /debug/tm, /debug/trace, /debug/tmctl)", bound)
+		log.Printf("debug endpoint on http://%s/debug/vars (also /metrics, /debug/pprof/, /debug/tm, /debug/trace, /debug/tmctl, /debug/fingerprint)", bound)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/protocol"
+)
+
+// FingerprintOverheadResult quantifies the workload-fingerprinting cost
+// contract with the same in-process protocol harness as the tracing bench:
+// a GET-heavy 9:1 workload driven against four cache configurations.
+//
+//   - disabled:        fingerprinting never enabled — the contractual one
+//     atomic nil load per op. This is the reference point.
+//   - disabled_repeat: the identical configuration measured again. Its delta
+//     against "disabled" is pure host noise and defines the measurement
+//     floor every other delta must be read against.
+//   - off_after_enable: EnableFingerprint then DisableFingerprint before
+//     measuring — proves Disable actually restores the cheap path rather
+//     than leaving recorders bound.
+//   - enabled:         sampling live (sketch, mix, size histogram per op).
+//
+// The contract holds when |delta(off_after_enable)| and |delta(disabled_repeat)|
+// are both within noise (≤ 2%); the enabled point is informational.
+type FingerprintOverheadResult struct {
+	Branch     string `json:"branch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	CPUs       int    `json:"cpus"`
+	Threads    int    `json:"threads"`
+	OpsPerConn int    `json:"ops_per_conn"`
+	Trials     int    `json:"trials"` // median-of-N per point
+	// Floor is |delta(disabled_repeat)|: the host's measurement noise for
+	// this run, in percent. Deltas under it are not signal.
+	FloorPct float64                    `json:"measurement_floor_pct"`
+	Points   []FingerprintOverheadPoint `json:"points"`
+}
+
+// FingerprintOverheadPoint is one configuration's median throughput.
+type FingerprintOverheadPoint struct {
+	Config    string  `json:"config"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// DeltaPct is (disabled - this) / disabled in percent: positive means
+	// this configuration is slower than the never-enabled reference.
+	DeltaPct float64 `json:"delta_vs_disabled_pct"`
+}
+
+// RunFingerprintOverhead measures the four fingerprinting configurations
+// back to back, one fresh cache per configuration, median-of-trials each.
+func RunFingerprintOverhead(b engine.Branch, threads, trials int, o Options) FingerprintOverheadResult {
+	o = o.withDefaults()
+	if trials < 1 {
+		trials = 1
+	}
+	res := FingerprintOverheadResult{
+		Branch: b.String(), Threads: threads, OpsPerConn: o.OpsPerThread, Trials: trials,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), CPUs: runtime.NumCPU(),
+	}
+
+	scripts := make([][]byte, threads)
+	for t := range scripts {
+		scripts[t] = traceOverheadScript(o.OpsPerThread, o.KeySpace, o.ValueSize, uint64(t)+1)
+	}
+
+	configs := []struct {
+		name string
+		prep func(*engine.Cache)
+	}{
+		{"disabled", nil},
+		{"disabled_repeat", nil},
+		{"off_after_enable", func(c *engine.Cache) {
+			c.EnableFingerprint()
+			c.DisableFingerprint()
+		}},
+		{"enabled", func(c *engine.Cache) { c.EnableFingerprint() }},
+	}
+
+	// One live cache per configuration, and trials interleaved across the
+	// configurations round-robin: slow whole-process drift (heap growth, GC
+	// pacing, CPU thermal state) then hits every configuration equally
+	// instead of biasing whichever one happened to run last.
+	caches := make([]*engine.Cache, len(configs))
+	for i, cfg := range configs {
+		c := engine.New(engine.Config{
+			Branch:    b,
+			MemLimit:  256 << 20,
+			HashPower: o.HashPower,
+		})
+		c.Start()
+		val := make([]byte, o.ValueSize)
+		w0 := c.NewWorker()
+		for i := 0; i < o.KeySpace; i++ {
+			w0.Set(benchKey(nil, i), 0, 0, val)
+		}
+		if cfg.prep != nil {
+			cfg.prep(c)
+		}
+		caches[i] = c
+	}
+
+	runOnce := func(c *engine.Cache) float64 {
+		var wg sync.WaitGroup
+		start := time.Now()
+		for t := 0; t < threads; t++ {
+			t := t
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				pc := protocol.NewConn(c.NewWorker(),
+					scriptConn{Reader: bytes.NewReader(scripts[t]), Writer: io.Discard})
+				pc.Serve()
+			}()
+		}
+		wg.Wait()
+		return float64(threads*o.OpsPerThread) / time.Since(start).Seconds()
+	}
+
+	rates := make([][]float64, len(configs))
+	// Trial -1 is an untimed warm-up round (same rationale as the tracing
+	// bench: nobody's measured trials should eat process cold-start).
+	for trial := -1; trial < trials; trial++ {
+		for i := range configs {
+			r := runOnce(caches[i])
+			if trial >= 0 {
+				rates[i] = append(rates[i], r)
+			}
+		}
+	}
+	for i, cfg := range configs {
+		caches[i].Stop()
+		sort.Float64s(rates[i])
+		med := rates[i][len(rates[i])/2]
+		res.Points = append(res.Points, FingerprintOverheadPoint{
+			Config:    cfg.name,
+			Seconds:   float64(threads*o.OpsPerThread) / med,
+			OpsPerSec: med,
+		})
+	}
+
+	base := res.Points[0].OpsPerSec
+	for i := range res.Points {
+		if base > 0 {
+			res.Points[i].DeltaPct = (base - res.Points[i].OpsPerSec) / base * 100
+		}
+	}
+	if f := res.Points[1].DeltaPct; f < 0 {
+		res.FloorPct = -f
+	} else {
+		res.FloorPct = f
+	}
+	return res
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"repro/internal/access"
 	"repro/internal/assoc"
+	"repro/internal/fingerprint"
 	"repro/internal/item"
 )
 
@@ -145,4 +146,15 @@ func (w *shardWorker) getBatch(keys [][]byte, hvs []uint64, out []GetResult) {
 		ctx.AddWord(w.stats.GetHits, h)
 		ctx.AddWord(w.stats.GetMisses, uint64(len(keys))-h)
 	})
+	// One disabled-path atomic load for the whole batch, then per-key
+	// samples: a multi-get is len(keys) reads in the workload mix.
+	if w.c.fp.Load() != nil {
+		for i := range keys {
+			size := -1
+			if out[i].Found {
+				size = len(out[i].Value)
+			}
+			w.fpRecord(fingerprint.OpRead, hvs[i], keys[i], size, out[i].Found)
+		}
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/assoc"
+	"repro/internal/fingerprint"
 	"repro/internal/slab"
 	"repro/internal/stm"
 	"repro/internal/tm"
@@ -49,6 +50,15 @@ type Cache struct {
 	// ctl is the per-shard feedback controller (Config.TMCtl), nil when
 	// disabled or on lock branches. Start/Stop bracket its sampling loop.
 	ctl *tmctl.Controller
+
+	// Workload fingerprinting (internal/fingerprint): fpObs is created on
+	// first EnableFingerprint and lives for the cache's lifetime; fpLive is
+	// non-nil only while sampling is on. See fingerprint.go.
+	fpObs  atomic.Pointer[fingerprint.Observer]
+	fpLive atomic.Pointer[fingerprint.Observer]
+	fpMu   sync.Mutex
+	fpStop chan struct{}
+	fpWG   sync.WaitGroup
 }
 
 // New builds a cache for the given configuration. Call Start to launch the
@@ -207,7 +217,9 @@ func (c *Cache) Stop() {
 	if c.ctl != nil {
 		c.ctl.Stop()
 	}
+	c.DisableFingerprint()
 	c.stopSampler()
+	c.fpWG.Wait()
 	for _, s := range c.shards {
 		s.Stop()
 	}
@@ -636,6 +648,15 @@ func (w *Worker) ResetStats() {
 	// configs and dwell clocks are state, not statistics.
 	if w.c.ctl != nil {
 		w.c.ctl.ResetSwapCounters()
+	}
+	// The fingerprint observer spans every shard (one fingerprint.Shard per
+	// TM domain plus the cache-global txn-phase histograms), so like the
+	// observer and tracer above it clears exactly once per reset — never
+	// once per shard — whatever an Enable/Disable toggle is doing
+	// concurrently. Enabled-state and recorder bindings survive: reset
+	// clears windows, not wiring.
+	if o := w.c.Fingerprint(); o != nil {
+		o.Reset()
 	}
 }
 

@@ -1,0 +1,112 @@
+package fingerprint
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets covers log2 buckets up to 2^62: enough for nanosecond
+// latencies (bucket 35 ≈ 34 s) and value sizes (bucket 30 ≈ 1 GiB) alike.
+const histBuckets = 63
+
+// LogHist is a power-of-two-bucketed histogram safe for one concurrent
+// writer per call site and any number of snapshot readers. Every field is
+// atomic, so readers never block the hot path and the race detector stays
+// quiet; quantiles are bucket upper bounds, the same contract txobs uses.
+type LogHist struct {
+	buckets [histBuckets]atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+}
+
+func bucketOf(v uint64) int {
+	b := bits.Len64(v) // 0 for v==0, else floor(log2(v))+1
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Record adds one observation.
+func (h *LogHist) Record(v uint64) {
+	h.buckets[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is the summary form shared by every telemetry surface
+// (stats lines, /debug JSON, mctop).
+type HistSnapshot struct {
+	Count uint64 `json:"count"`
+	Mean  uint64 `json:"mean"`
+	P50   uint64 `json:"p50"`
+	P95   uint64 `json:"p95"`
+	P99   uint64 `json:"p99"`
+	Max   uint64 `json:"max"`
+}
+
+// Snapshot summarizes the histogram. Concurrent Records may land between
+// bucket reads; the skew is at most a handful of in-flight observations.
+func (h *LogHist) Snapshot() HistSnapshot {
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistSnapshot{Count: total, Max: h.max.Load()}
+	if total == 0 {
+		return s
+	}
+	s.Mean = h.sum.Load() / total
+	quantile := func(q float64) uint64 {
+		want := uint64(q * float64(total))
+		if want >= total {
+			want = total - 1
+		}
+		var cum uint64
+		for i, c := range counts {
+			cum += c
+			if cum > want {
+				if i == 0 {
+					return 0
+				}
+				ub := (uint64(1) << uint(i)) - 1
+				if ub > s.Max && s.Max != 0 {
+					ub = s.Max
+				}
+				return ub
+			}
+		}
+		return s.Max
+	}
+	s.P50 = quantile(0.50)
+	s.P95 = quantile(0.95)
+	s.P99 = quantile(0.99)
+	return s
+}
+
+// Reset clears the histogram (counters-only semantics: stats reset).
+func (h *LogHist) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.sum.Store(0)
+	h.max.Store(0)
+}
+
+// decay halves every bucket and the sum, implementing the exponential
+// window. max is left as a high-water mark: it is a gauge, not a rate.
+// Concurrent Records may lose an increment across the load/store pair;
+// the window is statistical, so that skew is acceptable by design.
+func (h *LogHist) decay() {
+	for i := range h.buckets {
+		h.buckets[i].Store(h.buckets[i].Load() / 2)
+	}
+	h.sum.Store(h.sum.Load() / 2)
+}

@@ -1,0 +1,170 @@
+package mctop_test
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/mctop"
+	"repro/internal/server"
+)
+
+// startServer boots a multi-shard cache with fingerprinting on, served by
+// the event-loop transport — the exact deployment mctop is built for.
+func startServer(t *testing.T) (*engine.Cache, *server.Server) {
+	t.Helper()
+	c := engine.New(engine.Config{Branch: engine.ITOnCommit, HashPower: 8, Shards: 4})
+	c.Start()
+	c.EnableFingerprint()
+	s, err := server.ListenConfig(c, server.Config{Addr: "127.0.0.1:0", EventLoop: true})
+	if err != nil {
+		c.Stop()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		s.Close()
+		c.Stop()
+	})
+	return c, s
+}
+
+// drive sends a skewed workload: one scorching key plus a spread of cold
+// ones, so the fingerprint has both a hot-key entry and a mix to report.
+func drive(t *testing.T, addr string, rounds int) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	expect := func(want string) {
+		t.Helper()
+		line, err := r.ReadString('\n')
+		if err != nil || !strings.HasPrefix(line, want) {
+			t.Fatalf("reply %q (err %v), want prefix %q", line, err, want)
+		}
+	}
+	fmt.Fprintf(conn, "set scorcher 0 0 4\r\nhhhh\r\n")
+	expect("STORED")
+	for i := 0; i < rounds; i++ {
+		fmt.Fprintf(conn, "get scorcher\r\n")
+		expect("VALUE")
+		r.ReadString('\n') // value
+		r.ReadString('\n') // END
+		key := fmt.Sprintf("cold-%d", i)
+		fmt.Fprintf(conn, "set %s 0 0 2\r\ncc\r\n", key)
+		expect("STORED")
+	}
+}
+
+func TestMctopLiveServerSnapshot(t *testing.T) {
+	_, s := startServer(t)
+	drive(t, s.Addr(), 100)
+
+	first, err := mctop.Fetch(s.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, s.Addr(), 50)
+	// Frames need distinct timestamps for the rate columns.
+	time.Sleep(10 * time.Millisecond)
+	cur, err := mctop.Fetch(s.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !cur.HasFP || !cur.FingerprintOn {
+		t.Fatalf("fingerprint surface not detected: %+v", cur)
+	}
+	if len(cur.Shards) != 4 {
+		t.Fatalf("shards = %d, want 4", len(cur.Shards))
+	}
+	var totalOps uint64
+	hotShard := -1
+	for i := range cur.Shards {
+		totalOps += cur.Shards[i].Ops
+		for _, hk := range cur.Shards[i].HotKeys {
+			if hk.Key == "scorcher" {
+				hotShard = i
+			}
+		}
+	}
+	if totalOps == 0 {
+		t.Fatal("no ops in any shard fingerprint")
+	}
+	if hotShard < 0 {
+		t.Fatalf("hot key missing from every shard's sketch: %+v", cur.Shards)
+	}
+	if c := cur.Shards[hotShard].Concentration; c <= 0 || c > 1 {
+		t.Fatalf("hot shard concentration = %v, want (0, 1]", c)
+	}
+	if !cur.HasEL || cur.Workers == 0 {
+		t.Fatalf("event-loop telemetry missing: %+v", cur)
+	}
+	if cur.PollWakeups == 0 {
+		t.Fatal("poller wakeups = 0 after live traffic")
+	}
+	if cur.CmdGet <= first.CmdGet {
+		t.Fatalf("cmd_get did not advance between frames: %d -> %d", first.CmdGet, cur.CmdGet)
+	}
+
+	// The rendered console must carry the multi-shard view: a row per
+	// shard, the hot key with its count, the transport line, and rates.
+	out := mctop.Render(cur, first)
+	wants := []string{"mctop —", "transport: event-loop", "poller: wakeups=", "scorcher:", "shard"}
+	for _, want := range wants {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered frame missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "\n"); n < 4+len(cur.Shards) {
+		t.Fatalf("rendered frame too short (%d lines):\n%s", n, out)
+	}
+	// One row per shard, numbered.
+	for i := range cur.Shards {
+		if !strings.Contains(out, fmt.Sprintf("\n%-5d", i)) {
+			t.Fatalf("rendered frame missing row for shard %d:\n%s", i, out)
+		}
+	}
+
+	// Render with no previous frame blanks the rate columns instead of
+	// dividing by zero.
+	if out0 := mctop.Render(cur, nil); !strings.Contains(out0, "get=-") {
+		t.Fatalf("first-frame render should blank rates:\n%s", out0)
+	}
+}
+
+// TestMctopClassicServer covers the degraded columns: a classic-transport,
+// never-fingerprinted server still yields a frame and a renderable screen.
+func TestMctopClassicServer(t *testing.T) {
+	c := engine.New(engine.Config{Branch: engine.ITOnCommit, HashPower: 8})
+	c.Start()
+	s, err := server.ListenConfig(c, server.Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		c.Stop()
+		t.Fatal(err)
+	}
+	defer func() {
+		s.Close()
+		c.Stop()
+	}()
+	f, err := mctop.Fetch(s.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.HasEL {
+		t.Fatal("classic transport reported event-loop telemetry")
+	}
+	if f.HasFP && f.FingerprintOn {
+		t.Fatal("never-enabled fingerprint reported as on")
+	}
+	out := mctop.Render(f, nil)
+	if !strings.Contains(out, "transport: classic") {
+		t.Fatalf("classic render:\n%s", out)
+	}
+}

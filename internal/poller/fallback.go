@@ -18,6 +18,7 @@ import (
 // no poller resources and unwind as soon as the owner closes their
 // connections (RawConn.Read returns an error on a closed fd).
 type fallbackPoller struct {
+	counters
 	onReady func(Token)
 
 	mu     sync.Mutex
@@ -68,7 +69,13 @@ func (p *fallbackPoller) Arm(tok Token) error {
 		return fmt.Errorf("poller: arm of unregistered token %d", tok)
 	}
 	go func() {
-		err := waitReadable(rc)
+		// The first callback invocation inside waitReadable is this Arm's
+		// readiness probe — the exact analogue of the epoll poller's
+		// MSG_PEEK in Arm — so it counts as a probe, and a delivery born
+		// from it counts as synthesized. Deliveries that parked first are
+		// plain wakeups, the analogue of epoll's wait-loop events.
+		p.probes.Add(1)
+		immediate, err := waitReadable(rc)
 		p.mu.Lock()
 		_, live := p.regs[tok]
 		done := p.closed
@@ -79,6 +86,10 @@ func (p *fallbackPoller) Arm(tok Token) error {
 		// An error from the wait (conn closed under us) is still a readiness
 		// event: the owner's read will surface the real error and tear down.
 		_ = err
+		if immediate {
+			p.synthesized.Add(1)
+		}
+		p.wakeups.Add(1)
 		p.onReady(tok)
 	}()
 	return nil
@@ -90,19 +101,25 @@ func (p *fallbackPoller) Arm(tok Token) error {
 // runtime resets the descriptor's readiness before each wait, so a callback
 // that never probes the socket can sleep through data that arrived earlier).
 // MSG_PEEK makes the probe non-destructive: protocol bytes are only ever
-// read by an execution worker.
-func waitReadable(rc syscall.RawConn) error {
+// read by an execution worker. immediate reports whether the FIRST probe
+// found readiness (no park happened) — the fallback's synthesized-delivery
+// signal.
+func waitReadable(rc syscall.RawConn) (immediate bool, err error) {
 	var buf [1]byte
-	return rc.Read(func(fd uintptr) bool {
-		n, _, err := syscall.Recvfrom(int(fd), buf[:], syscall.MSG_PEEK)
-		if err == syscall.EAGAIN || err == syscall.EWOULDBLOCK {
+	first := true
+	err = rc.Read(func(fd uintptr) bool {
+		n, _, rerr := syscall.Recvfrom(int(fd), buf[:], syscall.MSG_PEEK)
+		if rerr == syscall.EAGAIN || rerr == syscall.EWOULDBLOCK {
+			first = false
 			return false
 		}
 		// Data (n>0), EOF (n==0, err==nil), or a real error: all are
 		// readiness — the worker's read will surface whichever it is.
 		_ = n
+		immediate = first
 		return true
 	})
+	return immediate, err
 }
 
 func (p *fallbackPoller) Remove(tok Token) error {

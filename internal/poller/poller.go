@@ -28,6 +28,7 @@ package poller
 import (
 	"errors"
 	"net"
+	"sync/atomic"
 )
 
 // Token identifies one registered connection. Tokens are never reused for
@@ -76,4 +77,52 @@ type Poller interface {
 // becomes (or already is) readable; duplicates are possible.
 func New(onReady func(Token)) (Poller, error) {
 	return newPlatform(onReady)
+}
+
+// Counters are a poller's cumulative delivery statistics. Both built-in
+// implementations report the same semantics (the fallback-parity test
+// enforces it), so dashboards read identically on and off linux:
+//
+//   - Wakeups counts every onReady delivery, whatever its origin — the
+//     wait loop (epoll) or a parked waiter (fallback), plus synthesized
+//     deliveries.
+//   - Probes counts Arm-time MSG_PEEK readiness probes (one per Arm call
+//     that reaches the probe).
+//   - Synthesized counts the subset of Wakeups that originated from an Arm
+//     probe finding input already pending — the events edge-triggered
+//     epoll would otherwise have lost.
+type Counters struct {
+	Wakeups     uint64 `json:"wakeups"`
+	Probes      uint64 `json:"probes"`
+	Synthesized uint64 `json:"synthesized"`
+}
+
+// CounterSource is implemented by pollers that expose delivery counters
+// (both built-in implementations do). The transport type-asserts for it so
+// third-party Poller implementations remain valid without counters.
+type CounterSource interface {
+	Counters() Counters
+	// ResetCounters zeroes the counters ("stats reset" semantics).
+	ResetCounters()
+}
+
+// counters is the shared atomic implementation embedded by both pollers.
+type counters struct {
+	wakeups     atomic.Uint64
+	probes      atomic.Uint64
+	synthesized atomic.Uint64
+}
+
+func (c *counters) Counters() Counters {
+	return Counters{
+		Wakeups:     c.wakeups.Load(),
+		Probes:      c.probes.Load(),
+		Synthesized: c.synthesized.Load(),
+	}
+}
+
+func (c *counters) ResetCounters() {
+	c.wakeups.Store(0)
+	c.probes.Store(0)
+	c.synthesized.Store(0)
 }

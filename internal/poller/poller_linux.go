@@ -27,6 +27,7 @@ type epollReg struct {
 }
 
 type epollPoller struct {
+	counters
 	epfd int
 	// epf/epRC wrap epfd as a runtime-pollable file: the wait loop parks in
 	// the runtime netpoller (RawConn.Read) instead of blocking an OS thread
@@ -204,6 +205,7 @@ func (p *epollPoller) Arm(tok Token) error {
 	// torn-down conn) all count as readiness — the owner's read surfaces
 	// whichever it is, and its token map drops callbacks for removed tokens.
 	var buf [1]byte
+	p.probes.Add(1)
 	n, _, err := syscall.Recvfrom(fd, buf[:], syscall.MSG_PEEK)
 	if err == syscall.EAGAIN || err == syscall.EWOULDBLOCK {
 		return nil
@@ -216,6 +218,8 @@ func (p *epollPoller) Arm(tok Token) error {
 	if closed || !live {
 		return nil
 	}
+	p.synthesized.Add(1)
+	p.wakeups.Add(1)
 	p.onReady(tok)
 	return nil
 }
@@ -296,6 +300,7 @@ func (p *epollPoller) waitLoop() {
 				return
 			}
 			if live {
+				p.wakeups.Add(1)
 				p.onReady(tok)
 			}
 		}

@@ -84,6 +84,7 @@ type Conn struct {
 
 	ctl      Control
 	connErrs *mcstats.ConnErrors
+	tstats   TransportStats
 
 	// spans is the connection's request-span buffer (nil when the transport
 	// owner did not wire tracing). One Begin/End pair brackets every
@@ -340,7 +341,15 @@ func (c *Conn) dispatchText(cmd string, args [][]byte) error {
 		if len(args) > 0 {
 			switch string(args[0]) {
 			case "reset":
+				// ResetStats clears engine counters AND the fingerprint
+				// observer exactly once (cache-global); the transport's
+				// counters are reset here because the engine cannot see
+				// them. Both are idempotent Store(0)s, so racing resets
+				// from two connections stay coherent.
 				c.worker.ResetStats()
+				if c.tstats != nil {
+					c.tstats.ResetTransportCounters()
+				}
 				return c.reply("RESET\r\n")
 			case "slabs":
 				return c.cmdStatsSlabs()
@@ -354,6 +363,10 @@ func (c *Conn) dispatchText(cmd string, args [][]byte) error {
 				return c.cmdStatsLatency()
 			case "slowlog":
 				return c.cmdStatsSlowlog()
+			case "fingerprint":
+				return c.cmdStatsFingerprint()
+			case "eventloop":
+				return c.cmdStatsEventLoop()
 			}
 		}
 		return c.cmdStats()

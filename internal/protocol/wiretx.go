@@ -52,7 +52,19 @@ type txState struct {
 	reads    []engine.TxRead
 	ops      []engine.TxOp
 	bytes    int
+	started  time.Time // txbegin time, for the fingerprint queue-phase histogram
 	deadline time.Time
+}
+
+// txNoteQueuePhase records the txbegin→txcommit queueing span into the
+// fingerprint observer — one atomic load and nothing else when sampling is
+// off. The queue phase is protocol-side (client think time plus pipelining),
+// so the engine cannot time it; validate/apply/serial-wait are timed inside
+// CommitTx itself.
+func (c *Conn) txNoteQueuePhase(t *txState) {
+	if o := c.worker.FingerprintLive(); o != nil && !t.started.IsZero() {
+		o.TxnQueue.Record(uint64(time.Since(t.started)))
+	}
 }
 
 var (
@@ -123,7 +135,8 @@ func (c *Conn) cmdTxBegin(args [][]byte) error {
 		c.tx = nil
 		return c.replyError(errTxOpen)
 	}
-	c.tx = &txState{deadline: time.Now().Add(TxTTL)}
+	now := time.Now()
+	c.tx = &txState{started: now, deadline: now.Add(TxTTL)}
 	return c.replyMaybe(args, "STARTED\r\n")
 }
 
@@ -141,6 +154,7 @@ func (c *Conn) cmdTxCommit() error {
 	}
 	t := c.tx
 	c.tx = nil
+	c.txNoteQueuePhase(t)
 	out := c.worker.CommitTx(t.reads, t.ops)
 	if !out.Committed {
 		return c.reply("TX_CONFLICT " + string(out.ConflictKey) + "\r\n")
@@ -360,7 +374,8 @@ func (c *Conn) binTxBegin(req binHeader) error {
 		c.tx = nil
 		return c.binReplyError(req, errTxOpen)
 	}
-	c.tx = &txState{deadline: time.Now().Add(TxTTL)}
+	now := time.Now()
+	c.tx = &txState{started: now, deadline: now.Add(TxTTL)}
 	return c.binReply(req, StatusOK, nil, nil, nil, 0)
 }
 
@@ -380,6 +395,7 @@ func (c *Conn) binTxCommit(req binHeader) error {
 	}
 	t := c.tx
 	c.tx = nil
+	c.txNoteQueuePhase(t)
 	out := c.worker.CommitTx(t.reads, t.ops)
 	if !out.Committed {
 		return c.binReply(req, StatusKeyExists, nil, out.ConflictKey, []byte("Transaction conflict"), 0)

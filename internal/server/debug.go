@@ -13,6 +13,8 @@
 //	               slowlog, conflict graph, time series, anomalies, dumps);
 //	               POST ?mode=off|sampled|full switches modes, ?dump=1
 //	               captures the flight recorder now, ?reset=1 clears it
+//	/debug/fingerprint  GET reports the live workload fingerprint (JSON);
+//	               POST ?enable=0|1 toggles sampling, ?reset=1 clears windows
 //	/debug/tmctl   GET reports the feedback controller's per-shard modes;
 //	               POST ?shard=N&mode=normal|tml|serial[&pin=1] forces a
 //	               shard's rung, ?shard=N&release=1 hands it back to
@@ -33,9 +35,23 @@ import (
 	"repro/internal/txtrace"
 )
 
-// NewDebugHandler builds the debug mux for one cache.
+// NewDebugHandler builds the debug mux for one cache, with no transport
+// telemetry (see NewDebugHandlerServer).
 func NewDebugHandler(cache *engine.Cache) http.Handler {
+	return NewDebugHandlerServer(cache, nil)
+}
+
+// NewDebugHandlerServer builds the debug mux for one cache; srv, when
+// non-nil, contributes the transport's telemetry (queue depths, dispatch
+// latency, poller counters) to /debug/vars and /metrics.
+func NewDebugHandlerServer(cache *engine.Cache, srv *Server) http.Handler {
 	mux := http.NewServeMux()
+	transport := func() protocol.TransportStats {
+		if srv == nil {
+			return nil
+		}
+		return srv.TransportStats()
+	}
 
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -67,6 +83,13 @@ func NewDebugHandler(cache *engine.Cache) http.Handler {
 		if ctl := cache.Controller(); ctl != nil {
 			vars["tmctl"] = ctl.Snapshot()
 		}
+		if o := cache.Fingerprint(); o != nil {
+			vars["fingerprint_enabled"] = cache.FingerprintEnabled()
+			vars["fingerprint"] = o.Snapshot()
+		}
+		if ts := transport(); ts != nil {
+			vars["eventloop"] = ts.EventLoopSnapshot()
+		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(vars)
@@ -84,6 +107,77 @@ func NewDebugHandler(cache *engine.Cache) http.Handler {
 		if o := cache.Observer(); o != nil {
 			o.Report(32).WritePrometheus(w)
 		}
+		if o := cache.Fingerprint(); o != nil {
+			snap := o.Snapshot()
+			fmt.Fprintf(w, "# TYPE fp_shard_ops gauge\n")
+			for i := range snap.Shards {
+				fmt.Fprintf(w, "fp_shard_ops{shard=\"%d\"} %d\n", i, snap.Shards[i].Ops)
+			}
+			fmt.Fprintf(w, "# TYPE fp_shard_concentration gauge\n")
+			for i := range snap.Shards {
+				fmt.Fprintf(w, "fp_shard_concentration{shard=\"%d\"} %.4f\n", i, snap.Shards[i].Concentration)
+			}
+			fmt.Fprintf(w, "# TYPE fp_shard_abort_conflicts gauge\n")
+			for i := range snap.Shards {
+				fmt.Fprintf(w, "fp_shard_abort_conflicts{shard=\"%d\"} %d\n", i, snap.Shards[i].Aborts.Conflicts)
+			}
+			fmt.Fprintf(w, "# TYPE fp_txn_queue_p99_ns gauge\nfp_txn_queue_p99_ns %d\n", snap.TxnQueue.P99)
+			fmt.Fprintf(w, "# TYPE fp_txn_validate_p99_ns gauge\nfp_txn_validate_p99_ns %d\n", snap.TxnValidate.P99)
+			fmt.Fprintf(w, "# TYPE fp_txn_apply_p99_ns gauge\nfp_txn_apply_p99_ns %d\n", snap.TxnApply.P99)
+			fmt.Fprintf(w, "# TYPE fp_txn_serial_wait_p99_ns gauge\nfp_txn_serial_wait_p99_ns %d\n", snap.TxnSerialWait.P99)
+		}
+		if ts := transport(); ts != nil {
+			es := ts.EventLoopSnapshot()
+			fmt.Fprintf(w, "# TYPE event_overflow_spills_total counter\nevent_overflow_spills_total %d\n", es.OverflowSpills)
+			fmt.Fprintf(w, "# TYPE event_overflow_len gauge\nevent_overflow_len %d\n", es.OverflowLen)
+			fmt.Fprintf(w, "# TYPE event_shared_depth gauge\nevent_shared_depth %d\n", es.SharedDepth)
+			fmt.Fprintf(w, "# TYPE event_affine_depth gauge\n")
+			for i, d := range es.AffineDepth {
+				fmt.Fprintf(w, "event_affine_depth{queue=\"%d\"} %d\n", i, d)
+			}
+			fmt.Fprintf(w, "# TYPE event_worker_busy gauge\n")
+			for i, b := range es.WorkerBusy {
+				fmt.Fprintf(w, "event_worker_busy{worker=\"%d\"} %.4f\n", i, b)
+			}
+			fmt.Fprintf(w, "# TYPE event_dispatch_p99_ns gauge\nevent_dispatch_p99_ns %d\n", es.Dispatch.P99)
+			if es.HasPoller {
+				fmt.Fprintf(w, "# TYPE poller_wakeups_total counter\npoller_wakeups_total %d\n", es.Poller.Wakeups)
+				fmt.Fprintf(w, "# TYPE poller_probes_total counter\npoller_probes_total %d\n", es.Poller.Probes)
+				fmt.Fprintf(w, "# TYPE poller_synthesized_total counter\npoller_synthesized_total %d\n", es.Poller.Synthesized)
+			}
+		}
+	})
+
+	mux.HandleFunc("/debug/fingerprint", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			switch r.URL.Query().Get("enable") {
+			case "1":
+				cache.EnableFingerprint()
+			case "0":
+				cache.DisableFingerprint()
+			}
+			if r.URL.Query().Get("reset") == "1" {
+				if o := cache.Fingerprint(); o != nil {
+					o.Reset()
+				}
+			}
+		}
+		o := cache.Fingerprint()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if o == nil {
+			fmt.Fprintln(w, `{"enabled": false}`)
+			return
+		}
+		out := map[string]any{
+			"enabled":     cache.FingerprintEnabled(),
+			"fingerprint": o.Snapshot(),
+		}
+		if ts := transport(); ts != nil {
+			out["eventloop"] = ts.EventLoopSnapshot()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
 	})
 
 	mux.HandleFunc("/debug/tm", func(w http.ResponseWriter, r *http.Request) {
@@ -183,11 +277,18 @@ func NewDebugHandler(cache *engine.Cache) http.Handler {
 // ListenDebug serves the debug handler on addr. Returns the http.Server
 // (Close to stop) and the bound listener address.
 func ListenDebug(cache *engine.Cache, addr string) (*http.Server, string, error) {
+	return ListenDebugServer(cache, nil, addr)
+}
+
+// ListenDebugServer is ListenDebug with transport telemetry: when srv is
+// non-nil its event-loop snapshot joins /debug/vars, /debug/fingerprint and
+// /metrics.
+func ListenDebugServer(cache *engine.Cache, srv *Server, addr string) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
-	srv := &http.Server{Handler: NewDebugHandler(cache)}
-	go srv.Serve(ln)
-	return srv, ln.Addr().String(), nil
+	hs := &http.Server{Handler: NewDebugHandlerServer(cache, srv)}
+	go hs.Serve(ln)
+	return hs, ln.Addr().String(), nil
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fingerprint"
 	"repro/internal/poller"
 	"repro/internal/protocol"
 	"repro/internal/txtrace"
@@ -49,7 +50,26 @@ type evConn struct {
 
 	state      atomic.Int32
 	lastActive atomic.Int64 // unix nanos of last burst end (idle reaping)
+	enqueuedNs atomic.Int64 // stamp set by enqueue, swapped out at pickup
 	closed     atomic.Bool
+}
+
+// evStats is the transport's telemetry block. It is always on: everything
+// here is amortized per dispatch or per burst, never per command, so the
+// steady-state cost is two timestamps and two histogram increments per
+// burst — noise next to one syscall. Counters and histograms reset on
+// `stats reset`; queue depths and overflow length are live gauges.
+type evStats struct {
+	spills   atomic.Uint64      // enqueues that spilled to the overflow list
+	dispatch fingerprint.LogHist // queued→running latency, ns
+	burstOps fingerprint.LogHist // commands served per burst
+
+	// busyNs[i] accumulates worker i's time inside bursts; baseNs and
+	// winStart snapshot the reset point so the busy fraction is computed
+	// over the current window only.
+	busyNs   []atomic.Int64
+	baseNs   []atomic.Int64
+	winStart atomic.Int64
 }
 
 type evLoop struct {
@@ -71,6 +91,8 @@ type evLoop struct {
 	mu       sync.Mutex
 	conns    map[poller.Token]*evConn
 	overflow []*evConn // unbounded spill when every queue is full; take drains it first
+
+	stats evStats
 }
 
 const (
@@ -109,6 +131,9 @@ func newEvLoop(s *Server) (*evLoop, error) {
 	for i := range ev.affineQ {
 		ev.affineQ[i] = make(chan *evConn, evAffineQueueCap)
 	}
+	ev.stats.busyNs = make([]atomic.Int64, workers)
+	ev.stats.baseNs = make([]atomic.Int64, workers)
+	ev.stats.winStart.Store(time.Now().UnixNano())
 	p, err := newPoller(ev.ready)
 	if err != nil {
 		return nil, err
@@ -144,6 +169,7 @@ func (ev *evLoop) adopt(sc *servConn) {
 	}
 	c := &evConn{sc: sc, pc: pc, fd: fd}
 	c.lastActive.Store(time.Now().UnixNano())
+	pc.SetTransport(ev)
 
 	tok, err := ev.p.Add(sc.Conn)
 	if err == nil {
@@ -181,6 +207,7 @@ func (ev *evLoop) ready(tok poller.Token) {
 // full queue could deadlock the pool against itself. When both the affine and
 // shared queues are full the connection spills to an unbounded overflow list.
 func (ev *evLoop) enqueue(c *evConn) {
+	c.enqueuedNs.Store(time.Now().UnixNano())
 	if a := c.pc.Affinity(); a >= 0 && len(ev.affineQ) > 0 {
 		// A full affine queue spills onward rather than stalling readiness
 		// delivery behind one hot shard.
@@ -198,6 +225,7 @@ func (ev *evLoop) enqueue(c *evConn) {
 	// No lost wakeup: a worker blocked in take would have completed one of
 	// the sends above, so reaching here means every worker is busy and will
 	// pass through take (which drains the overflow first) again.
+	ev.stats.spills.Add(1)
 	ev.mu.Lock()
 	ev.overflow = append(ev.overflow, c)
 	ev.mu.Unlock()
@@ -231,7 +259,17 @@ func (ev *evLoop) workerLoop(i int) {
 		if c == nil {
 			return
 		}
+		start := time.Now()
+		// The enqueue stamp is swapped out so a connection that stays with
+		// a worker across the fairness-cap requeue gets a fresh stamp each
+		// time it actually waits in a queue.
+		if enq := c.enqueuedNs.Swap(0); enq > 0 {
+			if d := start.UnixNano() - enq; d > 0 {
+				ev.stats.dispatch.Record(uint64(d))
+			}
+		}
 		ev.burst(c, w)
+		ev.stats.busyNs[i].Add(int64(time.Since(start)))
 	}
 }
 
@@ -313,6 +351,7 @@ func (ev *evLoop) burst(c *evConn, w *engine.Worker) {
 	pc.AttachBuffers()
 	var err error
 	ops := 0
+	defer func() { ev.stats.burstOps.Record(uint64(ops)) }()
 	for {
 		if err = pc.ServeOne(); err != nil {
 			break
@@ -472,6 +511,69 @@ func (ev *evLoop) shutdown() {
 	ev.reapWG.Wait()
 	for _, c := range ev.snapshot() {
 		ev.teardown(c, errDraining)
+	}
+}
+
+// evLoop implements protocol.TransportStats for `stats eventloop`.
+var _ protocol.TransportStats = (*evLoop)(nil)
+
+// EventLoopSnapshot renders the transport's telemetry: queue-depth gauges,
+// the overflow-spill counter, dispatch/burst histograms, per-worker busy
+// fractions over the current reset window, and the poller's counters when
+// its implementation exposes them.
+func (ev *evLoop) EventLoopSnapshot() protocol.EventLoopSnapshot {
+	s := protocol.EventLoopSnapshot{
+		Workers:        len(ev.stats.busyNs),
+		AffineCap:      evAffineQueueCap,
+		SharedDepth:    len(ev.sharedQ),
+		SharedCap:      cap(ev.sharedQ),
+		OverflowSpills: ev.stats.spills.Load(),
+		Dispatch:       ev.stats.dispatch.Snapshot(),
+		BurstOps:       ev.stats.burstOps.Snapshot(),
+	}
+	s.AffineDepth = make([]int, len(ev.affineQ))
+	for i, q := range ev.affineQ {
+		s.AffineDepth[i] = len(q)
+	}
+	ev.mu.Lock()
+	s.OverflowLen = len(ev.overflow)
+	s.Conns = len(ev.conns)
+	ev.mu.Unlock()
+	s.WorkerBusy = make([]float64, len(ev.stats.busyNs))
+	if elapsed := time.Now().UnixNano() - ev.stats.winStart.Load(); elapsed > 0 {
+		for i := range ev.stats.busyNs {
+			f := float64(ev.stats.busyNs[i].Load()-ev.stats.baseNs[i].Load()) / float64(elapsed)
+			// A burst in flight across the window edge can push the ratio
+			// out of range; clamp rather than report nonsense.
+			if f < 0 {
+				f = 0
+			}
+			if f > 1 {
+				f = 1
+			}
+			s.WorkerBusy[i] = f
+		}
+	}
+	if cs, ok := ev.p.(poller.CounterSource); ok {
+		s.Poller = cs.Counters()
+		s.HasPoller = true
+	}
+	return s
+}
+
+// ResetTransportCounters implements the `stats reset` half of the
+// TransportStats contract: counters and histograms clear, the busy window
+// restarts, gauges (queue depths, overflow length, conns) are untouched.
+func (ev *evLoop) ResetTransportCounters() {
+	ev.stats.spills.Store(0)
+	ev.stats.dispatch.Reset()
+	ev.stats.burstOps.Reset()
+	for i := range ev.stats.busyNs {
+		ev.stats.baseNs[i].Store(ev.stats.busyNs[i].Load())
+	}
+	ev.stats.winStart.Store(time.Now().UnixNano())
+	if cs, ok := ev.p.(poller.CounterSource); ok {
+		cs.ResetCounters()
 	}
 }
 

@@ -136,6 +136,16 @@ func ListenConfig(cache *engine.Cache, cfg Config) (*Server, error) {
 // EventLoop reports whether the event-driven transport is active.
 func (s *Server) EventLoop() bool { return s.ev != nil }
 
+// TransportStats exposes the transport's telemetry source (nil for the
+// classic transport, which has no queues to report). The debug endpoint
+// uses this; per-connection wiring happens in adopt.
+func (s *Server) TransportStats() protocol.TransportStats {
+	if s.ev == nil {
+		return nil
+	}
+	return s.ev
+}
+
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 

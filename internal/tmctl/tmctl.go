@@ -120,6 +120,19 @@ type Policy struct {
 	// anomaly detector has tripped within the last sampling window, when
 	// true (a detector trip is independent evidence the storm is real).
 	AnomalySensitivity bool
+
+	// HotKeyGate conditions the Normal→TML degrade on workload shape when a
+	// fingerprint source is attached (SetFingerprint). Degrading to TML
+	// trades all concurrency for a single-writer sequence lock — a good
+	// trade when the aborts come from a few hot keys (TML's invisible
+	// readers stop paying orec traffic for them), a bad one when the abort
+	// ratio is diffuse across the key space. An abort-ratio-only storm (no
+	// serialization evidence) on the Normal rung therefore degrades only if
+	// the shard's hot-key concentration is at least this share; otherwise
+	// the decision is deferred and counted (gate_deferrals). Storms with
+	// serialization evidence, storms on already-degraded rungs, and
+	// controllers without a source bypass the gate. Negative disables.
+	HotKeyGate float64
 }
 
 // DefaultPolicy returns the tuning used by `memcached -tmctl`.
@@ -137,6 +150,7 @@ func DefaultPolicy() Policy {
 		BackoffDegraded:     stm.BackoffConfig{BaseNs: 256, MaxShift: 14},
 		RetryBudgetDegraded: 4,
 		AnomalySensitivity:  true,
+		HotKeyGate:          0.5,
 	}
 }
 
@@ -175,6 +189,9 @@ func (p Policy) withDefaults() Policy {
 	if p.RetryBudgetDegraded <= 0 {
 		p.RetryBudgetDegraded = d.RetryBudgetDegraded
 	}
+	if p.HotKeyGate == 0 {
+		p.HotKeyGate = d.HotKeyGate
+	}
 	return p
 }
 
@@ -201,11 +218,14 @@ type shardCtl struct {
 	// Status for observers, refreshed each tick.
 	lastAbortRatio float64
 	lastROShare    float64
+	lastConc       float64 // hot-key concentration, when a source is attached
+	haveConc       bool
 
 	// Swap counters ("stats reset" clears these; learned state survives).
-	degrades uint64
-	promotes uint64
-	retunes  uint64
+	degrades      uint64
+	promotes      uint64
+	retunes       uint64
+	gateDeferrals uint64 // Normal→TML degrades held back by the hot-key gate
 }
 
 // Controller drives one cache's shard runtimes. All state is behind mu; the
@@ -214,7 +234,8 @@ type Controller struct {
 	mu     sync.Mutex
 	policy Policy
 	shards []*shardCtl
-	tracer *txtrace.Tracer // optional anomaly tap (nil: no tap)
+	tracer *txtrace.Tracer   // optional anomaly tap (nil: no tap)
+	fp     FingerprintSource // optional workload fingerprint (nil: gate off)
 
 	prevAnoms    int // tracer anomaly count at the previous tick
 	anomalyTrips uint64
@@ -246,6 +267,29 @@ func New(policy Policy, rts []*stm.Runtime, tracer *txtrace.Tracer) *Controller 
 		c.shards = append(c.shards, &shardCtl{rt: rt, base: rt.DynConfig()})
 	}
 	return c
+}
+
+// FingerprintSource supplies a live per-shard hot-key concentration
+// estimate in [0,1]: the share of the shard's recent operations landing on
+// its top-K keys (internal/fingerprint's Observer implements this over its
+// decayed Space-Saving sketches). The controller reads it once per shard
+// per tick.
+type FingerprintSource interface {
+	Concentration(shard int) float64
+}
+
+// SetFingerprint attaches (nil: detaches) a workload-fingerprint source,
+// arming the HotKeyGate on Normal→TML decisions. The engine calls this
+// from EnableFingerprint/DisableFingerprint.
+func (c *Controller) SetFingerprint(src FingerprintSource) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fp = src
+	if src == nil {
+		for _, s := range c.shards {
+			s.haveConc = false
+		}
+	}
 }
 
 // Policy returns the controller's (defaulted) policy.
@@ -317,13 +361,13 @@ func (c *Controller) Tick() {
 		c.prevAnoms = n
 	}
 
-	for _, s := range c.shards {
-		c.tickShard(s, now, anomalous)
+	for i, s := range c.shards {
+		c.tickShard(i, s, now, anomalous)
 	}
 }
 
 // tickShard judges one shard's window. Caller holds mu.
-func (c *Controller) tickShard(s *shardCtl, now time.Time, anomalous bool) {
+func (c *Controller) tickShard(idx int, s *shardCtl, now time.Time, anomalous bool) {
 	snap := c.sample(s.rt)
 	if !s.havePrev || snap.Starts < s.prev.Starts {
 		// First window, or the counters went backwards (a "stats reset"
@@ -348,6 +392,10 @@ func (c *Controller) tickShard(s *shardCtl, now time.Time, anomalous bool) {
 	}
 	s.lastAbortRatio = abortRatio
 	s.lastROShare = roShare
+	if c.fp != nil {
+		s.lastConc = c.fp.Concentration(idx)
+		s.haveConc = true
+	}
 
 	if s.pinned {
 		return
@@ -383,6 +431,16 @@ func (c *Controller) tickShard(s *shardCtl, now time.Time, anomalous bool) {
 
 	switch {
 	case stormy && s.mode < ModeSerial:
+		if s.mode == ModeNormal && serialFrac < degradeSerial &&
+			c.fp != nil && c.policy.HotKeyGate > 0 && s.lastConc < c.policy.HotKeyGate {
+			// Hot-key gate: an abort-only storm over a flat key distribution
+			// gains nothing from TML's single-writer sequence lock — it
+			// would serialize a diffuse workload. Hold the rung, count the
+			// deferral, and let the next window (or serialization evidence,
+			// which bypasses the gate) decide.
+			s.gateDeferrals++
+			return
+		}
 		if s.probing {
 			// The storm returned before the probe could be confirmed: the
 			// heal failed. Demand exponentially more calm before retrying.
@@ -494,7 +552,7 @@ func (c *Controller) ResetSwapCounters() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, s := range c.shards {
-		s.degrades, s.promotes, s.retunes = 0, 0, 0
+		s.degrades, s.promotes, s.retunes, s.gateDeferrals = 0, 0, 0, 0
 	}
 	c.anomalyTrips = 0
 }
@@ -514,16 +572,21 @@ type ShardStatus struct {
 	Degrades   uint64  `json:"degrades"`
 	Promotes   uint64  `json:"promotes"`
 	Retunes    uint64  `json:"retunes"`
+	// Hot-key fingerprint view: valid only while a source is attached.
+	Concentration   float64 `json:"concentration"`
+	HaveFingerprint bool    `json:"have_fingerprint"`
+	GateDeferrals   uint64  `json:"gate_deferrals"`
 }
 
 // Status is the controller-wide snapshot.
 type Status struct {
-	Interval     time.Duration `json:"interval_ns"`
-	Shards       []ShardStatus `json:"shards"`
-	Degrades     uint64        `json:"degrades"`
-	Promotes     uint64        `json:"promotes"`
-	Retunes      uint64        `json:"retunes"`
-	AnomalyTrips uint64        `json:"anomaly_trips"`
+	Interval      time.Duration `json:"interval_ns"`
+	Shards        []ShardStatus `json:"shards"`
+	Degrades      uint64        `json:"degrades"`
+	Promotes      uint64        `json:"promotes"`
+	Retunes       uint64        `json:"retunes"`
+	AnomalyTrips  uint64        `json:"anomaly_trips"`
+	GateDeferrals uint64        `json:"gate_deferrals"`
 }
 
 // Snapshot returns the controller's current view of every shard.
@@ -545,11 +608,16 @@ func (c *Controller) Snapshot() Status {
 			Degrades:   s.degrades,
 			Promotes:   s.promotes,
 			Retunes:    s.retunes,
+
+			Concentration:   s.lastConc,
+			HaveFingerprint: s.haveConc,
+			GateDeferrals:   s.gateDeferrals,
 		}
 		st.Shards = append(st.Shards, ss)
 		st.Degrades += s.degrades
 		st.Promotes += s.promotes
 		st.Retunes += s.retunes
+		st.GateDeferrals += s.gateDeferrals
 	}
 	return st
 }

@@ -426,3 +426,140 @@ func TestHealProbeEscalationCap(t *testing.T) {
 		t.Fatalf("final shift %d, want capped at 1", s.healShift)
 	}
 }
+
+// fakeSource is a deterministic FingerprintSource: a fixed concentration
+// per shard.
+type fakeSource map[int]float64
+
+func (f fakeSource) Concentration(shard int) float64 { return f[shard] }
+
+// TestHotKeyGateDefersDiffuseStorms is the fingerprint-consumption proof:
+// two shards see the IDENTICAL abort-only storm, and the only difference
+// between them is the workload shape the fingerprint reports — shard 0's
+// aborts concentrate on hot keys (0.9), shard 1's are diffuse (0.1). With
+// HotKeyGate at 0.5 the controller must degrade shard 0 to TML and hold
+// shard 1 at Normal, counting the deferral. Serialization evidence then
+// bypasses the gate: the same diffuse shard degrades once the storm carries
+// start-serial events.
+func TestHotKeyGateDefersDiffuseStorms(t *testing.T) {
+	p := Policy{
+		DegradeAbortRatio: 0.5,
+		DegradeSerialFrac: 0.3,
+		HealAbortRatio:    0.1,
+		HealWindows:       5,
+		MinDwell:          100 * time.Millisecond,
+		MinSamples:        10,
+		ROReadBias:        -1, // no retune noise
+		HotKeyGate:        0.5,
+	}
+	rt0 := stm.New(stm.Config{Algorithm: stm.MLWT, CM: stm.CMSerialize})
+	rt1 := stm.New(stm.Config{Algorithm: stm.MLWT, CM: stm.CMSerialize})
+	c := New(p, []*stm.Runtime{rt0, rt1}, nil)
+	f := newFeed(c) // both shards sample the same cumulative signal
+	c.SetFingerprint(fakeSource{0: 0.9, 1: 0.1})
+	c.Tick() // seed baselines
+
+	tick := func(commits, aborts uint64) {
+		f.window(commits, aborts)
+		f.now = f.now.Add(200 * time.Millisecond)
+		c.Tick()
+	}
+
+	// Phase 1: abort-only storm (no serialization events → serialFrac 0).
+	tick(10, 90)
+	if got := c.shards[0].mode; got != ModeTML {
+		t.Fatalf("concentrated shard 0 mode = %v, want tml", got)
+	}
+	if got := c.shards[1].mode; got != ModeNormal {
+		t.Fatalf("diffuse shard 1 mode = %v, want normal (gated)", got)
+	}
+	st := c.Snapshot()
+	if st.Shards[1].GateDeferrals == 0 {
+		t.Fatal("gate fired but deferral counter is 0")
+	}
+	if st.Shards[0].GateDeferrals != 0 {
+		t.Fatalf("concentrated shard counted %d deferrals", st.Shards[0].GateDeferrals)
+	}
+	if !st.Shards[1].HaveFingerprint || st.Shards[1].Concentration != 0.1 {
+		t.Fatalf("shard 1 status %+v, want have_fingerprint with conc 0.1", st.Shards[1])
+	}
+	if st.GateDeferrals == 0 {
+		t.Fatal("summary gate_deferrals = 0")
+	}
+
+	// The storm persisting without serial evidence keeps deferring — the
+	// diffuse shard must not ratchet down on abort ratio alone.
+	before := c.shards[1].gateDeferrals
+	tick(10, 90)
+	if got := c.shards[1].mode; got != ModeNormal {
+		t.Fatalf("sustained diffuse storm degraded shard 1 to %v", got)
+	}
+	if c.shards[1].gateDeferrals <= before {
+		t.Fatal("sustained storm did not grow the deferral count")
+	}
+
+	// Phase 2: serialization evidence joins the storm (start-serial on every
+	// commit → serialFrac 1.0 ≥ DegradeSerialFrac). The gate must step aside:
+	// TML cannot be wrong when the runtime is already serializing.
+	f.accum.StartSerial += 100
+	tick(10, 90)
+	if got := c.shards[1].mode; got != ModeTML {
+		t.Fatalf("serial-evidence storm still gated: shard 1 mode = %v, want tml", got)
+	}
+
+	// stats reset clears the deferral counters but not the learned rungs.
+	c.ResetSwapCounters()
+	st = c.Snapshot()
+	if st.GateDeferrals != 0 || st.Shards[1].GateDeferrals != 0 {
+		t.Fatalf("reset left gate deferrals: %+v", st)
+	}
+	if c.shards[1].mode != ModeTML {
+		t.Fatal("reset disturbed the mode ladder")
+	}
+}
+
+// TestHotKeyGateDetachAndDisable: detaching the source (DisableFingerprint
+// path) restores ungated threshold decisions, and a negative HotKeyGate
+// disables the gate even with a source attached.
+func TestHotKeyGateDetachAndDisable(t *testing.T) {
+	p := Policy{
+		DegradeAbortRatio: 0.5,
+		DegradeSerialFrac: 0.3,
+		MinDwell:          100 * time.Millisecond,
+		MinSamples:        10,
+		HealWindows:       5,
+		ROReadBias:        -1,
+		HotKeyGate:        0.5,
+	}
+	c, f := newTestController(p)
+	c.SetFingerprint(fakeSource{0: 0.0})
+	tick := func() {
+		f.window(10, 90)
+		f.now = f.now.Add(200 * time.Millisecond)
+		c.Tick()
+	}
+	tick()
+	if got := c.shards[0].mode; got != ModeNormal {
+		t.Fatalf("diffuse storm with source attached degraded to %v", got)
+	}
+	c.SetFingerprint(nil)
+	if c.Snapshot().Shards[0].HaveFingerprint {
+		t.Fatal("detach left have_fingerprint set")
+	}
+	tick()
+	if got := c.shards[0].mode; got != ModeTML {
+		t.Fatalf("detached controller still gated: mode %v, want tml", got)
+	}
+
+	// Fresh controller, gate explicitly disabled: source attached but the
+	// diffuse storm degrades anyway.
+	p.HotKeyGate = -1
+	c2, f2 := newTestController(p)
+	c2.SetFingerprint(fakeSource{0: 0.0})
+	f2.window(10, 90)
+	f2.now = f2.now.Add(200 * time.Millisecond)
+	c2.Tick()
+	if got := c2.shards[0].mode; got != ModeTML {
+		t.Fatalf("HotKeyGate<0 still gated: mode %v, want tml", got)
+	}
+}
